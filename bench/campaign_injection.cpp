@@ -1,0 +1,102 @@
+// Fault-injection campaign vs DVF — the comparison the paper argues for.
+//
+// §VI positions DVF against statistical fault injection: injection gives
+// ground-truth corruption probabilities but "a large number of fault
+// injections must be performed", while DVF is analytical and instant. This
+// harness runs both on the verification kernels: hundreds of random bit
+// flips per data structure (random site, random time) vs the structures'
+// DVFs, plus the Spearman rank correlation between the two orderings and
+// the wall-clock cost of each methodology.
+#include <iostream>
+
+#include "dvf/dvf/calculator.hpp"
+#include "dvf/kernels/injection_campaign.hpp"
+#include "dvf/kernels/kernel_common.hpp"
+#include "dvf/kernels/suite.hpp"
+#include "dvf/machine/cache_config.hpp"
+#include "dvf/machine/machine.hpp"
+#include "dvf/report/table.hpp"
+
+int main() {
+  std::cout << dvf::banner(
+      "Fault injection vs DVF: does the analytical metric rank structures "
+      "like ground-truth corruption rates?");
+
+  const dvf::DvfCalculator calc(
+      dvf::Machine::with_cache(dvf::caches::small_verification()));
+
+  dvf::Table table({"kernel", "structure", "trials", "corrupted_%",
+                    "risk (rate*S_d)", "DVF", "DVF_rank", "risk_rank"});
+  dvf::Table summary({"kernel", "corr(DVF, rate)", "corr(DVF, risk)",
+                      "injection_cost_s", "dvf_cost_s"});
+
+  auto suite = dvf::kernels::make_verification_suite();
+  for (auto& kernel : suite) {
+    // The campaign re-runs the kernel trials*structures times; keep the
+    // expensive kernels affordable.
+    dvf::kernels::CampaignConfig config;
+    config.trials_per_structure =
+        (kernel->name() == "CG" || kernel->name() == "MG") ? 40 : 200;
+
+    const dvf::kernels::Stopwatch injection_watch;
+    const auto stats = dvf::kernels::run_injection_campaign(*kernel, config);
+    const double injection_seconds = injection_watch.seconds();
+
+    const dvf::kernels::Stopwatch dvf_watch;
+    const double seconds = kernel->run_timed();
+    dvf::ModelSpec spec = kernel->model_spec();
+    spec.exec_time_seconds = seconds;
+    const dvf::ApplicationDvf app = calc.for_model(spec);
+    const double dvf_seconds = dvf_watch.seconds();
+
+    // Paired series: the raw per-flip corruption PROBABILITY (sensitivity),
+    // and the incidence-weighted corruption RISK rate * S_d — faults strike
+    // in proportion to footprint, which is the quantity DVF's N_error term
+    // encodes. The risk series is the apples-to-apples ground truth.
+    std::vector<double> corruption;
+    std::vector<double> risk;
+    std::vector<double> dvfs;
+    for (const auto& s : stats) {
+      corruption.push_back(s.corruption_rate());
+      const auto* result = app.find(s.structure);
+      dvfs.push_back(result != nullptr ? result->dvf : 0.0);
+      const double size =
+          result != nullptr ? result->size_bytes : 0.0;
+      risk.push_back(s.corruption_rate() * size);
+    }
+    const auto rank_of = [](const std::vector<double>& xs, std::size_t i) {
+      std::size_t rank = 1;
+      for (std::size_t j = 0; j < xs.size(); ++j) {
+        if (xs[j] > xs[i]) {
+          ++rank;
+        }
+      }
+      return rank;
+    };
+    for (std::size_t i = 0; i < stats.size(); ++i) {
+      table.add_row({kernel->name(), stats[i].structure,
+                     dvf::num(static_cast<double>(stats[i].trials)),
+                     dvf::num(100.0 * stats[i].corruption_rate(), 3),
+                     dvf::num(risk[i]), dvf::num(dvfs[i]),
+                     std::to_string(rank_of(dvfs, i)),
+                     std::to_string(rank_of(risk, i))});
+    }
+    summary.add_row({kernel->name(),
+                     dvf::num(dvf::kernels::rank_correlation(corruption, dvfs),
+                              3),
+                     dvf::num(dvf::kernels::rank_correlation(risk, dvfs), 3),
+                     dvf::num(injection_seconds, 3),
+                     dvf::num(dvf_seconds, 3)});
+  }
+
+  std::cout << table << "\n" << summary;
+  std::cout <<
+      "\nReading: corr(DVF, risk) compares DVF against the incidence-\n"
+      "weighted ground truth (corruption rate x footprint — faults strike\n"
+      "big structures more often); corr(DVF, rate) against the raw per-flip\n"
+      "sensitivity, which DVF does NOT claim to measure (small, always-live\n"
+      "structures are the most sensitive per flip but rarely hit). The cost\n"
+      "columns show the paper's speed argument: the analytical evaluation\n"
+      "vs hundreds of full re-runs per structure.\n";
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Figure 7: the hardware-protection use case (§V-B) — DVF of the VM kernel
+// under SECDED and Chipkill ECC as a function of the performance budget
+// spent on protection (Table VII FIT rates).
+#include <iostream>
+
+#include "dvf/dvf/ecc.hpp"
+#include "dvf/kernels/kernel_common.hpp"
+#include "dvf/kernels/vm.hpp"
+#include "dvf/machine/cache_config.hpp"
+#include "dvf/machine/machine.hpp"
+#include "dvf/report/table.hpp"
+
+int main() {
+  std::cout << dvf::banner(
+      "Figure 7: impact of ECC on DVF vs performance degradation (use case "
+      "V-B)");
+  std::cout << "Table VII FIT rates: no-ECC 5000, SECDED 1300, Chipkill 0.02 "
+               "(failures/1e9h/Mbit)\n\n";
+
+  dvf::kernels::VectorMultiply::Config config;
+  config.iterations = 100000;
+  dvf::kernels::VectorMultiply vm(config);
+  dvf::NullRecorder null;
+  const dvf::kernels::Stopwatch watch;
+  vm.run(null);
+  const double seconds = watch.seconds();
+
+  dvf::ModelSpec spec = vm.model_spec();
+  spec.exec_time_seconds = seconds;
+
+  const dvf::Machine machine =
+      dvf::Machine::with_cache(dvf::caches::profiling_8mb());
+  const dvf::EccTradeoffExplorer explorer(machine, spec);
+
+  dvf::Table table({"degradation_%", "coverage", "DVF secded", "DVF chipkill"});
+  dvf::EccSweepConfig secded;
+  secded.scheme = dvf::EccScheme::kSecDed;
+  dvf::EccSweepConfig chipkill;
+  chipkill.scheme = dvf::EccScheme::kChipkill;
+
+  const auto secded_points = explorer.sweep(secded);
+  const auto chipkill_points = explorer.sweep(chipkill);
+  for (std::size_t i = 0; i < secded_points.size(); ++i) {
+    table.add_row({dvf::num(100.0 * secded_points[i].degradation, 3),
+                   dvf::num(secded_points[i].coverage, 3),
+                   dvf::num(secded_points[i].dvf),
+                   dvf::num(chipkill_points[i].dvf)});
+  }
+  std::cout << table;
+  dvf::maybe_export_csv("fig7_ecc", table);
+
+  std::cout << "\nMinimum-DVF degradation: secded "
+            << dvf::num(100.0 * dvf::EccTradeoffExplorer::optimal_degradation(
+                                    secded_points))
+            << "%, chipkill "
+            << dvf::num(100.0 * dvf::EccTradeoffExplorer::optimal_degradation(
+                                    chipkill_points))
+            << "%\n";
+  std::cout <<
+      "Paper observations (Fig. 7): ECC lowers DVF; the minimum sits near\n"
+      "5% degradation (full coverage reached), after which longer exposure\n"
+      "raises vulnerability again; Chipkill dominates SECDED.\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Microbenchmarks of the verification substrate: trace-driven LRU cache
+// simulation throughput (the cost the analytical models avoid) and the
+// kernels' instrumented vs bare runtime.
+#include <benchmark/benchmark.h>
+
+#include "dvf/cachesim/cache_simulator.hpp"
+#include "dvf/common/rng.hpp"
+#include "dvf/kernels/fft.hpp"
+#include "dvf/kernels/vm.hpp"
+#include "dvf/machine/cache_config.hpp"
+
+namespace {
+
+void BM_CacheSimSequential(benchmark::State& state) {
+  dvf::CacheSimulator sim(dvf::caches::profiling_8mb());
+  std::uint64_t addr = 0;
+  for (auto _ : state) {
+    sim.on_load(0, addr, 8);
+    addr += 8;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CacheSimSequential);
+
+void BM_CacheSimRandom(benchmark::State& state) {
+  dvf::CacheSimulator sim(dvf::caches::profiling_8mb());
+  dvf::Xoshiro256 rng(99);
+  for (auto _ : state) {
+    sim.on_load(0, rng.below(1u << 28), 8);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CacheSimRandom);
+
+void BM_VmBare(benchmark::State& state) {
+  dvf::kernels::VectorMultiply::Config config;
+  config.iterations = 100000;
+  dvf::kernels::VectorMultiply vm(config);
+  dvf::NullRecorder null;
+  for (auto _ : state) {
+    vm.reset();
+    vm.run(null);
+  }
+}
+BENCHMARK(BM_VmBare)->Unit(benchmark::kMillisecond);
+
+void BM_VmSimulated(benchmark::State& state) {
+  dvf::kernels::VectorMultiply::Config config;
+  config.iterations = 100000;
+  dvf::kernels::VectorMultiply vm(config);
+  dvf::CacheSimulator sim(dvf::caches::profiling_8mb());
+  for (auto _ : state) {
+    vm.reset();
+    vm.run(sim);
+  }
+}
+BENCHMARK(BM_VmSimulated)->Unit(benchmark::kMillisecond);
+
+void BM_FftBare(benchmark::State& state) {
+  dvf::kernels::Fft1D::Config config;
+  config.n = 2048;
+  dvf::kernels::Fft1D fft(config);
+  dvf::NullRecorder null;
+  for (auto _ : state) {
+    fft.reset();
+    fft.run(null);
+  }
+}
+BENCHMARK(BM_FftBare)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

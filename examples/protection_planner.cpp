@@ -1,0 +1,87 @@
+// protection_planner: the decision DVF was built for (paper §I) — given
+// per-structure vulnerabilities and a menu of protection mechanisms, which
+// structures should be protected, with what, under a performance budget?
+//
+//   build/examples/protection_planner [kernel] [budget_%] [dvf_target]
+//
+// kernel: VM | CG | NB | MG | FT | MC (default MC — two structures with
+// very different vulnerabilities, so selectivity matters).
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "dvf/dvf/protection.hpp"
+#include "dvf/kernels/suite.hpp"
+#include "dvf/machine/cache_config.hpp"
+#include "dvf/report/table.hpp"
+
+namespace {
+
+void print_plan(const char* title, const dvf::ProtectionPlan& plan) {
+  std::cout << dvf::banner(title);
+  dvf::Table table({"structure", "mechanism", "DVF"});
+  for (const auto& choice : plan.choices) {
+    table.add_row({choice.structure, choice.mechanism,
+                   dvf::num(choice.structure_dvf)});
+  }
+  std::cout << table;
+  std::cout << "total DVF " << dvf::num(plan.total_dvf) << " ("
+            << dvf::num(100.0 * plan.improvement(), 3)
+            << "% of unprotected), slowdown "
+            << dvf::num(100.0 * plan.time_overhead, 3) << "%\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string wanted = argc > 1 ? argv[1] : "MC";
+  const double budget = argc > 2 ? std::atof(argv[2]) / 100.0 : 0.04;
+
+  auto suite = dvf::kernels::make_extended_suite();
+  dvf::kernels::KernelCase* kernel = nullptr;
+  for (auto& candidate : suite) {
+    if (candidate->name() == wanted) {
+      kernel = candidate.get();
+    }
+  }
+  if (kernel == nullptr) {
+    std::cerr << "unknown kernel '" << wanted
+              << "' (expected VM|CG|NB|MG|FT|MC|CGS)\n";
+    return 1;
+  }
+
+  const double seconds = kernel->run_timed();
+  dvf::ModelSpec spec = kernel->model_spec();
+  spec.exec_time_seconds = seconds;
+
+  const dvf::ProtectionPlanner planner(
+      dvf::Machine::with_cache(dvf::caches::profiling_8mb()), spec,
+      {dvf::ProtectionMechanism::none(), dvf::ProtectionMechanism::secded(),
+       dvf::ProtectionMechanism::chipkill(),
+       dvf::ProtectionMechanism::software_tmr()});
+
+  std::cout << "Selective protection study for " << kernel->name() << " ("
+            << kernel->method_class() << "), T = " << dvf::num(seconds, 3)
+            << " s\n";
+
+  print_plan("No protection (baseline)",
+             planner.evaluate(std::vector<std::size_t>(
+                 spec.structures.size(), 0)));
+
+  const dvf::ProtectionPlan best = planner.optimize(budget);
+  print_plan(("Best plan within a " + dvf::num(100.0 * budget, 3) +
+              "% slowdown budget")
+                 .c_str(),
+             best);
+
+  if (argc > 3) {
+    const double target = std::atof(argv[3]);
+    const auto cheapest = planner.cheapest_meeting_target(target);
+    if (cheapest.has_value()) {
+      print_plan("Cheapest plan meeting the DVF target", *cheapest);
+    } else {
+      std::cout << "\nNo assignment reaches DVF <= " << target << ".\n";
+    }
+  }
+  return 0;
+}

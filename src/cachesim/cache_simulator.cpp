@@ -1,0 +1,130 @@
+#include "dvf/cachesim/cache_simulator.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "dvf/common/error.hpp"
+
+namespace dvf {
+
+CacheSimulator::CacheSimulator(CacheConfig config) : config_(std::move(config)) {
+  lines_.resize(static_cast<std::size_t>(config_.num_sets()) *
+                config_.associativity());
+}
+
+CacheStats& CacheSimulator::stats_for(DsId ds) {
+  if (ds == kNoDs) {
+    return unattributed_;
+  }
+  if (ds >= stats_.size()) {
+    stats_.resize(ds + 1);
+  }
+  return stats_[ds];
+}
+
+void CacheSimulator::access(std::uint64_t address, std::uint32_t size,
+                            bool is_write, DsId ds) {
+  DVF_CHECK_MSG(size > 0, "access size must be positive");
+  const std::uint64_t first = config_.block_of(address);
+  const std::uint64_t last = config_.block_of(address + size - 1);
+  for (std::uint64_t block = first; block <= last; ++block) {
+    touch_line(block, is_write, ds);
+  }
+}
+
+bool CacheSimulator::touch_line(std::uint64_t block, bool is_write, DsId ds) {
+  ++tick_;
+  CacheStats& st = stats_for(ds);
+  ++st.accesses;
+
+  const std::uint64_t set = block % config_.num_sets();
+  Line* const set_begin = lines_.data() +
+      static_cast<std::size_t>(set) * config_.associativity();
+  Line* const set_end = set_begin + config_.associativity();
+
+  Line* victim = set_begin;  // least recently used (or first invalid) way
+  for (Line* way = set_begin; way != set_end; ++way) {
+    if (way->valid && way->block == block) {
+      ++st.hits;
+      way->tick = tick_;
+      way->dirty = way->dirty || is_write;
+      way->owner = ds;
+      return true;
+    }
+    // Prefer an invalid way; among valid ways pick the stalest.
+    if (!victim->valid) {
+      continue;
+    }
+    if (!way->valid || way->tick < victim->tick) {
+      victim = way;
+    }
+  }
+
+  ++st.misses;
+  if (victim->valid) {
+    if (victim->dirty) {
+      ++stats_for(victim->owner).writebacks;
+    }
+    if (on_evict_) {
+      on_evict_(victim->block, victim->owner, victim->dirty);
+    }
+  }
+  victim->valid = true;
+  victim->block = block;
+  victim->tick = tick_;
+  victim->dirty = is_write;
+  victim->owner = ds;
+  return false;
+}
+
+void CacheSimulator::flush() {
+  for (Line& line : lines_) {
+    if (!line.valid) {
+      continue;
+    }
+    if (line.dirty) {
+      ++stats_for(line.owner).writebacks;
+    }
+    if (on_evict_) {
+      on_evict_(line.block, line.owner, line.dirty);
+    }
+    line.dirty = false;
+    line.valid = false;
+    line.owner = kNoDs;
+  }
+}
+
+void CacheSimulator::reset() {
+  for (Line& line : lines_) {
+    line = Line{};
+  }
+  stats_.clear();
+  unattributed_ = CacheStats{};
+  tick_ = 0;
+}
+
+CacheStats CacheSimulator::stats(DsId ds) const {
+  if (ds == kNoDs) {
+    return unattributed_;
+  }
+  return ds < stats_.size() ? stats_[ds] : CacheStats{};
+}
+
+CacheStats CacheSimulator::total_stats() const {
+  CacheStats total = unattributed_;
+  for (const CacheStats& st : stats_) {
+    total.accesses += st.accesses;
+    total.hits += st.hits;
+    total.misses += st.misses;
+    total.writebacks += st.writebacks;
+  }
+  return total;
+}
+
+std::uint64_t CacheSimulator::resident_lines() const noexcept {
+  return static_cast<std::uint64_t>(
+      std::count_if(lines_.begin(), lines_.end(),
+                    [](const Line& l) { return l.valid; }));
+}
+
+}  // namespace dvf

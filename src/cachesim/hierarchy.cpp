@@ -1,0 +1,80 @@
+#include "dvf/cachesim/hierarchy.hpp"
+
+#include <utility>
+
+#include "dvf/common/error.hpp"
+
+namespace dvf {
+
+CacheHierarchy::CacheHierarchy(std::vector<CacheConfig> levels) {
+  DVF_CHECK_MSG(!levels.empty(), "hierarchy needs at least one level");
+  line_bytes_ = levels.front().line_bytes();
+  for (const CacheConfig& config : levels) {
+    DVF_CHECK_MSG(config.line_bytes() == line_bytes_,
+                  "hierarchy levels must share one line size");
+  }
+  levels_.reserve(levels.size());
+  for (CacheConfig& config : levels) {
+    Level level{config, std::make_unique<CacheSimulator>(config)};
+    levels_.push_back(std::move(level));
+  }
+
+  // Dirty evictions at level i write back into level i+1 (allocating
+  // there); the last level's writebacks are memory traffic and already land
+  // in its own statistics.
+  for (std::size_t i = 0; i + 1 < levels_.size(); ++i) {
+    CacheSimulator* next = levels_[i + 1].sim.get();
+    levels_[i].sim->set_eviction_handler(
+        [next](std::uint64_t block, DsId owner, bool dirty) {
+          if (dirty) {
+            (void)next->access_block(block, /*is_write=*/true, owner);
+          }
+        });
+  }
+}
+
+void CacheHierarchy::touch(std::size_t level, std::uint64_t block,
+                           bool is_write, DsId ds) {
+  for (std::size_t l = level; l < levels_.size(); ++l) {
+    if (levels_[l].sim->access_block(block, is_write, ds)) {
+      return;  // hit: upper levels were already filled on the way down
+    }
+    // A miss at level l was filled there by access_block; the demand
+    // continues to the next level to fetch the line.
+  }
+}
+
+void CacheHierarchy::access(std::uint64_t address, std::uint32_t size,
+                            bool is_write, DsId ds) {
+  DVF_CHECK_MSG(size > 0, "access size must be positive");
+  const std::uint64_t first = address / line_bytes_;
+  const std::uint64_t last = (address + size - 1) / line_bytes_;
+  for (std::uint64_t block = first; block <= last; ++block) {
+    touch(0, block, is_write, ds);
+  }
+}
+
+void CacheHierarchy::flush() {
+  // Upper levels first so their dirty lines cascade into lower levels
+  // before those are flushed.
+  for (Level& level : levels_) {
+    level.sim->flush();
+  }
+}
+
+void CacheHierarchy::reset() {
+  for (Level& level : levels_) {
+    level.sim->reset();
+  }
+}
+
+CacheStats CacheHierarchy::level_stats(std::size_t level, DsId ds) const {
+  DVF_CHECK_MSG(level < levels_.size(), "hierarchy level out of range");
+  return levels_[level].sim->stats(ds);
+}
+
+std::uint64_t CacheHierarchy::main_memory_accesses(DsId ds) const {
+  return levels_.back().sim->stats(ds).main_memory_accesses();
+}
+
+}  // namespace dvf

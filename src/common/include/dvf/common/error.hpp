@@ -1,0 +1,76 @@
+// Error handling for the DVF library.
+//
+// The library reports unrecoverable misuse (invalid cache geometry, malformed
+// model parameters, DSL syntax errors) with exceptions derived from
+// dvf::Error. Hot paths (cache simulation, kernel inner loops) never throw.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace dvf {
+
+/// Base class of every exception thrown by this library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(std::string message) : std::runtime_error(std::move(message)) {}
+};
+
+/// A caller violated a documented precondition (bad parameter, bad geometry).
+class InvalidArgumentError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// The DSL front end rejected the input text. Carries a source location.
+class ParseError : public Error {
+ public:
+  ParseError(std::string message, int line, int column)
+      : Error("parse error at " + std::to_string(line) + ":" +
+              std::to_string(column) + ": " + std::move(message)),
+        line_(line),
+        column_(column) {}
+
+  [[nodiscard]] int line() const noexcept { return line_; }
+  [[nodiscard]] int column() const noexcept { return column_; }
+
+ private:
+  int line_;
+  int column_;
+};
+
+/// The DSL analyzer rejected a structurally valid model (unknown identifier,
+/// pattern/parameter mismatch, duplicate declaration, ...).
+class SemanticError : public Error {
+ public:
+  using Error::Error;
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  throw InvalidArgumentError(std::string(file) + ":" + std::to_string(line) +
+                             ": check failed: " + expr +
+                             (msg.empty() ? "" : " — " + msg));
+}
+}  // namespace detail
+
+}  // namespace dvf
+
+/// Precondition check that throws dvf::InvalidArgumentError on failure.
+/// Always active (not compiled out in release builds): model evaluation is
+/// cheap and the cost of silently accepting bad geometry is wrong science.
+#define DVF_CHECK(expr)                                                   \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::dvf::detail::throw_check_failure(#expr, __FILE__, __LINE__, ""); \
+    }                                                                     \
+  } while (false)
+
+#define DVF_CHECK_MSG(expr, msg)                                           \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::dvf::detail::throw_check_failure(#expr, __FILE__, __LINE__, msg); \
+    }                                                                      \
+  } while (false)

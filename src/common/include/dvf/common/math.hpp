@@ -1,0 +1,64 @@
+// Numerically stable combinatorics and small statistics helpers.
+//
+// The random-access model (paper Eqs. 5–7) evaluates hypergeometric
+// probabilities with populations up to ~10^7; naive factorials overflow, so
+// everything routes through log-gamma.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dvf::math {
+
+/// ln C(n, k); returns -infinity when the coefficient is zero
+/// (k < 0 or k > n), so exp() of the result is always the true value.
+[[nodiscard]] double log_binomial(std::int64_t n, std::int64_t k);
+
+/// C(n, k) computed through log-gamma. Exact enough for probability ratios.
+[[nodiscard]] double binomial(std::int64_t n, std::int64_t k);
+
+/// Hypergeometric pmf: probability of drawing `k` marked items in `draws`
+/// draws without replacement from a population of `total` containing
+/// `marked` marked items.
+[[nodiscard]] double hypergeometric_pmf(std::int64_t total, std::int64_t marked,
+                                        std::int64_t draws, std::int64_t k);
+
+/// Binomial pmf: P(X = k) for X ~ Binomial(n, p).
+[[nodiscard]] double binomial_pmf(std::int64_t n, std::int64_t k, double p);
+
+/// Upper-tail binomial mass: P(X >= k) for X ~ Binomial(n, p).
+[[nodiscard]] double binomial_tail(std::int64_t n, std::int64_t k, double p);
+
+/// Kahan-compensated running sum, for accumulating long probability series.
+class KahanSum {
+ public:
+  void add(double x) noexcept {
+    const double y = x - compensation_;
+    const double t = sum_ + y;
+    compensation_ = (t - sum_) - y;
+    sum_ = t;
+  }
+  [[nodiscard]] double value() const noexcept { return sum_; }
+
+ private:
+  double sum_ = 0.0;
+  double compensation_ = 0.0;
+};
+
+/// Sum of a span with Kahan compensation.
+[[nodiscard]] double stable_sum(std::span<const double> xs);
+
+/// Integer ceiling division for non-negative operands.
+[[nodiscard]] constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  return (a + b - 1) / b;
+}
+
+/// True when |a - b| <= tol * max(1, |a|, |b|).
+[[nodiscard]] bool approx_equal(double a, double b, double tol = 1e-9);
+
+/// Relative error |est - ref| / |ref| (0 when both are 0, +inf when only the
+/// reference is 0). Used by the verification harness to report Fig. 4 errors.
+[[nodiscard]] double relative_error(double estimate, double reference);
+
+}  // namespace dvf::math

@@ -1,0 +1,29 @@
+// Small string utilities shared by the DSL front end and the reporters.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dvf {
+
+/// Splits on a single-character delimiter; empty fields are preserved.
+[[nodiscard]] std::vector<std::string> split(std::string_view text, char delim);
+
+/// Removes leading and trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view text);
+
+/// Case-sensitive prefix/suffix tests (string_view helpers for pre-C++20 call
+/// sites are gone; these forward to the standard members but read better at
+/// call sites taking std::string).
+[[nodiscard]] bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Joins items with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& items,
+                               std::string_view sep);
+
+/// Formats a double with `digits` significant digits, trimming trailing
+/// zeros — the reporters use this for table cells.
+[[nodiscard]] std::string format_significant(double value, int digits = 4);
+
+}  // namespace dvf

@@ -1,0 +1,43 @@
+// Unit helpers and conversions used throughout the DVF models.
+//
+// The DVF definition (paper Eq. 1) mixes units deliberately:
+//   FIT  — failures per 10^9 device-hours per Mbit
+//   T    — execution time (we keep seconds internally)
+//   S_d  — data-structure size (bytes internally)
+// N_error = FIT * hours(T) / 1e9 * megabits(S_d).
+#pragma once
+
+#include <cstdint>
+
+namespace dvf {
+
+using Byte = std::uint64_t;
+
+inline constexpr Byte kKiB = 1024;
+inline constexpr Byte kMiB = 1024 * kKiB;
+inline constexpr Byte kGiB = 1024 * kMiB;
+
+constexpr Byte operator""_KiB(unsigned long long v) { return v * kKiB; }
+constexpr Byte operator""_MiB(unsigned long long v) { return v * kMiB; }
+constexpr Byte operator""_GiB(unsigned long long v) { return v * kGiB; }
+
+/// Hours in one second.
+inline constexpr double kHoursPerSecond = 1.0 / 3600.0;
+/// FIT rates are quoted per billion (1e9) hours.
+inline constexpr double kFitHours = 1e9;
+/// FIT rates are quoted per megabit (1e6 bits).
+inline constexpr double kBitsPerMegabit = 1e6;
+
+/// Converts a byte count to megabits (the FIT denomination).
+constexpr double bytes_to_megabits(double bytes) {
+  return bytes * 8.0 / kBitsPerMegabit;
+}
+
+/// Expected number of raw errors striking `size_bytes` of memory exposed for
+/// `seconds` at failure rate `fit` (failures / 1e9 h / Mbit). Paper: N_error.
+constexpr double expected_errors(double fit, double seconds, double size_bytes) {
+  return fit * (seconds * kHoursPerSecond / kFitHours) *
+         bytes_to_megabits(size_bytes);
+}
+
+}  // namespace dvf

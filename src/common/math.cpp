@@ -1,0 +1,94 @@
+#include "dvf/common/math.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace dvf::math {
+
+double log_binomial(std::int64_t n, std::int64_t k) {
+  if (k < 0 || k > n || n < 0) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  if (k == 0 || k == n) {
+    return 0.0;
+  }
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+double binomial(std::int64_t n, std::int64_t k) {
+  const double lb = log_binomial(n, k);
+  return std::isinf(lb) ? 0.0 : std::exp(lb);
+}
+
+double hypergeometric_pmf(std::int64_t total, std::int64_t marked,
+                          std::int64_t draws, std::int64_t k) {
+  if (total < 0 || marked < 0 || marked > total || draws < 0 || draws > total) {
+    return 0.0;
+  }
+  // Support: max(0, draws - (total - marked)) <= k <= min(draws, marked).
+  if (k < std::max<std::int64_t>(0, draws - (total - marked)) ||
+      k > std::min(draws, marked)) {
+    return 0.0;
+  }
+  const double log_p = log_binomial(marked, k) +
+                       log_binomial(total - marked, draws - k) -
+                       log_binomial(total, draws);
+  return std::exp(log_p);
+}
+
+double binomial_pmf(std::int64_t n, std::int64_t k, double p) {
+  if (k < 0 || k > n || n < 0 || p < 0.0 || p > 1.0) {
+    return 0.0;
+  }
+  if (p == 0.0) {
+    return k == 0 ? 1.0 : 0.0;
+  }
+  if (p == 1.0) {
+    return k == n ? 1.0 : 0.0;
+  }
+  const double log_p = log_binomial(n, k) +
+                       static_cast<double>(k) * std::log(p) +
+                       static_cast<double>(n - k) * std::log1p(-p);
+  return std::exp(log_p);
+}
+
+double binomial_tail(std::int64_t n, std::int64_t k, double p) {
+  if (k <= 0) {
+    return 1.0;
+  }
+  if (k > n) {
+    return 0.0;
+  }
+  // The tails we need are short (k near the cache associativity), so direct
+  // summation of the complement is both exact enough and fast.
+  KahanSum below;
+  for (std::int64_t i = 0; i < k; ++i) {
+    below.add(binomial_pmf(n, i, p));
+  }
+  return std::clamp(1.0 - below.value(), 0.0, 1.0);
+}
+
+double stable_sum(std::span<const double> xs) {
+  KahanSum s;
+  for (const double x : xs) {
+    s.add(x);
+  }
+  return s.value();
+}
+
+bool approx_equal(double a, double b, double tol) {
+  const double scale = std::max({1.0, std::fabs(a), std::fabs(b)});
+  return std::fabs(a - b) <= tol * scale;
+}
+
+double relative_error(double estimate, double reference) {
+  if (reference == 0.0) {
+    return estimate == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+  }
+  return std::fabs(estimate - reference) / std::fabs(reference);
+}
+
+}  // namespace dvf::math

@@ -1,0 +1,432 @@
+#include "dvf/dsl/analyzer.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "dvf/common/error.hpp"
+#include "dvf/dsl/parser.hpp"
+#include "dvf/dsl/template_expander.hpp"
+
+namespace dvf::dsl {
+
+double evaluate(const Expr& expr, const std::map<std::string, double>& env) {
+  switch (expr.kind) {
+    case Expr::Kind::kNumber:
+      return expr.number;
+    case Expr::Kind::kIdentifier: {
+      const auto it = env.find(expr.identifier);
+      if (it == env.end()) {
+        throw SemanticError("unknown parameter '" + expr.identifier + "' at " +
+                            std::to_string(expr.line) + ":" +
+                            std::to_string(expr.column));
+      }
+      return it->second;
+    }
+    case Expr::Kind::kUnary:
+      return -evaluate(*expr.lhs, env);
+    case Expr::Kind::kBinary: {
+      const double a = evaluate(*expr.lhs, env);
+      const double b = evaluate(*expr.rhs, env);
+      switch (expr.op) {
+        case '+': return a + b;
+        case '-': return a - b;
+        case '*': return a * b;
+        case '/':
+          if (b == 0.0) {
+            throw SemanticError("division by zero at " +
+                                std::to_string(expr.line) + ":" +
+                                std::to_string(expr.column));
+          }
+          return a / b;
+        case '%':
+          if (b == 0.0) {
+            throw SemanticError("modulo by zero at " +
+                                std::to_string(expr.line) + ":" +
+                                std::to_string(expr.column));
+          }
+          return std::fmod(a, b);
+        case '^': return std::pow(a, b);
+        default: break;
+      }
+      break;
+    }
+  }
+  throw SemanticError("malformed expression node");
+}
+
+namespace {
+
+/// Property bag with required/optional accessors and unknown-key detection.
+class Properties {
+ public:
+  Properties(const std::vector<KeyValue>& kvs,
+             const std::map<std::string, double>& env, std::string context)
+      : context_(std::move(context)) {
+    for (const KeyValue& kv : kvs) {
+      if (!values_.emplace(kv.key, evaluate(*kv.value, env)).second) {
+        throw SemanticError(context_ + ": duplicate property '" + kv.key + "'");
+      }
+    }
+  }
+
+  [[nodiscard]] double require(const std::string& key) {
+    const auto it = values_.find(key);
+    if (it == values_.end()) {
+      throw SemanticError(context_ + ": missing required property '" + key +
+                          "'");
+    }
+    used_.insert(key);
+    return it->second;
+  }
+
+  [[nodiscard]] double get(const std::string& key, double fallback) {
+    const auto it = values_.find(key);
+    if (it == values_.end()) {
+      return fallback;
+    }
+    used_.insert(key);
+    return it->second;
+  }
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    return values_.count(key) != 0;
+  }
+
+  /// Call after all accesses: rejects typos.
+  void reject_unknown() const {
+    for (const auto& [key, value] : values_) {
+      (void)value;
+      if (used_.count(key) == 0) {
+        throw SemanticError(context_ + ": unknown property '" + key + "'");
+      }
+    }
+  }
+
+ private:
+  std::map<std::string, double> values_;
+  std::set<std::string> used_;
+  std::string context_;
+};
+
+std::uint64_t to_count(double v, const std::string& what) {
+  if (v < 0.0 || v != std::floor(v) || v > 9.0e15) {
+    throw SemanticError(what + " must be a non-negative integer (got " +
+                        std::to_string(v) + ")");
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+Machine lower_machine(const MachineDecl& decl,
+                      const std::map<std::string, double>& env) {
+  Properties cache(decl.cache, env, "machine '" + decl.name + "' cache");
+  const auto assoc = to_count(cache.require("associativity"),
+                              "cache associativity");
+  const auto sets = to_count(cache.require("sets"), "cache sets");
+  const auto line = to_count(cache.require("line"), "cache line");
+  cache.reject_unknown();
+
+  Properties memory(decl.memory, env, "machine '" + decl.name + "' memory");
+  double fit;
+  if (!decl.ecc.empty()) {
+    fit = fit_rate(ecc_from_string(decl.ecc));
+    if (memory.has("fit")) {
+      throw SemanticError("machine '" + decl.name +
+                          "': give either 'fit' or 'ecc', not both");
+    }
+  } else {
+    fit = memory.get("fit", fit_rate(EccScheme::kNone));
+  }
+  memory.reject_unknown();
+
+  return Machine(decl.name,
+                 CacheConfig(decl.name + "-llc",
+                             static_cast<std::uint32_t>(assoc),
+                             static_cast<std::uint32_t>(sets),
+                             static_cast<std::uint32_t>(line)),
+                 MemoryModel(fit));
+}
+
+ReuseScenario scenario_from(double code) {
+  switch (static_cast<int>(code)) {
+    case 0: return ReuseScenario::kLruProtects;
+    case 1: return ReuseScenario::kUniformEviction;
+    case 2: return ReuseScenario::kBlend;
+    default:
+      throw SemanticError("reuse scenario must be 0 (lru), 1 (uniform) or "
+                          "2 (blend)");
+  }
+}
+
+ModelSpec lower_model(const ModelDecl& decl,
+                      const std::map<std::string, double>& env) {
+  ModelSpec spec;
+  spec.name = decl.name;
+  if (decl.time) {
+    const double t = evaluate(*decl.time, env);
+    if (t < 0.0) {
+      throw SemanticError("model '" + decl.name + "': time must be >= 0");
+    }
+    spec.exec_time_seconds = t;
+  }
+
+  // Element sizes, needed when lowering patterns.
+  std::map<std::string, std::uint32_t> element_bytes;
+  std::map<std::string, std::uint64_t> element_count;
+
+  for (const DataDecl& data : decl.data) {
+    if (spec.find(data.name) != nullptr) {
+      throw SemanticError("model '" + decl.name + "': duplicate data '" +
+                          data.name + "'");
+    }
+    Properties props(data.properties, env,
+                     "data '" + data.name + "' in model '" + decl.name + "'");
+    const std::uint64_t esize = to_count(props.get("element_size", 8.0),
+                                         "element_size");
+    std::uint64_t count = 0;
+    if (props.has("elements")) {
+      count = to_count(props.require("elements"), "elements");
+    } else if (props.has("size")) {
+      const std::uint64_t size = to_count(props.require("size"), "size");
+      if (esize == 0 || size % esize != 0) {
+        throw SemanticError("data '" + data.name +
+                            "': size must be a multiple of element_size");
+      }
+      count = size / esize;
+    } else {
+      throw SemanticError("data '" + data.name +
+                          "': needs 'elements' or 'size'");
+    }
+    props.reject_unknown();
+    if (esize == 0 || count == 0) {
+      throw SemanticError("data '" + data.name +
+                          "': element_size and elements must be positive");
+    }
+
+    DataStructureSpec ds;
+    ds.name = data.name;
+    ds.size_bytes = count * esize;
+    spec.structures.push_back(std::move(ds));
+    element_bytes[data.name] = static_cast<std::uint32_t>(esize);
+    element_count[data.name] = count;
+  }
+
+  AccessOrder order;
+  if (!decl.order.empty()) {
+    order = parse_access_order(decl.order);
+  }
+
+  for (const PatternDecl& pattern : decl.patterns) {
+    DataStructureSpec* target = nullptr;
+    for (auto& ds : spec.structures) {
+      if (ds.name == pattern.target) {
+        target = &ds;
+        break;
+      }
+    }
+    if (target == nullptr) {
+      throw SemanticError("pattern for undeclared data '" + pattern.target +
+                          "' in model '" + decl.name + "'");
+    }
+    const std::string context = "pattern " + pattern.kind + " on '" +
+                                pattern.target + "' in model '" + decl.name +
+                                "'";
+    Properties props(pattern.properties, env, context);
+
+    if (pattern.kind == "stream") {
+      if (!pattern.tuples.empty()) {
+        throw SemanticError(context + ": stream patterns take no tuples");
+      }
+      StreamingSpec s;
+      s.element_bytes = element_bytes[pattern.target];
+      s.element_count = element_count[pattern.target];
+      s.stride_elements = to_count(props.get("stride", 1.0), "stride");
+      const std::uint64_t repeats = to_count(props.get("repeat", 1.0), "repeat");
+      props.reject_unknown();
+      for (std::uint64_t i = 0; i < repeats; ++i) {
+        target->patterns.emplace_back(s);
+      }
+    } else if (pattern.kind == "random") {
+      if (!pattern.tuples.empty()) {
+        throw SemanticError(context + ": random patterns take no tuples");
+      }
+      RandomSpec r;
+      r.element_count = element_count[pattern.target];
+      r.element_bytes = element_bytes[pattern.target];
+      r.visits_per_iteration = props.require("visits");
+      r.iterations = to_count(props.require("iterations"), "iterations");
+      r.cache_ratio = props.get("ratio", 1.0);
+      props.reject_unknown();
+      target->patterns.emplace_back(r);
+    } else if (pattern.kind == "template") {
+      std::vector<std::int64_t> start;
+      for (const KeyTuple& tuple : pattern.tuples) {
+        if (tuple.key == "start") {
+          for (const ExprPtr& e : tuple.values) {
+            start.push_back(static_cast<std::int64_t>(
+                std::llround(evaluate(*e, env))));
+          }
+        } else if (tuple.key == "end") {
+          // Validated against count below; the end tuple documents the
+          // boundary (paper's MG template) but count drives expansion.
+        } else {
+          throw SemanticError(context + ": unknown tuple '" + tuple.key + "'");
+        }
+      }
+      if (start.empty()) {
+        throw SemanticError(context + ": template needs a 'start (...)' tuple");
+      }
+      const auto step = static_cast<std::int64_t>(
+          std::llround(props.get("step", 1.0)));
+      std::uint64_t count = 0;
+      if (props.has("count")) {
+        count = to_count(props.require("count"), "count");
+      } else {
+        // Derive the iteration count from the end tuple's first component.
+        const KeyTuple* end_tuple = nullptr;
+        for (const KeyTuple& tuple : pattern.tuples) {
+          if (tuple.key == "end") {
+            end_tuple = &tuple;
+          }
+        }
+        if (end_tuple == nullptr || end_tuple->values.empty() || step == 0) {
+          throw SemanticError(context +
+                              ": template needs 'count' or an 'end (...)' "
+                              "tuple with a nonzero step");
+        }
+        const auto end0 = static_cast<std::int64_t>(
+            std::llround(evaluate(*end_tuple->values[0], env)));
+        const std::int64_t span = end0 - start[0];
+        if (span % step != 0 || span / step < 0) {
+          throw SemanticError(context +
+                              ": end tuple is not reachable from start with "
+                              "the given step");
+        }
+        count = static_cast<std::uint64_t>(span / step) + 1;
+      }
+      TemplateSpec t;
+      t.element_bytes = element_bytes[pattern.target];
+      t.element_indices = expand_progression(start, step, count);
+      t.repetitions = to_count(props.get("repeat", 1.0), "repeat");
+      t.cache_ratio = props.get("ratio", 1.0);
+      props.reject_unknown();
+      target->patterns.emplace_back(std::move(t));
+    } else if (pattern.kind == "reuse") {
+      if (!pattern.tuples.empty()) {
+        throw SemanticError(context + ": reuse patterns take no tuples");
+      }
+      ReuseSpec u;
+      u.self_bytes = target->size_bytes;
+      if (props.has("other_bytes")) {
+        u.other_bytes = to_count(props.require("other_bytes"), "other_bytes");
+      } else {
+        // Derive the interferer footprint from the access order: every other
+        // structure sharing a phase with the target.
+        std::uint64_t other = 0;
+        for (const std::string& name : order.concurrent_with(pattern.target)) {
+          if (const DataStructureSpec* ds = spec.find(name)) {
+            other += ds->size_bytes;
+          }
+        }
+        u.other_bytes = other;
+      }
+      if (props.has("rounds")) {
+        u.reuse_rounds = to_count(props.require("rounds"), "rounds");
+      } else {
+        const std::uint64_t appearances = order.appearances(pattern.target);
+        if (appearances < 2) {
+          throw SemanticError(context +
+                              ": reuse needs 'rounds' or an access order in "
+                              "which the structure appears at least twice");
+        }
+        u.reuse_rounds = appearances - 1;
+      }
+      u.scenario = scenario_from(props.get("scenario", 0.0));
+      // occupancy: 0 = Bernoulli (paper Eq. 8, default), 1 = contiguous.
+      const double occupancy = props.get("occupancy", 0.0);
+      if (occupancy == 1.0) {
+        u.occupancy = ReuseOccupancy::kContiguous;
+      } else if (occupancy != 0.0) {
+        throw SemanticError(context +
+                            ": occupancy must be 0 (bernoulli) or 1 "
+                            "(contiguous)");
+      }
+      props.reject_unknown();
+      target->patterns.emplace_back(u);
+    } else {
+      throw SemanticError(context + ": unknown pattern kind '" + pattern.kind +
+                          "' (expected stream|random|template|reuse)");
+    }
+  }
+
+  return spec;
+}
+
+}  // namespace
+
+const Machine& CompiledProgram::machine(std::string_view name) const {
+  for (const Machine& m : machines) {
+    if (m.name == name) {
+      return m;
+    }
+  }
+  throw SemanticError("no machine named '" + std::string(name) + "'");
+}
+
+const ModelSpec& CompiledProgram::model(std::string_view name) const {
+  for (const ModelSpec& m : models) {
+    if (m.name == name) {
+      return m;
+    }
+  }
+  throw SemanticError("no model named '" + std::string(name) + "'");
+}
+
+CompiledProgram analyze(const Program& program) {
+  CompiledProgram out;
+
+  for (const ParamDecl& param : program.params) {
+    if (out.params.count(param.name) != 0) {
+      throw SemanticError("duplicate parameter '" + param.name + "'");
+    }
+    out.params[param.name] = evaluate(*param.value, out.params);
+  }
+
+  for (const MachineDecl& machine : program.machines) {
+    for (const Machine& existing : out.machines) {
+      if (existing.name == machine.name) {
+        throw SemanticError("duplicate machine '" + machine.name + "'");
+      }
+    }
+    out.machines.push_back(lower_machine(machine, out.params));
+  }
+
+  for (const ModelDecl& model : program.models) {
+    for (const ModelSpec& existing : out.models) {
+      if (existing.name == model.name) {
+        throw SemanticError("duplicate model '" + model.name + "'");
+      }
+    }
+    out.models.push_back(lower_model(model, out.params));
+  }
+
+  return out;
+}
+
+CompiledProgram compile(std::string_view source) {
+  return analyze(parse(source));
+}
+
+CompiledProgram compile_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw Error("cannot open model file: " + path);
+  }
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  return compile(contents.str());
+}
+
+}  // namespace dvf::dsl

@@ -1,0 +1,42 @@
+// Semantic analysis and lowering: AST → machines + typed ModelSpecs.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dvf/dsl/ast.hpp"
+#include "dvf/dvf/model_spec.hpp"
+#include "dvf/machine/machine.hpp"
+
+namespace dvf::dsl {
+
+/// The result of compiling a DSL program.
+struct CompiledProgram {
+  std::map<std::string, double> params;
+  std::vector<Machine> machines;
+  std::vector<ModelSpec> models;
+
+  /// Named lookups; throw SemanticError when absent.
+  [[nodiscard]] const Machine& machine(std::string_view name) const;
+  [[nodiscard]] const ModelSpec& model(std::string_view name) const;
+};
+
+/// Evaluates an expression against a parameter environment. Exposed for the
+/// expression-evaluator tests. Throws SemanticError on unknown identifiers
+/// or division by zero.
+[[nodiscard]] double evaluate(const Expr& expr,
+                              const std::map<std::string, double>& env);
+
+/// Analyzes a parsed program. Throws SemanticError on duplicate names,
+/// unknown properties, missing required properties, or invalid values.
+[[nodiscard]] CompiledProgram analyze(const Program& program);
+
+/// Convenience: parse + analyze.
+[[nodiscard]] CompiledProgram compile(std::string_view source);
+
+/// Reads and compiles a model file. Throws Error when unreadable.
+[[nodiscard]] CompiledProgram compile_file(const std::string& path);
+
+}  // namespace dvf::dsl

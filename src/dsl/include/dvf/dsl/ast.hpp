@@ -1,0 +1,99 @@
+// Abstract syntax tree of the Aspen-extended resilience modeling DSL.
+//
+// Grammar sketch (see models/*.aspen for concrete programs):
+//
+//   program      := (param | machine | model)*
+//   param        := 'param' IDENT '=' expr ';'
+//   machine      := 'machine' STRING '{' ('cache'|'memory') '{' kv* '}' ... '}'
+//   model        := 'model' STRING '{' model_item* '}'
+//   model_item   := 'time' expr ';'
+//                 | 'order' STRING ';'
+//                 | 'data' IDENT '{' kv* '}'
+//                 | 'pattern' IDENT IDENT '{' (kv | tuplekv)* '}'
+//   kv           := IDENT expr ';'
+//   tuplekv      := IDENT '(' expr (',' expr)* ')' ';'
+//   expr         := standard arithmetic over numbers and params
+//                   (+ - * / % ^, unary -, parentheses)
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dvf::dsl {
+
+/// Arithmetic expression node.
+struct Expr {
+  enum class Kind { kNumber, kIdentifier, kUnary, kBinary };
+
+  Kind kind = Kind::kNumber;
+  double number = 0.0;      ///< kNumber
+  std::string identifier;   ///< kIdentifier
+  char op = 0;              ///< kUnary ('-') / kBinary ('+','-','*','/','%','^')
+  std::unique_ptr<Expr> lhs;
+  std::unique_ptr<Expr> rhs;
+  int line = 0;
+  int column = 0;
+};
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// IDENT expr ';' — a scalar property.
+struct KeyValue {
+  std::string key;
+  ExprPtr value;
+  int line = 0;
+  int column = 0;
+};
+
+/// IDENT '(' expr, ... ')' ';' — a tuple property (template start/end).
+struct KeyTuple {
+  std::string key;
+  std::vector<ExprPtr> values;
+  int line = 0;
+  int column = 0;
+};
+
+struct ParamDecl {
+  std::string name;
+  ExprPtr value;
+  int line = 0;
+};
+
+struct MachineDecl {
+  std::string name;
+  std::vector<KeyValue> cache;   ///< associativity / sets / line
+  std::vector<KeyValue> memory;  ///< fit (or ecc via fit value)
+  std::string ecc;               ///< optional: 'ecc "secded";' in memory block
+  int line = 0;
+};
+
+struct DataDecl {
+  std::string name;
+  std::vector<KeyValue> properties;  ///< elements, element_size
+  int line = 0;
+};
+
+struct PatternDecl {
+  std::string target;  ///< data structure name
+  std::string kind;    ///< stream | random | template | reuse
+  std::vector<KeyValue> properties;
+  std::vector<KeyTuple> tuples;  ///< template start/end tuples
+  int line = 0;
+};
+
+struct ModelDecl {
+  std::string name;
+  ExprPtr time;  ///< optional execution time (seconds)
+  std::string order;  ///< optional access-order string, e.g. "r(Ap)p(xp)"
+  std::vector<DataDecl> data;
+  std::vector<PatternDecl> patterns;
+  int line = 0;
+};
+
+struct Program {
+  std::vector<ParamDecl> params;
+  std::vector<MachineDecl> machines;
+  std::vector<ModelDecl> models;
+};
+
+}  // namespace dvf::dsl

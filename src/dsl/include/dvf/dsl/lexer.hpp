@@ -1,0 +1,20 @@
+// Lexer for the Aspen-extended resilience modeling DSL.
+//
+// Supports: identifiers, numeric literals with scientific notation and
+// KB/MB/GB binary suffixes, double-quoted strings, // and /* */ comments,
+// and the operator/punctuation set of the expression grammar.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "dvf/dsl/token.hpp"
+
+namespace dvf::dsl {
+
+/// Tokenizes the whole source; the trailing token is always kEndOfFile.
+/// Throws ParseError on malformed input (bad character, unterminated string
+/// or comment, malformed number).
+[[nodiscard]] std::vector<Token> tokenize(std::string_view source);
+
+}  // namespace dvf::dsl

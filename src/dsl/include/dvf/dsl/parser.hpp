@@ -1,0 +1,13 @@
+// Recursive-descent parser for the Aspen-extended DSL.
+#pragma once
+
+#include <string_view>
+
+#include "dvf/dsl/ast.hpp"
+
+namespace dvf::dsl {
+
+/// Parses a whole program. Throws ParseError with source positions.
+[[nodiscard]] Program parse(std::string_view source);
+
+}  // namespace dvf::dsl

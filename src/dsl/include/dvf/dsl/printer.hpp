@@ -1,0 +1,19 @@
+// Canonical pretty-printer for DSL programs: formats an AST back to source
+// text that re-parses to an equivalent program (round-trip tested). Used by
+// the CLI's `fmt` command and as a debugging aid.
+#pragma once
+
+#include <string>
+
+#include "dvf/dsl/ast.hpp"
+
+namespace dvf::dsl {
+
+/// Formats an expression with minimal parentheses.
+[[nodiscard]] std::string print(const Expr& expr);
+
+/// Formats a whole program in canonical style (two-space indent, one
+/// declaration per line, ';'-terminated properties).
+[[nodiscard]] std::string print(const Program& program);
+
+}  // namespace dvf::dsl

@@ -1,0 +1,44 @@
+// Tokens of the Aspen-extended resilience modeling DSL.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dvf::dsl {
+
+enum class TokenKind {
+  kIdentifier,  ///< keywords are contextual identifiers
+  kNumber,      ///< numeric literal, value already scaled by any KB/MB suffix
+  kString,      ///< double-quoted
+  kLBrace,
+  kRBrace,
+  kLParen,
+  kRParen,
+  kComma,
+  kSemicolon,
+  kEquals,
+  kColon,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kPercent,
+  kCaret,
+  kEndOfFile,
+};
+
+[[nodiscard]] const char* to_string(TokenKind kind) noexcept;
+
+struct Token {
+  TokenKind kind = TokenKind::kEndOfFile;
+  std::string text;     ///< identifier / string contents / literal spelling
+  double number = 0.0;  ///< for kNumber
+  int line = 0;
+  int column = 0;
+
+  [[nodiscard]] bool is_word(const char* word) const {
+    return kind == TokenKind::kIdentifier && text == word;
+  }
+};
+
+}  // namespace dvf::dsl

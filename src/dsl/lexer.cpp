@@ -1,0 +1,254 @@
+#include "dvf/dsl/lexer.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+
+#include "dvf/common/error.hpp"
+
+namespace dvf::dsl {
+
+const char* to_string(TokenKind kind) noexcept {
+  switch (kind) {
+    case TokenKind::kIdentifier: return "identifier";
+    case TokenKind::kNumber: return "number";
+    case TokenKind::kString: return "string";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kSemicolon: return "';'";
+    case TokenKind::kEquals: return "'='";
+    case TokenKind::kColon: return "':'";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kPercent: return "'%'";
+    case TokenKind::kCaret: return "'^'";
+    case TokenKind::kEndOfFile: return "end of file";
+  }
+  return "?";
+}
+
+namespace {
+
+class Cursor {
+ public:
+  explicit Cursor(std::string_view source) : source_(source) {}
+
+  [[nodiscard]] bool done() const noexcept { return pos_ >= source_.size(); }
+  [[nodiscard]] char peek(std::size_t ahead = 0) const noexcept {
+    return pos_ + ahead < source_.size() ? source_[pos_ + ahead] : '\0';
+  }
+  char advance() noexcept {
+    const char ch = source_[pos_++];
+    if (ch == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return ch;
+  }
+  [[nodiscard]] int line() const noexcept { return line_; }
+  [[nodiscard]] int column() const noexcept { return column_; }
+
+ private:
+  std::string_view source_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+bool is_ident_start(char ch) {
+  return std::isalpha(static_cast<unsigned char>(ch)) || ch == '_';
+}
+bool is_ident_char(char ch) {
+  return std::isalnum(static_cast<unsigned char>(ch)) || ch == '_';
+}
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view source) {
+  std::vector<Token> tokens;
+  Cursor cur(source);
+
+  const auto simple = [&](TokenKind kind, int line, int column) {
+    Token t;
+    t.kind = kind;
+    t.line = line;
+    t.column = column;
+    tokens.push_back(std::move(t));
+  };
+
+  while (!cur.done()) {
+    const int line = cur.line();
+    const int column = cur.column();
+    const char ch = cur.peek();
+
+    if (std::isspace(static_cast<unsigned char>(ch))) {
+      cur.advance();
+      continue;
+    }
+
+    // Comments.
+    if (ch == '/' && cur.peek(1) == '/') {
+      while (!cur.done() && cur.peek() != '\n') {
+        cur.advance();
+      }
+      continue;
+    }
+    if (ch == '/' && cur.peek(1) == '*') {
+      cur.advance();
+      cur.advance();
+      bool closed = false;
+      while (!cur.done()) {
+        if (cur.peek() == '*' && cur.peek(1) == '/') {
+          cur.advance();
+          cur.advance();
+          closed = true;
+          break;
+        }
+        cur.advance();
+      }
+      if (!closed) {
+        throw ParseError("unterminated block comment", line, column);
+      }
+      continue;
+    }
+
+    // Identifiers / keywords.
+    if (is_ident_start(ch)) {
+      std::string word;
+      while (!cur.done() && is_ident_char(cur.peek())) {
+        word += cur.advance();
+      }
+      Token t;
+      t.kind = TokenKind::kIdentifier;
+      t.text = std::move(word);
+      t.line = line;
+      t.column = column;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+
+    // Numbers: digits [. digits] [e[+-]digits] [KB|MB|GB].
+    if (std::isdigit(static_cast<unsigned char>(ch)) ||
+        (ch == '.' && std::isdigit(static_cast<unsigned char>(cur.peek(1))))) {
+      std::string literal;
+      while (std::isdigit(static_cast<unsigned char>(cur.peek()))) {
+        literal += cur.advance();
+      }
+      if (cur.peek() == '.' &&
+          std::isdigit(static_cast<unsigned char>(cur.peek(1)))) {
+        literal += cur.advance();
+        while (std::isdigit(static_cast<unsigned char>(cur.peek()))) {
+          literal += cur.advance();
+        }
+      }
+      if ((cur.peek() == 'e' || cur.peek() == 'E') &&
+          (std::isdigit(static_cast<unsigned char>(cur.peek(1))) ||
+           ((cur.peek(1) == '+' || cur.peek(1) == '-') &&
+            std::isdigit(static_cast<unsigned char>(cur.peek(2)))))) {
+        literal += cur.advance();
+        if (cur.peek() == '+' || cur.peek() == '-') {
+          literal += cur.advance();
+        }
+        while (std::isdigit(static_cast<unsigned char>(cur.peek()))) {
+          literal += cur.advance();
+        }
+      }
+
+      double value = 0.0;
+      const char* begin = literal.c_str();
+      char* end = nullptr;
+      value = std::strtod(begin, &end);
+      if (end != begin + literal.size()) {
+        throw ParseError("malformed numeric literal '" + literal + "'", line,
+                         column);
+      }
+
+      // Binary size suffix (must immediately follow the digits).
+      double scale = 1.0;
+      if ((cur.peek() == 'K' || cur.peek() == 'M' || cur.peek() == 'G') &&
+          cur.peek(1) == 'B') {
+        const char prefix = cur.advance();
+        cur.advance();  // 'B'
+        scale = prefix == 'K' ? 1024.0 : prefix == 'M' ? 1048576.0
+                                                       : 1073741824.0;
+        literal += prefix;
+        literal += 'B';
+      }
+
+      Token t;
+      t.kind = TokenKind::kNumber;
+      t.text = std::move(literal);
+      t.number = value * scale;
+      t.line = line;
+      t.column = column;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+
+    // Strings.
+    if (ch == '"') {
+      cur.advance();
+      std::string contents;
+      bool closed = false;
+      while (!cur.done()) {
+        const char c = cur.advance();
+        if (c == '"') {
+          closed = true;
+          break;
+        }
+        if (c == '\\' && cur.peek() == '"') {
+          contents += cur.advance();
+          continue;
+        }
+        contents += c;
+      }
+      if (!closed) {
+        throw ParseError("unterminated string literal", line, column);
+      }
+      Token t;
+      t.kind = TokenKind::kString;
+      t.text = std::move(contents);
+      t.line = line;
+      t.column = column;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+
+    cur.advance();
+    switch (ch) {
+      case '{': simple(TokenKind::kLBrace, line, column); break;
+      case '}': simple(TokenKind::kRBrace, line, column); break;
+      case '(': simple(TokenKind::kLParen, line, column); break;
+      case ')': simple(TokenKind::kRParen, line, column); break;
+      case ',': simple(TokenKind::kComma, line, column); break;
+      case ';': simple(TokenKind::kSemicolon, line, column); break;
+      case '=': simple(TokenKind::kEquals, line, column); break;
+      case ':': simple(TokenKind::kColon, line, column); break;
+      case '+': simple(TokenKind::kPlus, line, column); break;
+      case '-': simple(TokenKind::kMinus, line, column); break;
+      case '*': simple(TokenKind::kStar, line, column); break;
+      case '/': simple(TokenKind::kSlash, line, column); break;
+      case '%': simple(TokenKind::kPercent, line, column); break;
+      case '^': simple(TokenKind::kCaret, line, column); break;
+      default:
+        throw ParseError(std::string("unexpected character '") + ch + "'",
+                         line, column);
+    }
+  }
+
+  Token eof;
+  eof.kind = TokenKind::kEndOfFile;
+  eof.line = cur.line();
+  eof.column = cur.column();
+  tokens.push_back(std::move(eof));
+  return tokens;
+}
+
+}  // namespace dvf::dsl

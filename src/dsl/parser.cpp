@@ -1,0 +1,311 @@
+#include "dvf/dsl/parser.hpp"
+
+#include <utility>
+
+#include "dvf/common/error.hpp"
+#include "dvf/dsl/lexer.hpp"
+
+namespace dvf::dsl {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Program parse_program() {
+    Program program;
+    while (!at(TokenKind::kEndOfFile)) {
+      if (peek().is_word("param")) {
+        program.params.push_back(parse_param());
+      } else if (peek().is_word("machine")) {
+        program.machines.push_back(parse_machine());
+      } else if (peek().is_word("model")) {
+        program.models.push_back(parse_model());
+      } else {
+        fail("expected 'param', 'machine' or 'model'");
+      }
+    }
+    return program;
+  }
+
+ private:
+  [[nodiscard]] const Token& peek(std::size_t ahead = 0) const {
+    const std::size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  [[nodiscard]] bool at(TokenKind kind) const { return peek().kind == kind; }
+  const Token& advance() { return tokens_[pos_++]; }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw ParseError(message + " (found " +
+                         std::string(to_string(peek().kind)) +
+                         (peek().kind == TokenKind::kIdentifier
+                              ? " '" + peek().text + "'"
+                              : "") +
+                         ")",
+                     peek().line, peek().column);
+  }
+
+  const Token& expect(TokenKind kind, const char* what) {
+    if (!at(kind)) {
+      fail(std::string("expected ") + what);
+    }
+    return advance();
+  }
+
+  const Token& expect_word(const char* word) {
+    if (!peek().is_word(word)) {
+      fail(std::string("expected '") + word + "'");
+    }
+    return advance();
+  }
+
+  void expect_semicolon() { expect(TokenKind::kSemicolon, "';'"); }
+
+  // ---- expressions -------------------------------------------------------
+
+  ExprPtr parse_expr() { return parse_additive(); }
+
+  ExprPtr parse_additive() {
+    ExprPtr lhs = parse_multiplicative();
+    while (at(TokenKind::kPlus) || at(TokenKind::kMinus)) {
+      const Token& op = advance();
+      ExprPtr rhs = parse_multiplicative();
+      lhs = make_binary(op.kind == TokenKind::kPlus ? '+' : '-',
+                        std::move(lhs), std::move(rhs), op);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_multiplicative() {
+    ExprPtr lhs = parse_power();
+    while (at(TokenKind::kStar) || at(TokenKind::kSlash) ||
+           at(TokenKind::kPercent)) {
+      const Token& op = advance();
+      ExprPtr rhs = parse_power();
+      const char ch = op.kind == TokenKind::kStar    ? '*'
+                      : op.kind == TokenKind::kSlash ? '/'
+                                                     : '%';
+      lhs = make_binary(ch, std::move(lhs), std::move(rhs), op);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_power() {
+    ExprPtr base = parse_unary();
+    if (at(TokenKind::kCaret)) {
+      const Token& op = advance();
+      // Right-associative.
+      ExprPtr exponent = parse_power();
+      return make_binary('^', std::move(base), std::move(exponent), op);
+    }
+    return base;
+  }
+
+  ExprPtr parse_unary() {
+    if (at(TokenKind::kMinus)) {
+      const Token& op = advance();
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kUnary;
+      node->op = '-';
+      node->lhs = parse_unary();
+      node->line = op.line;
+      node->column = op.column;
+      return node;
+    }
+    return parse_primary();
+  }
+
+  ExprPtr parse_primary() {
+    if (at(TokenKind::kNumber)) {
+      const Token& t = advance();
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kNumber;
+      node->number = t.number;
+      node->line = t.line;
+      node->column = t.column;
+      return node;
+    }
+    if (at(TokenKind::kIdentifier)) {
+      const Token& t = advance();
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kIdentifier;
+      node->identifier = t.text;
+      node->line = t.line;
+      node->column = t.column;
+      return node;
+    }
+    if (at(TokenKind::kLParen)) {
+      advance();
+      ExprPtr inner = parse_expr();
+      expect(TokenKind::kRParen, "')'");
+      return inner;
+    }
+    fail("expected a number, parameter name or '('");
+  }
+
+  static ExprPtr make_binary(char op, ExprPtr lhs, ExprPtr rhs,
+                             const Token& at_token) {
+    auto node = std::make_unique<Expr>();
+    node->kind = Expr::Kind::kBinary;
+    node->op = op;
+    node->lhs = std::move(lhs);
+    node->rhs = std::move(rhs);
+    node->line = at_token.line;
+    node->column = at_token.column;
+    return node;
+  }
+
+  // ---- declarations ------------------------------------------------------
+
+  KeyValue parse_key_value() {
+    const Token& key = expect(TokenKind::kIdentifier, "a property name");
+    KeyValue kv;
+    kv.key = key.text;
+    kv.line = key.line;
+    kv.column = key.column;
+    // Optional '=' between key and value.
+    if (at(TokenKind::kEquals)) {
+      advance();
+    }
+    kv.value = parse_expr();
+    expect_semicolon();
+    return kv;
+  }
+
+  ParamDecl parse_param() {
+    const Token& kw = expect_word("param");
+    ParamDecl decl;
+    decl.line = kw.line;
+    decl.name = expect(TokenKind::kIdentifier, "a parameter name").text;
+    expect(TokenKind::kEquals, "'='");
+    decl.value = parse_expr();
+    expect_semicolon();
+    return decl;
+  }
+
+  MachineDecl parse_machine() {
+    const Token& kw = expect_word("machine");
+    MachineDecl decl;
+    decl.line = kw.line;
+    decl.name = expect(TokenKind::kString, "a machine name string").text;
+    expect(TokenKind::kLBrace, "'{'");
+    while (!at(TokenKind::kRBrace)) {
+      if (peek().is_word("cache")) {
+        advance();
+        expect(TokenKind::kLBrace, "'{'");
+        while (!at(TokenKind::kRBrace)) {
+          decl.cache.push_back(parse_key_value());
+        }
+        advance();
+      } else if (peek().is_word("memory")) {
+        advance();
+        expect(TokenKind::kLBrace, "'{'");
+        while (!at(TokenKind::kRBrace)) {
+          if (peek().is_word("ecc") && peek(1).kind == TokenKind::kString) {
+            advance();
+            decl.ecc = advance().text;
+            expect_semicolon();
+          } else {
+            decl.memory.push_back(parse_key_value());
+          }
+        }
+        advance();
+      } else {
+        fail("expected 'cache' or 'memory' in machine block");
+      }
+    }
+    advance();  // '}'
+    return decl;
+  }
+
+  DataDecl parse_data() {
+    const Token& kw = expect_word("data");
+    DataDecl decl;
+    decl.line = kw.line;
+    decl.name = expect(TokenKind::kIdentifier, "a data structure name").text;
+    expect(TokenKind::kLBrace, "'{'");
+    while (!at(TokenKind::kRBrace)) {
+      decl.properties.push_back(parse_key_value());
+    }
+    advance();
+    return decl;
+  }
+
+  PatternDecl parse_pattern() {
+    const Token& kw = expect_word("pattern");
+    PatternDecl decl;
+    decl.line = kw.line;
+    decl.target = expect(TokenKind::kIdentifier, "a data structure name").text;
+    decl.kind = expect(TokenKind::kIdentifier,
+                       "a pattern kind (stream|random|template|reuse)")
+                    .text;
+    expect(TokenKind::kLBrace, "'{'");
+    while (!at(TokenKind::kRBrace)) {
+      // Tuple property: IDENT '(' ... ')' ';'
+      if (at(TokenKind::kIdentifier) && peek(1).kind == TokenKind::kLParen) {
+        const Token& key = advance();
+        KeyTuple tuple;
+        tuple.key = key.text;
+        tuple.line = key.line;
+        tuple.column = key.column;
+        advance();  // '('
+        tuple.values.push_back(parse_expr());
+        while (at(TokenKind::kComma)) {
+          advance();
+          tuple.values.push_back(parse_expr());
+        }
+        expect(TokenKind::kRParen, "')'");
+        expect_semicolon();
+        decl.tuples.push_back(std::move(tuple));
+      } else {
+        decl.properties.push_back(parse_key_value());
+      }
+    }
+    advance();
+    return decl;
+  }
+
+  ModelDecl parse_model() {
+    const Token& kw = expect_word("model");
+    ModelDecl decl;
+    decl.line = kw.line;
+    decl.name = expect(TokenKind::kString, "a model name string").text;
+    expect(TokenKind::kLBrace, "'{'");
+    while (!at(TokenKind::kRBrace)) {
+      if (peek().is_word("time")) {
+        advance();
+        if (at(TokenKind::kEquals)) {
+          advance();
+        }
+        decl.time = parse_expr();
+        expect_semicolon();
+      } else if (peek().is_word("order")) {
+        advance();
+        decl.order = expect(TokenKind::kString, "an access-order string").text;
+        expect_semicolon();
+      } else if (peek().is_word("data")) {
+        decl.data.push_back(parse_data());
+      } else if (peek().is_word("pattern")) {
+        decl.patterns.push_back(parse_pattern());
+      } else {
+        fail("expected 'time', 'order', 'data' or 'pattern' in model block");
+      }
+    }
+    advance();
+    return decl;
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Program parse(std::string_view source) {
+  Parser parser(tokenize(source));
+  return parser.parse_program();
+}
+
+}  // namespace dvf::dsl

@@ -1,0 +1,143 @@
+#include "dvf/dsl/printer.hpp"
+
+#include <sstream>
+
+#include "dvf/common/string_util.hpp"
+
+namespace dvf::dsl {
+
+namespace {
+
+/// Binding strength for parenthesization decisions.
+int precedence(const Expr& expr) {
+  switch (expr.kind) {
+    case Expr::Kind::kNumber:
+    case Expr::Kind::kIdentifier:
+      return 100;
+    case Expr::Kind::kUnary:
+      return 30;
+    case Expr::Kind::kBinary:
+      switch (expr.op) {
+        case '^': return 40;
+        case '*':
+        case '/':
+        case '%': return 20;
+        default: return 10;  // + -
+      }
+  }
+  return 0;
+}
+
+void print_expr(const Expr& expr, std::ostringstream& out) {
+  const auto child = [&](const Expr& sub, bool needs_parens) {
+    if (needs_parens) {
+      out << '(';
+      print_expr(sub, out);
+      out << ')';
+    } else {
+      print_expr(sub, out);
+    }
+  };
+
+  switch (expr.kind) {
+    case Expr::Kind::kNumber:
+      out << format_significant(expr.number, 17);
+      return;
+    case Expr::Kind::kIdentifier:
+      out << expr.identifier;
+      return;
+    case Expr::Kind::kUnary:
+      out << '-';
+      child(*expr.lhs, precedence(*expr.lhs) < precedence(expr));
+      return;
+    case Expr::Kind::kBinary: {
+      const int prec = precedence(expr);
+      // Left child needs parens when strictly weaker; right child also when
+      // equal (all our binary operators are left-associative except '^',
+      // which is right-associative — mirror that).
+      const bool right_assoc = expr.op == '^';
+      child(*expr.lhs,
+            precedence(*expr.lhs) < prec + (right_assoc ? 1 : 0));
+      out << ' ' << expr.op << ' ';
+      child(*expr.rhs,
+            precedence(*expr.rhs) < prec + (right_assoc ? 0 : 1));
+      return;
+    }
+  }
+}
+
+void print_key_values(const std::vector<KeyValue>& kvs, int indent,
+                      std::ostringstream& out) {
+  for (const KeyValue& kv : kvs) {
+    out << std::string(static_cast<std::size_t>(indent), ' ') << kv.key << ' '
+        << print(*kv.value) << ";\n";
+  }
+}
+
+}  // namespace
+
+std::string print(const Expr& expr) {
+  std::ostringstream out;
+  print_expr(expr, out);
+  return out.str();
+}
+
+std::string print(const Program& program) {
+  std::ostringstream out;
+
+  for (const ParamDecl& param : program.params) {
+    out << "param " << param.name << " = " << print(*param.value) << ";\n";
+  }
+  if (!program.params.empty()) {
+    out << '\n';
+  }
+
+  for (const MachineDecl& machine : program.machines) {
+    out << "machine \"" << machine.name << "\" {\n";
+    out << "  cache {\n";
+    print_key_values(machine.cache, 4, out);
+    out << "  }\n";
+    out << "  memory {\n";
+    if (!machine.ecc.empty()) {
+      out << "    ecc \"" << machine.ecc << "\";\n";
+    }
+    print_key_values(machine.memory, 4, out);
+    out << "  }\n";
+    out << "}\n\n";
+  }
+
+  for (const ModelDecl& model : program.models) {
+    out << "model \"" << model.name << "\" {\n";
+    if (model.time) {
+      out << "  time " << print(*model.time) << ";\n";
+    }
+    if (!model.order.empty()) {
+      out << "  order \"" << model.order << "\";\n";
+    }
+    for (const DataDecl& data : model.data) {
+      out << "  data " << data.name << " {\n";
+      print_key_values(data.properties, 4, out);
+      out << "  }\n";
+    }
+    for (const PatternDecl& pattern : model.patterns) {
+      out << "  pattern " << pattern.target << ' ' << pattern.kind << " {\n";
+      for (const KeyTuple& tuple : pattern.tuples) {
+        out << "    " << tuple.key << " (";
+        for (std::size_t i = 0; i < tuple.values.size(); ++i) {
+          if (i != 0) {
+            out << ", ";
+          }
+          out << print(*tuple.values[i]);
+        }
+        out << ");\n";
+      }
+      print_key_values(pattern.properties, 4, out);
+      out << "  }\n";
+    }
+    out << "}\n";
+  }
+
+  return out.str();
+}
+
+}  // namespace dvf::dsl

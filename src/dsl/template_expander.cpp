@@ -1,0 +1,105 @@
+#include "dvf/dsl/template_expander.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "dvf/common/error.hpp"
+
+namespace dvf::dsl {
+
+std::vector<std::uint64_t> expand_progression(
+    std::span<const std::int64_t> start, std::int64_t step,
+    std::uint64_t count) {
+  DVF_CHECK_MSG(!start.empty(), "template progression needs a start tuple");
+  DVF_CHECK_MSG(count >= 1, "template progression needs count >= 1");
+
+  std::vector<std::uint64_t> out;
+  out.reserve(start.size() * count);
+  for (std::uint64_t r = 0; r < count; ++r) {
+    const std::int64_t offset = static_cast<std::int64_t>(r) * step;
+    for (const std::int64_t s : start) {
+      const std::int64_t idx = s + offset;
+      DVF_CHECK_MSG(idx >= 0, "template progression references a negative "
+                              "element index");
+      out.push_back(static_cast<std::uint64_t>(idx));
+    }
+  }
+  return out;
+}
+
+std::uint64_t AccessOrder::appearances(std::string_view name) const {
+  std::uint64_t n = 0;
+  for (const AccessPhase& phase : phases) {
+    n += static_cast<std::uint64_t>(
+        std::count(phase.begin(), phase.end(), std::string(name)));
+  }
+  return n;
+}
+
+std::vector<std::string> AccessOrder::concurrent_with(
+    std::string_view name) const {
+  std::vector<std::string> out;
+  for (const AccessPhase& phase : phases) {
+    const bool has_name =
+        std::find(phase.begin(), phase.end(), std::string(name)) != phase.end();
+    if (!has_name) {
+      continue;
+    }
+    for (const std::string& other : phase) {
+      if (other != name &&
+          std::find(out.begin(), out.end(), other) == out.end()) {
+        out.push_back(other);
+      }
+    }
+  }
+  return out;
+}
+
+AccessOrder parse_access_order(std::string_view text) {
+  AccessOrder order;
+  bool in_group = false;
+  AccessPhase group;
+  int column = 0;
+  for (const char ch : text) {
+    ++column;
+    if (std::isspace(static_cast<unsigned char>(ch))) {
+      continue;
+    }
+    if (ch == '(') {
+      if (in_group) {
+        throw ParseError("nested '(' in access-order string", 1, column);
+      }
+      in_group = true;
+      group.clear();
+      continue;
+    }
+    if (ch == ')') {
+      if (!in_group) {
+        throw ParseError("unmatched ')' in access-order string", 1, column);
+      }
+      if (group.empty()) {
+        throw ParseError("empty group in access-order string", 1, column);
+      }
+      order.phases.push_back(group);
+      in_group = false;
+      continue;
+    }
+    if (std::isalnum(static_cast<unsigned char>(ch)) || ch == '_') {
+      if (in_group) {
+        group.emplace_back(1, ch);
+      } else {
+        order.phases.push_back({std::string(1, ch)});
+      }
+      continue;
+    }
+    throw ParseError(std::string("unexpected character '") + ch +
+                         "' in access-order string",
+                     1, column);
+  }
+  if (in_group) {
+    throw ParseError("unterminated '(' in access-order string", 1, column);
+  }
+  return order;
+}
+
+}  // namespace dvf::dsl

@@ -1,0 +1,67 @@
+#include "dvf/dvf/calculator.hpp"
+
+#include <utility>
+
+#include "dvf/common/error.hpp"
+#include "dvf/common/math.hpp"
+#include "dvf/common/units.hpp"
+#include "dvf/patterns/estimate.hpp"
+
+namespace dvf {
+
+const StructureDvf* ApplicationDvf::find(const std::string& name) const {
+  for (const auto& s : structures) {
+    if (s.name == name) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+DvfCalculator::DvfCalculator(Machine machine) : machine_(std::move(machine)) {}
+
+double DvfCalculator::main_memory_accesses(const DataStructureSpec& ds) const {
+  return estimate_accesses(std::span<const PatternSpec>(ds.patterns),
+                           machine_.llc);
+}
+
+StructureDvf DvfCalculator::for_structure(const DataStructureSpec& ds,
+                                          double exec_time_seconds) const {
+  DVF_CHECK_MSG(exec_time_seconds >= 0.0, "execution time must be >= 0");
+  DVF_CHECK_MSG(ds.size_bytes > 0, "data structure size must be positive");
+
+  StructureDvf result;
+  result.name = ds.name;
+  result.size_bytes = static_cast<double>(ds.size_bytes);
+  result.n_ha = main_memory_accesses(ds);
+  result.n_error = expected_errors(machine_.memory.fit(), exec_time_seconds,
+                                   result.size_bytes);
+  result.dvf = result.n_error * result.n_ha;  // Eq. 1
+  return result;
+}
+
+ApplicationDvf DvfCalculator::for_model(const ModelSpec& model) const {
+  if (!model.exec_time_seconds.has_value()) {
+    throw SemanticError("model '" + model.name +
+                        "' has no execution time; measure the kernel or set "
+                        "one in the model");
+  }
+  return for_model(model, *model.exec_time_seconds);
+}
+
+ApplicationDvf DvfCalculator::for_model(const ModelSpec& model,
+                                        double exec_time_seconds) const {
+  ApplicationDvf app;
+  app.model_name = model.name;
+  app.machine_name = machine_.name;
+  app.exec_time_seconds = exec_time_seconds;
+  math::KahanSum total;
+  for (const DataStructureSpec& ds : model.structures) {
+    app.structures.push_back(for_structure(ds, exec_time_seconds));
+    total.add(app.structures.back().dvf);  // Eq. 2
+  }
+  app.total = total.value();
+  return app;
+}
+
+}  // namespace dvf

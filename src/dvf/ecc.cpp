@@ -1,0 +1,56 @@
+#include "dvf/dvf/ecc.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "dvf/common/error.hpp"
+
+namespace dvf {
+
+EccTradeoffExplorer::EccTradeoffExplorer(Machine machine, ModelSpec model)
+    : machine_(std::move(machine)), model_(std::move(model)) {
+  if (!model_.exec_time_seconds.has_value()) {
+    throw SemanticError("ECC trade-off study needs a model with an execution "
+                        "time");
+  }
+}
+
+std::vector<EccTradeoffPoint> EccTradeoffExplorer::sweep(
+    const EccSweepConfig& config) const {
+  DVF_CHECK_MSG(config.step > 0.0, "sweep step must be positive");
+  DVF_CHECK_MSG(config.max_degradation >= 0.0,
+                "max degradation must be non-negative");
+  DVF_CHECK_MSG(config.full_coverage_degradation > 0.0,
+                "full-coverage degradation must be positive");
+
+  const double protected_fit = fit_rate(config.scheme);
+  const double base_time = *model_.exec_time_seconds;
+
+  std::vector<EccTradeoffPoint> points;
+  for (double d = 0.0; d <= config.max_degradation + 1e-12; d += config.step) {
+    EccTradeoffPoint pt;
+    pt.degradation = d;
+    pt.coverage = std::min(1.0, d / config.full_coverage_degradation);
+    pt.effective_fit = config.raw_fit * (1.0 - pt.coverage) +
+                       protected_fit * pt.coverage;
+
+    Machine m(machine_.name, machine_.llc, MemoryModel(pt.effective_fit));
+    const DvfCalculator calc(std::move(m));
+    pt.dvf = calc.for_model(model_, base_time * (1.0 + d)).total;
+    points.push_back(pt);
+  }
+  return points;
+}
+
+double EccTradeoffExplorer::optimal_degradation(
+    const std::vector<EccTradeoffPoint>& points) {
+  DVF_CHECK_MSG(!points.empty(), "sweep produced no points");
+  const auto best = std::min_element(
+      points.begin(), points.end(),
+      [](const EccTradeoffPoint& a, const EccTradeoffPoint& b) {
+        return a.dvf < b.dvf;
+      });
+  return best->degradation;
+}
+
+}  // namespace dvf

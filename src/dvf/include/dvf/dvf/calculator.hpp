@@ -1,0 +1,62 @@
+// The DVF calculator: Eq. 1 (per data structure) and Eq. 2 (application).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dvf/dvf/model_spec.hpp"
+#include "dvf/machine/machine.hpp"
+
+namespace dvf {
+
+/// DVF of one data structure, with the intermediate terms of Eq. 1 exposed
+/// for reporting: DVF_d = N_error * N_ha = FIT * T * S_d * N_ha.
+struct StructureDvf {
+  std::string name;
+  double size_bytes = 0.0;   ///< S_d
+  double n_ha = 0.0;         ///< estimated main-memory accesses
+  double n_error = 0.0;      ///< FIT * T * S_d (unit-converted)
+  double dvf = 0.0;          ///< N_error * N_ha
+};
+
+/// DVF of an application (Eq. 2): the per-structure results plus their sum.
+struct ApplicationDvf {
+  std::string model_name;
+  std::string machine_name;
+  double exec_time_seconds = 0.0;
+  std::vector<StructureDvf> structures;
+  double total = 0.0;  ///< DVF_a
+
+  /// Per-structure lookup (nullptr when absent).
+  [[nodiscard]] const StructureDvf* find(const std::string& name) const;
+};
+
+/// Evaluates models against one machine. Stateless apart from the machine;
+/// safe to share across threads.
+class DvfCalculator {
+ public:
+  explicit DvfCalculator(Machine machine);
+
+  /// N_ha of one data structure on this machine's LLC.
+  [[nodiscard]] double main_memory_accesses(const DataStructureSpec& ds) const;
+
+  /// Eq. 1. `exec_time_seconds` is T; throws InvalidArgumentError when
+  /// negative.
+  [[nodiscard]] StructureDvf for_structure(const DataStructureSpec& ds,
+                                           double exec_time_seconds) const;
+
+  /// Eq. 2 over all structures of the model. The model must carry an
+  /// execution time (measured or modeled); throws SemanticError otherwise.
+  [[nodiscard]] ApplicationDvf for_model(const ModelSpec& model) const;
+
+  /// As above but overriding T (used by studies that sweep time).
+  [[nodiscard]] ApplicationDvf for_model(const ModelSpec& model,
+                                         double exec_time_seconds) const;
+
+  [[nodiscard]] const Machine& machine() const noexcept { return machine_; }
+
+ private:
+  Machine machine_;
+};
+
+}  // namespace dvf

@@ -1,0 +1,47 @@
+// Pattern inference: derive an access-pattern spec from a recorded
+// reference stream — the inverse of CGPMAC's forward modeling. Where the
+// paper asks users to classify each structure's accesses by reading the
+// pseudocode (§III-B), this derives the classification from a trace:
+//
+//   1. constant-stride monotone sweeps        -> StreamingSpec (per sweep)
+//   2. a periodic reference string            -> TemplateSpec{base, reps}
+//   3. anything else, within a size budget    -> literal TemplateSpec
+//      (the trace itself is the template: the stack-distance count is then
+//      exact for any fully-associative-LRU-like cache)
+//   4. beyond the budget                      -> RandomSpec with a measured
+//      popularity histogram (IRM)
+//
+// Used by `dvfc infer` and by studies that start from a trace instead of
+// pseudocode.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dvf/dvf/model_spec.hpp"
+#include "dvf/trace/recorder.hpp"
+#include "dvf/trace/trace_io.hpp"
+
+namespace dvf {
+
+struct InferenceOptions {
+  /// Longest reference string kept as a literal template; longer streams
+  /// degrade to the IRM random summary.
+  std::size_t literal_template_limit = 4'000'000;
+};
+
+/// Infers the pattern phases of ONE structure from its element-index
+/// reference string (indices must already be element-granular).
+[[nodiscard]] std::vector<PatternSpec> infer_patterns(
+    std::span<const std::uint64_t> element_indices,
+    std::uint32_t element_bytes, std::uint64_t element_count,
+    const InferenceOptions& options = {});
+
+/// Infers a whole application model from a deserialized trace: one
+/// DataStructureSpec per traced structure, with patterns inferred from its
+/// references. Records not attributable to a structure are ignored.
+[[nodiscard]] ModelSpec infer_model(const TraceFile& trace,
+                                    const InferenceOptions& options = {});
+
+}  // namespace dvf

@@ -1,0 +1,52 @@
+// Application model specifications — the typed form of an Aspen-extended
+// resilience model (what the DSL lowers to, and what the kernels' built-in
+// self-descriptions produce directly).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dvf/patterns/specs.hpp"
+
+namespace dvf {
+
+/// One major data structure of an application: its footprint S_d plus the
+/// composition of access-pattern phases that determines N_ha.
+struct DataStructureSpec {
+  std::string name;
+  std::uint64_t size_bytes = 0;       ///< S_d
+  std::vector<PatternSpec> patterns;  ///< phases; N_ha = sum of estimates
+};
+
+/// An application model: the major data structures (paper: "the combination
+/// of major data structures accounts for most of the working set") plus the
+/// execution time T. `exec_time_seconds` may be filled in later from a
+/// measured kernel run (std::nullopt until then).
+struct ModelSpec {
+  std::string name;
+  std::vector<DataStructureSpec> structures;
+  std::optional<double> exec_time_seconds;  ///< T
+
+  /// Total working-set size of the modeled structures, in bytes.
+  [[nodiscard]] std::uint64_t working_set_bytes() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& ds : structures) {
+      total += ds.size_bytes;
+    }
+    return total;
+  }
+
+  /// Pointer to the named structure, or nullptr.
+  [[nodiscard]] const DataStructureSpec* find(const std::string& ds_name) const {
+    for (const auto& ds : structures) {
+      if (ds.name == ds_name) {
+        return &ds;
+      }
+    }
+    return nullptr;
+  }
+};
+
+}  // namespace dvf

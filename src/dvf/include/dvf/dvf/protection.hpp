@@ -1,0 +1,106 @@
+// Selective protection planning — the optimization DVF exists to enable.
+//
+// The paper's motivation (§I): "selectively apply protection mechanisms to
+// its critical components ... balancing their benefits against the costs of
+// their respective overheads", and §III-A's use cases: "decide whether a
+// specific resilience mechanism provides sufficient protection, given a
+// pre-defined DVF target". This module turns per-structure DVF into those
+// decisions: evaluate a protection assignment, find the minimum-DVF plan
+// within a performance budget, or the cheapest plan meeting a DVF target.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dvf/dvf/calculator.hpp"
+#include "dvf/dvf/model_spec.hpp"
+#include "dvf/machine/machine.hpp"
+
+namespace dvf {
+
+/// A mechanism that can protect ONE data structure (ECC region, software
+/// replication, checksummed container, ...).
+struct ProtectionMechanism {
+  std::string name;
+  /// Multiplies the structure's effective FIT (e.g. chipkill: 0.02/5000).
+  double fit_factor = 1.0;
+  /// Fractional slowdown of accesses to the protected structure. The
+  /// application-level slowdown weights this by the structure's share of
+  /// main-memory traffic, so protecting a cold structure is nearly free.
+  double access_overhead = 0.0;
+
+  /// Table VII presets.
+  static ProtectionMechanism none();
+  static ProtectionMechanism secded(double access_overhead = 0.03);
+  static ProtectionMechanism chipkill(double access_overhead = 0.05);
+  /// Software triple-modular redundancy on the structure's updates: strong
+  /// but expensive (illustrative default costs).
+  static ProtectionMechanism software_tmr(double access_overhead = 0.60);
+};
+
+/// One structure's protection choice within a plan.
+struct ProtectionChoice {
+  std::string structure;
+  std::string mechanism;
+  double structure_dvf = 0.0;  ///< DVF of this structure under the plan
+};
+
+/// A fully evaluated plan.
+struct ProtectionPlan {
+  std::vector<ProtectionChoice> choices;
+  double total_dvf = 0.0;        ///< DVF_a under the plan
+  double time_overhead = 0.0;    ///< fractional slowdown vs the bare run
+  double baseline_dvf = 0.0;     ///< DVF_a with no protection
+  [[nodiscard]] double improvement() const noexcept {
+    return baseline_dvf == 0.0 ? 1.0 : total_dvf / baseline_dvf;
+  }
+};
+
+/// Exhaustive planner (the paper's models have a handful of major
+/// structures, so the mechanism^structure space is small and solved
+/// exactly).
+class ProtectionPlanner {
+ public:
+  /// The model must carry an execution time. Throws SemanticError
+  /// otherwise; InvalidArgumentError when no mechanisms are given.
+  ProtectionPlanner(Machine machine, ModelSpec model,
+                    std::vector<ProtectionMechanism> mechanisms);
+
+  /// Evaluates an explicit assignment: mechanism index per structure
+  /// (same order as the model's structures; index into mechanisms()).
+  [[nodiscard]] ProtectionPlan evaluate(
+      const std::vector<std::size_t>& assignment) const;
+
+  /// Minimum-DVF plan whose slowdown stays within `max_time_overhead`
+  /// (e.g. 0.05 for 5%).
+  [[nodiscard]] ProtectionPlan optimize(double max_time_overhead) const;
+
+  /// Cheapest plan (smallest slowdown, DVF as tie-break) achieving
+  /// DVF_a <= `dvf_target`; std::nullopt when no assignment reaches it.
+  [[nodiscard]] std::optional<ProtectionPlan> cheapest_meeting_target(
+      double dvf_target) const;
+
+  [[nodiscard]] const std::vector<ProtectionMechanism>& mechanisms() const
+      noexcept {
+    return mechanisms_;
+  }
+  /// Main-memory-traffic share of each structure (the overhead weights).
+  [[nodiscard]] const std::vector<double>& traffic_shares() const noexcept {
+    return shares_;
+  }
+
+ private:
+  template <typename Visit>
+  void for_each_assignment(Visit&& visit) const;
+
+  Machine machine_;
+  ModelSpec model_;
+  std::vector<ProtectionMechanism> mechanisms_;
+  std::vector<double> n_ha_;     ///< per-structure main-memory accesses
+  std::vector<double> shares_;   ///< n_ha / sum(n_ha)
+  double baseline_dvf_ = 0.0;
+};
+
+}  // namespace dvf

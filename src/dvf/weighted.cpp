@@ -1,0 +1,32 @@
+#include "dvf/dvf/weighted.hpp"
+
+#include <cmath>
+
+#include "dvf/common/math.hpp"
+
+namespace dvf {
+
+double weighted_dvf(const StructureDvf& structure, const DvfWeights& weights) {
+  DVF_CHECK_MSG(weights.error_weight >= 0.0 && weights.access_weight >= 0.0,
+                "DVF weights must be non-negative");
+  // 0^0 is taken as 1 so a zeroed weight truly removes the term.
+  const auto term = [](double base, double exponent) {
+    if (exponent == 0.0) {
+      return 1.0;
+    }
+    return std::pow(base, exponent);
+  };
+  return term(structure.n_error, weights.error_weight) *
+         term(structure.n_ha, weights.access_weight);
+}
+
+double weighted_application_dvf(const ApplicationDvf& app,
+                                const DvfWeights& weights) {
+  math::KahanSum total;
+  for (const StructureDvf& s : app.structures) {
+    total.add(weighted_dvf(s, weights));
+  }
+  return total.value();
+}
+
+}  // namespace dvf

@@ -1,0 +1,118 @@
+// 1-D FFT (FT) — spectral method, template-based access (the paper's FT is
+// a 1-D FFT segment of the NPB FT benchmark).
+//
+// Iterative radix-2 Cooley–Tukey with an in-place bit-reversal permutation;
+// the data structure X (complex array) is traversed once per stage with the
+// butterfly stride pattern, which is what produces the sharp DVF jump of
+// Fig. 5(e) once the cache no longer holds the whole array.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "dvf/dvf/model_spec.hpp"
+#include "dvf/kernels/kernel_common.hpp"
+#include "dvf/trace/aligned_buffer.hpp"
+#include "dvf/trace/registry.hpp"
+
+namespace dvf::kernels {
+
+class Fft1D {
+ public:
+  struct Complex {
+    double re = 0.0;
+    double im = 0.0;
+  };
+  static_assert(sizeof(Complex) == 16);
+
+  struct Config {
+    std::uint64_t n = 2048;        ///< transform length (power of two)
+    std::uint64_t transforms = 1;  ///< back-to-back transforms (timing)
+    std::uint64_t seed = 3;
+  };
+
+  explicit Fft1D(const Config& config);
+
+  /// Forward transform(s) over the deterministic input signal.
+  template <RecorderLike R>
+  void run(R& rec);
+
+  /// Aspen model: X template-based — bit-reversal pass plus one butterfly
+  /// pass per stage.
+  [[nodiscard]] ModelSpec model_spec() const;
+
+  /// The expanded element-index reference string of one full transform.
+  [[nodiscard]] std::vector<std::uint64_t> transform_template() const;
+
+  [[nodiscard]] const DataStructureRegistry& registry() const noexcept {
+    return registry_;
+  }
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+  [[nodiscard]] const Complex& bin(std::size_t i) const noexcept { return x_[i]; }
+  /// Sum of |X_k|^2 (for Parseval checks).
+  [[nodiscard]] double spectrum_energy() const;
+  /// Restores the original input signal (run() transforms in place).
+  void reset_signal();
+  /// Uniform kernel interface alias for reset_signal().
+  void reset() { reset_signal(); }
+
+  /// Scalar output fingerprint for fault-injection campaigns.
+  [[nodiscard]] double output_signature() const { return spectrum_energy(); }
+
+ private:
+  Config config_;
+  AlignedBuffer<Complex> x_;
+  std::vector<Complex> original_;
+  DataStructureRegistry registry_;
+  DsId x_id_ = 0;
+};
+
+template <RecorderLike R>
+void Fft1D::run(R& rec) {
+  const std::uint64_t n = config_.n;
+  for (std::uint64_t t = 0; t < config_.transforms; ++t) {
+    // Bit-reversal permutation.
+    for (std::uint64_t i = 1, j = 0; i < n; ++i) {
+      std::uint64_t bit = n >> 1;
+      for (; j & bit; bit >>= 1) {
+        j ^= bit;
+      }
+      j ^= bit;
+      if (i < j) {
+        load(rec, x_id_, x_, static_cast<std::size_t>(i));
+        load(rec, x_id_, x_, static_cast<std::size_t>(j));
+        std::swap(x_[static_cast<std::size_t>(i)], x_[static_cast<std::size_t>(j)]);
+        store(rec, x_id_, x_, static_cast<std::size_t>(i));
+        store(rec, x_id_, x_, static_cast<std::size_t>(j));
+      }
+    }
+
+    // Butterfly stages.
+    for (std::uint64_t len = 2; len <= n; len <<= 1) {
+      const double angle = -2.0 * 3.14159265358979323846 /
+                           static_cast<double>(len);
+      const Complex wn{std::cos(angle), std::sin(angle)};
+      for (std::uint64_t i = 0; i < n; i += len) {
+        Complex w{1.0, 0.0};
+        for (std::uint64_t j = 0; j < len / 2; ++j) {
+          const std::size_t lo = static_cast<std::size_t>(i + j);
+          const std::size_t hi = static_cast<std::size_t>(i + j + len / 2);
+          load(rec, x_id_, x_, lo);
+          load(rec, x_id_, x_, hi);
+          const Complex u = x_[lo];
+          const Complex v{x_[hi].re * w.re - x_[hi].im * w.im,
+                          x_[hi].re * w.im + x_[hi].im * w.re};
+          x_[lo] = {u.re + v.re, u.im + v.im};
+          x_[hi] = {u.re - v.re, u.im - v.im};
+          store(rec, x_id_, x_, lo);
+          store(rec, x_id_, x_, hi);
+          w = {w.re * wn.re - w.im * wn.im, w.re * wn.im + w.im * wn.re};
+        }
+      }
+    }
+  }
+}
+
+}  // namespace dvf::kernels

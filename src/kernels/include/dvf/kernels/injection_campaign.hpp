@@ -1,0 +1,47 @@
+// Statistical fault-injection campaigns over the instrumented kernels —
+// the expensive baseline methodology (§VI) that DVF approximates
+// analytically. A campaign estimates, per data structure, the probability
+// that one random bit flip corrupts the application's output; comparing
+// those probabilities against the structures' DVFs demonstrates (and
+// stress-tests) the metric's claim to rank vulnerability correctly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dvf/kernels/suite.hpp"
+
+namespace dvf::kernels {
+
+/// Per-structure campaign outcome.
+struct StructureInjectionStats {
+  std::string structure;
+  std::uint64_t trials = 0;
+  std::uint64_t injected = 0;   ///< trigger fired before the run ended
+  std::uint64_t corrupted = 0;  ///< output deviated
+  [[nodiscard]] double corruption_rate() const noexcept {
+    return trials == 0 ? 0.0
+                       : static_cast<double>(corrupted) /
+                             static_cast<double>(trials);
+  }
+};
+
+struct CampaignConfig {
+  std::uint64_t trials_per_structure = 100;
+  std::uint64_t seed = 2014;  ///< the paper's vintage
+};
+
+/// Runs the campaign over every structure in the kernel's model. Fault
+/// sites are uniform over the structure's bytes and bits; fault times are
+/// uniform over the run's references (the §VI "random fault injection into
+/// application states").
+[[nodiscard]] std::vector<StructureInjectionStats> run_injection_campaign(
+    KernelCase& kernel, const CampaignConfig& config = {});
+
+/// Spearman rank correlation between two vectors (used to compare the DVF
+/// ranking against the injection-derived ranking; 1 = identical order).
+[[nodiscard]] double rank_correlation(const std::vector<double>& a,
+                                      const std::vector<double>& b);
+
+}  // namespace dvf::kernels

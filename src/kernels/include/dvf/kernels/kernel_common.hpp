@@ -1,0 +1,45 @@
+// Shared infrastructure for the six instrumented kernels (paper Table II).
+//
+// Every kernel is a class owning aligned data buffers and a data-structure
+// registry; run() is a template over the recorder so the untraced
+// configuration compiles to the bare algorithm. Each kernel also produces
+// its Aspen-style ModelSpec — the analytical self-description the DVF
+// engine evaluates (the paper's §III-D example programs).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "dvf/trace/aligned_buffer.hpp"
+#include "dvf/trace/recorder.hpp"
+#include "dvf/trace/registry.hpp"
+
+namespace dvf::kernels {
+
+/// Wall-clock stopwatch for kernel timing (T of Eq. 1).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+  /// Seconds since construction.
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Records a load of buf[i].
+template <RecorderLike R, typename T>
+inline void load(R& rec, DsId ds, const AlignedBuffer<T>& buf, std::size_t i) {
+  rec.on_load(ds, buf.address_of(i), sizeof(T));
+}
+
+/// Records a store of buf[i].
+template <RecorderLike R, typename T>
+inline void store(R& rec, DsId ds, const AlignedBuffer<T>& buf, std::size_t i) {
+  rec.on_store(ds, buf.address_of(i), sizeof(T));
+}
+
+}  // namespace dvf::kernels

@@ -1,0 +1,145 @@
+// Monte Carlo cross-section lookup (MC) — the XSBench macroscopic
+// cross-section lookup kernel: random access over two concurrently used
+// structures, the unionized energy grid G and the cross-section data E.
+#pragma once
+
+#include <cstdint>
+
+#include "dvf/dvf/model_spec.hpp"
+#include "dvf/kernels/kernel_common.hpp"
+#include "dvf/common/rng.hpp"
+#include "dvf/trace/aligned_buffer.hpp"
+#include "dvf/trace/registry.hpp"
+
+namespace dvf::kernels {
+
+class MonteCarlo {
+ public:
+  /// One point of the unionized energy grid: 16 bytes.
+  struct GridPoint {
+    double energy = 0.0;
+    std::uint32_t xs_index = 0;
+    std::uint32_t pad = 0;
+  };
+  static_assert(sizeof(GridPoint) == 16);
+
+  /// One cross-section record: 32 bytes (total/elastic/absorption/fission).
+  struct XsEntry {
+    double xs[4] = {};
+  };
+  static_assert(sizeof(XsEntry) == 32);
+
+  /// Defaults approximate XSBench's "small" unionized grid scaled to a
+  /// laptop LLC study: the MC working set dwarfs the N-body one, which is
+  /// part of the paper's Fig. 5(c)/(f) comparison.
+  struct Config {
+    std::uint64_t grid_points = 200000;  ///< |G|
+    std::uint64_t xs_entries = 50000;    ///< |E|
+    std::uint64_t lookups = 1000;        ///< iterations
+    std::uint64_t seed = 5;
+  };
+
+  explicit MonteCarlo(const Config& config);
+
+  /// Performs the lookups: sample an energy, binary-search G, read the
+  /// bracketing cross-section rows of E, accumulate the macroscopic XS.
+  template <RecorderLike R>
+  void run(R& rec);
+
+  /// Aspen model: both G and E random-access; k values are profiled; cache
+  /// shares follow the paper's size-proportional split
+  /// r_G = S_G / (S_G + S_E).
+  [[nodiscard]] ModelSpec model_spec();
+
+  [[nodiscard]] const DataStructureRegistry& registry() const noexcept {
+    return registry_;
+  }
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+  /// Average distinct G elements touched per lookup (model k for G).
+  [[nodiscard]] double average_grid_visits() const noexcept {
+    return lookups_done_ == 0 ? 0.0
+                              : static_cast<double>(grid_touches_) /
+                                    static_cast<double>(lookups_done_);
+  }
+  /// Average E rows touched per lookup (model k for E).
+  [[nodiscard]] double average_xs_visits() const noexcept {
+    return lookups_done_ == 0 ? 0.0
+                              : static_cast<double>(xs_touches_) /
+                                    static_cast<double>(lookups_done_);
+  }
+  /// Accumulated macroscopic cross-section (sanity value).
+  [[nodiscard]] double accumulated_xs() const noexcept { return accumulated_; }
+
+  /// The lookup tables are immutable; run() resets its own tallies. No-op.
+  void reset() noexcept {}
+
+  /// Scalar output fingerprint for fault-injection campaigns.
+  [[nodiscard]] double output_signature() const { return accumulated_; }
+
+ private:
+  Config config_;
+  AlignedBuffer<GridPoint> grid_;
+  AlignedBuffer<XsEntry> xs_;
+  DataStructureRegistry registry_;
+  DsId grid_id_ = 0;
+  DsId xs_id_ = 0;
+  std::uint64_t grid_touches_ = 0;
+  std::uint64_t xs_touches_ = 0;
+  std::uint64_t lookups_done_ = 0;
+  double accumulated_ = 0.0;
+  std::vector<std::uint64_t> grid_visit_counts_;  ///< bisection popularity
+  std::vector<std::uint64_t> xs_visit_counts_;
+};
+
+template <RecorderLike R>
+void MonteCarlo::run(R& rec) {
+  grid_touches_ = 0;
+  xs_touches_ = 0;
+  lookups_done_ = 0;
+  accumulated_ = 0.0;
+  grid_visit_counts_.assign(grid_.size(), 0);
+  xs_visit_counts_.assign(xs_.size(), 0);
+
+  // Construction traversal: the model assumes each element was touched once
+  // before the random phase (the paper's data-construction assumption).
+  for (std::size_t i = 0; i < grid_.size(); ++i) {
+    load(rec, grid_id_, grid_, i);
+  }
+  for (std::size_t i = 0; i < xs_.size(); ++i) {
+    load(rec, xs_id_, xs_, i);
+  }
+
+  Xoshiro256 rng(config_.seed ^ 0x9E3779B97F4A7C15ULL);
+  for (std::uint64_t l = 0; l < config_.lookups; ++l) {
+    const double e = rng.uniform();
+
+    // Binary search of the unionized grid.
+    std::size_t lo = 0;
+    std::size_t hi = grid_.size() - 1;
+    while (lo + 1 < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      load(rec, grid_id_, grid_, mid);
+      ++grid_touches_;
+      ++grid_visit_counts_[mid];
+      if (grid_[mid].energy <= e) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    load(rec, grid_id_, grid_, lo);
+    ++grid_touches_;
+    ++grid_visit_counts_[lo];
+
+    const std::size_t row = grid_[lo].xs_index % xs_.size();
+    load(rec, xs_id_, xs_, row);
+    ++xs_touches_;
+    ++xs_visit_counts_[row];
+    const XsEntry& entry = xs_[row];
+    accumulated_ += entry.xs[0] + e * entry.xs[1] +
+                    (1.0 - e) * entry.xs[2] + entry.xs[3];
+    ++lookups_done_;
+  }
+}
+
+}  // namespace dvf::kernels

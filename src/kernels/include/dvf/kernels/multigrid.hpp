@@ -1,0 +1,252 @@
+// Multi-grid (MG) — structured grids, template-based access (paper
+// Algorithm 3 and the NPB MG V-cycle).
+//
+// A real geometric multigrid V-cycle on a 3-D Poisson problem: smoothing
+// with the paper's 4-neighbor smoother template, residual computation,
+// full-weighting-ish restriction and trilinear-ish prolongation. The finest
+// grid R is the modeled structure; coarse grids and the right-hand sides
+// are registered interferers.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dvf/dvf/model_spec.hpp"
+#include "dvf/kernels/kernel_common.hpp"
+#include "dvf/trace/aligned_buffer.hpp"
+#include "dvf/trace/registry.hpp"
+
+namespace dvf::kernels {
+
+class MultiGrid {
+ public:
+  struct Config {
+    std::uint64_t dim = 32;     ///< finest grid edge (power of two)
+    std::uint64_t levels = 3;   ///< V-cycle depth (coarsest edge = dim >> (levels-1))
+    std::uint64_t vcycles = 4;
+    std::uint64_t pre_smooth = 1;
+    std::uint64_t post_smooth = 1;
+    std::uint64_t seed = 11;
+  };
+
+  explicit MultiGrid(const Config& config);
+
+  /// Runs the configured V-cycles on rhs = deterministic noise.
+  template <RecorderLike R>
+  void run(R& rec);
+
+  /// Aspen model: R as a template-based structure whose reference string is
+  /// one smoother sweep over the finest grid, repeated for every finest-grid
+  /// pass of the configured V-cycles.
+  [[nodiscard]] ModelSpec model_spec() const;
+
+  /// One finest-grid smoother sweep as an element-index reference string
+  /// (the expansion of the paper's MG template).
+  [[nodiscard]] std::vector<std::uint64_t> smoother_template() const;
+
+  [[nodiscard]] const DataStructureRegistry& registry() const noexcept {
+    return registry_;
+  }
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+  /// RMS residual on the finest level after the last run.
+  [[nodiscard]] double residual_norm() const noexcept { return residual_norm_; }
+
+  /// run() zeroes the solution grids itself; no-op.
+  void reset() noexcept {}
+
+  /// Scalar output fingerprint for fault-injection campaigns.
+  [[nodiscard]] double output_signature() const { return residual_norm_; }
+
+  /// Padded indexing: the innermost dimension is allocated with one extra
+  /// element so power-of-two plane strides do not alias onto a single cache
+  /// set (the NPB MG arrays carry boundary padding for the same reason;
+  /// without it a 4-way cache thrashes on the i±1 stencil neighbors).
+  [[nodiscard]] static std::size_t at(std::uint64_t n, std::uint64_t i,
+                                      std::uint64_t j, std::uint64_t k) noexcept {
+    return static_cast<std::size_t>((i * n + j) * (n + 1) + k);
+  }
+  /// Physical cell count of one padded n^3 grid.
+  [[nodiscard]] static std::size_t cells(std::uint64_t n) noexcept {
+    return static_cast<std::size_t>(n * n * (n + 1));
+  }
+
+ private:
+  [[nodiscard]] std::uint64_t edge(std::size_t level) const noexcept {
+    return config_.dim >> level;
+  }
+
+  template <RecorderLike R>
+  void smooth(R& rec, std::size_t level, std::uint64_t sweeps);
+  template <RecorderLike R>
+  void residual(R& rec, std::size_t level);
+  template <RecorderLike R>
+  void restrict_to(R& rec, std::size_t fine);
+  template <RecorderLike R>
+  void prolong_from(R& rec, std::size_t fine);
+  template <RecorderLike R>
+  void vcycle(R& rec, std::size_t level);
+
+  Config config_;
+  std::vector<AlignedBuffer<double>> u_;    ///< solution per level; u_[0] is R
+  std::vector<AlignedBuffer<double>> rhs_;
+  std::vector<AlignedBuffer<double>> res_;
+  DataStructureRegistry registry_;
+  std::vector<DsId> u_ids_;
+  std::vector<DsId> rhs_ids_;
+  std::vector<DsId> res_ids_;
+  double residual_norm_ = 0.0;
+};
+
+template <RecorderLike R>
+void MultiGrid::smooth(R& rec, std::size_t level, std::uint64_t sweeps) {
+  const std::uint64_t n = edge(level);
+  auto& u = u_[level];
+  auto& f = rhs_[level];
+  const DsId uid = u_ids_[level];
+  const DsId fid = rhs_ids_[level];
+
+  // Paper Algorithm 3: the update reads the four (j±1, i±1) neighbors —
+  // here as a damped Gauss–Seidel sweep for the operator
+  // A u = 4u − Σ neighbors, so the V-cycle genuinely converges.
+  constexpr double kOmega = 0.8;
+  for (std::uint64_t sweep = 0; sweep < sweeps; ++sweep) {
+    for (std::uint64_t i = 1; i + 1 < n; ++i) {
+      for (std::uint64_t j = 1; j + 1 < n; ++j) {
+        for (std::uint64_t k = 0; k < n; ++k) {
+          load(rec, uid, u, at(n, i, j - 1, k));
+          load(rec, uid, u, at(n, i, j + 1, k));
+          load(rec, uid, u, at(n, i - 1, j, k));
+          load(rec, uid, u, at(n, i + 1, j, k));
+          load(rec, uid, u, at(n, i, j, k));
+          load(rec, fid, f, at(n, i, j, k));
+          const double sum = u[at(n, i, j - 1, k)] + u[at(n, i, j + 1, k)] +
+                             u[at(n, i - 1, j, k)] + u[at(n, i + 1, j, k)];
+          const double residual_here =
+              f[at(n, i, j, k)] - (4.0 * u[at(n, i, j, k)] - sum);
+          u[at(n, i, j, k)] += kOmega * 0.25 * residual_here;
+          store(rec, uid, u, at(n, i, j, k));
+        }
+      }
+    }
+  }
+}
+
+template <RecorderLike R>
+void MultiGrid::residual(R& rec, std::size_t level) {
+  const std::uint64_t n = edge(level);
+  auto& u = u_[level];
+  auto& f = rhs_[level];
+  auto& r = res_[level];
+  const DsId uid = u_ids_[level];
+  const DsId fid = rhs_ids_[level];
+  const DsId rid = res_ids_[level];
+
+  double norm2 = 0.0;
+  for (std::uint64_t i = 1; i + 1 < n; ++i) {
+    for (std::uint64_t j = 1; j + 1 < n; ++j) {
+      for (std::uint64_t k = 0; k < n; ++k) {
+        load(rec, uid, u, at(n, i, j - 1, k));
+        load(rec, uid, u, at(n, i, j + 1, k));
+        load(rec, uid, u, at(n, i - 1, j, k));
+        load(rec, uid, u, at(n, i + 1, j, k));
+        load(rec, uid, u, at(n, i, j, k));
+        load(rec, fid, f, at(n, i, j, k));
+        const double rv = f[at(n, i, j, k)] -
+                          (4.0 * u[at(n, i, j, k)] - u[at(n, i, j - 1, k)] -
+                           u[at(n, i, j + 1, k)] - u[at(n, i - 1, j, k)] -
+                           u[at(n, i + 1, j, k)]);
+        r[at(n, i, j, k)] = rv;
+        store(rec, rid, r, at(n, i, j, k));
+        norm2 += rv * rv;
+      }
+    }
+  }
+  if (level == 0) {
+    residual_norm_ = std::sqrt(norm2 / static_cast<double>(n * n * n));
+  }
+}
+
+template <RecorderLike R>
+void MultiGrid::restrict_to(R& rec, std::size_t fine) {
+  const std::uint64_t nf = edge(fine);
+  const std::uint64_t nc = edge(fine + 1);
+  auto& r = res_[fine];
+  auto& fc = rhs_[fine + 1];
+  auto& uc = u_[fine + 1];
+  const DsId rid = res_ids_[fine];
+  const DsId fcid = rhs_ids_[fine + 1];
+  const DsId ucid = u_ids_[fine + 1];
+
+  for (std::uint64_t i = 0; i < nc; ++i) {
+    for (std::uint64_t j = 0; j < nc; ++j) {
+      for (std::uint64_t k = 0; k < nc; ++k) {
+        // Injection restriction (sample the co-located fine point).
+        const std::uint64_t fi = std::min(2 * i, nf - 1);
+        const std::uint64_t fj = std::min(2 * j, nf - 1);
+        const std::uint64_t fk = std::min(2 * k, nf - 1);
+        load(rec, rid, r, at(nf, fi, fj, fk));
+        fc[at(nc, i, j, k)] = r[at(nf, fi, fj, fk)];
+        store(rec, fcid, fc, at(nc, i, j, k));
+        uc[at(nc, i, j, k)] = 0.0;
+        store(rec, ucid, uc, at(nc, i, j, k));
+      }
+    }
+  }
+}
+
+template <RecorderLike R>
+void MultiGrid::prolong_from(R& rec, std::size_t fine) {
+  const std::uint64_t nf = edge(fine);
+  const std::uint64_t nc = edge(fine + 1);
+  auto& uf = u_[fine];
+  auto& uc = u_[fine + 1];
+  const DsId ufid = u_ids_[fine];
+  const DsId ucid = u_ids_[fine + 1];
+
+  for (std::uint64_t i = 0; i < nf; ++i) {
+    for (std::uint64_t j = 0; j < nf; ++j) {
+      for (std::uint64_t k = 0; k < nf; ++k) {
+        const std::uint64_t ci = std::min(i / 2, nc - 1);
+        const std::uint64_t cj = std::min(j / 2, nc - 1);
+        const std::uint64_t ck = std::min(k / 2, nc - 1);
+        load(rec, ucid, uc, at(nc, ci, cj, ck));
+        load(rec, ufid, uf, at(nf, i, j, k));
+        uf[at(nf, i, j, k)] += uc[at(nc, ci, cj, ck)];
+        store(rec, ufid, uf, at(nf, i, j, k));
+      }
+    }
+  }
+}
+
+template <RecorderLike R>
+void MultiGrid::vcycle(R& rec, std::size_t level) {
+  if (level + 1 == u_.size()) {
+    smooth(rec, level, 8);  // coarsest: smooth hard in lieu of a direct solve
+    return;
+  }
+  smooth(rec, level, config_.pre_smooth);
+  residual(rec, level);
+  restrict_to(rec, level);
+  vcycle(rec, level + 1);
+  prolong_from(rec, level);
+  smooth(rec, level, config_.post_smooth);
+}
+
+template <RecorderLike R>
+void MultiGrid::run(R& rec) {
+  // Reset state so repeated runs are identical.
+  for (std::size_t l = 0; l < u_.size(); ++l) {
+    for (std::size_t i = 0; i < u_[l].size(); ++i) {
+      u_[l][i] = 0.0;
+    }
+  }
+  for (std::uint64_t c = 0; c < config_.vcycles; ++c) {
+    vcycle(rec, 0);
+  }
+  residual(rec, 0);
+}
+
+}  // namespace dvf::kernels

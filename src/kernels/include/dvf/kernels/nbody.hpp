@@ -1,0 +1,274 @@
+// Barnes–Hut N-body (NB) — random access over a quadtree (paper Algorithm 2).
+//
+// Bodies are organized into a 2-D quadtree; the force pass traverses the
+// tree per body with the theta opening criterion, so which tree nodes a body
+// touches depends on the (random) particle distribution — the paper's
+// canonical random access pattern.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "dvf/dvf/model_spec.hpp"
+#include "dvf/kernels/kernel_common.hpp"
+#include "dvf/trace/aligned_buffer.hpp"
+#include "dvf/trace/registry.hpp"
+
+namespace dvf::kernels {
+
+class BarnesHut {
+ public:
+  struct Config {
+    std::uint64_t bodies = 1000;
+    double theta = 0.5;       ///< opening criterion
+    std::uint64_t steps = 1;  ///< force passes
+    std::uint64_t seed = 7;
+  };
+
+  /// Tree node: 32 bytes, matching the paper's NB Aspen program (E = 32).
+  /// A leaf holds one particle (children all -1); an internal node holds the
+  /// aggregated mass and center of mass of its subtree.
+  struct Node {
+    float cx = 0.0F;         ///< center of mass x
+    float cy = 0.0F;         ///< center of mass y
+    float mass = 0.0F;
+    float half_size = 0.0F;  ///< half the cell edge (theta criterion)
+    std::int32_t child[4] = {-1, -1, -1, -1};
+  };
+  static_assert(sizeof(Node) == 32);
+
+  /// Particle: 32 bytes.
+  struct Particle {
+    float x = 0.0F;
+    float y = 0.0F;
+    float mass = 0.0F;
+    float fx = 0.0F;
+    float fy = 0.0F;
+    float pad[3] = {};
+  };
+  static_assert(sizeof(Particle) == 32);
+
+  explicit BarnesHut(const Config& config);
+
+  /// Builds the tree (the model's "construction traversal") and runs the
+  /// force pass(es), recording every node and particle reference.
+  template <RecorderLike R>
+  void run(R& rec);
+
+  /// Aspen model: T random (N, E, k, iter, r) and P streaming. k is the
+  /// average number of tree nodes visited per body, profiled from the last
+  /// run; calling before any run() profiles silently with a null recorder.
+  [[nodiscard]] ModelSpec model_spec();
+
+  [[nodiscard]] const DataStructureRegistry& registry() const noexcept {
+    return registry_;
+  }
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+  /// Tree nodes in use after the last build.
+  [[nodiscard]] std::uint64_t node_count() const noexcept { return node_count_; }
+  /// Average tree nodes visited per body in the last force pass (the model's
+  /// k parameter).
+  [[nodiscard]] double average_visits() const noexcept {
+    return total_force_passes_ == 0
+               ? 0.0
+               : static_cast<double>(total_visits_) /
+                     static_cast<double>(total_force_passes_);
+  }
+  /// Total force magnitude, for sanity checks.
+  [[nodiscard]] double total_force() const;
+
+  /// run() rebuilds the tree from the immutable particle set; no-op.
+  void reset() noexcept {}
+
+  /// Scalar output fingerprint for fault-injection campaigns.
+  [[nodiscard]] double output_signature() const { return total_force(); }
+
+ private:
+  void build_tree_geometry();
+  template <RecorderLike R>
+  void insert_body(R& rec, std::uint32_t body);
+  template <RecorderLike R>
+  void force_on_body(R& rec, std::uint32_t body);
+  std::int32_t allocate_node(float half_size);
+
+  Config config_;
+  AlignedBuffer<Node> tree_;
+  AlignedBuffer<Particle> bodies_;
+  // Geometric cell centers, needed only while inserting (not part of the
+  // modeled working set; real BH codes recompute them on descent).
+  std::vector<float> cell_x_;
+  std::vector<float> cell_y_;
+  DataStructureRegistry registry_;
+  DsId tree_id_ = 0;
+  DsId bodies_id_ = 0;
+  std::uint64_t node_count_ = 0;
+  std::uint64_t total_visits_ = 0;
+  std::uint64_t total_force_passes_ = 0;
+  std::uint64_t pool_capacity_ = 0;
+  std::vector<std::uint64_t> visit_counts_;  ///< per-node popularity profile
+};
+
+template <RecorderLike R>
+void BarnesHut::insert_body(R& rec, std::uint32_t body) {
+  const Particle& pb = bodies_[body];
+  load(rec, bodies_id_, bodies_, body);
+
+  std::int32_t node = 0;
+  int depth = 0;
+  constexpr int kMaxDepth = 48;
+  while (true) {
+    Node& nd = tree_[static_cast<std::size_t>(node)];
+    load(rec, tree_id_, tree_, static_cast<std::size_t>(node));
+
+    const bool is_leaf = nd.child[0] < 0 && nd.child[1] < 0 &&
+                         nd.child[2] < 0 && nd.child[3] < 0;
+    if (is_leaf && nd.mass == 0.0F) {
+      // Empty leaf: claim it.
+      nd.cx = pb.x;
+      nd.cy = pb.y;
+      nd.mass = pb.mass;
+      store(rec, tree_id_, tree_, static_cast<std::size_t>(node));
+      return;
+    }
+
+    if (is_leaf) {
+      if (depth >= kMaxDepth) {
+        // Coincident bodies: aggregate instead of splitting forever.
+        const float total = nd.mass + pb.mass;
+        nd.cx = (nd.cx * nd.mass + pb.x * pb.mass) / total;
+        nd.cy = (nd.cy * nd.mass + pb.y * pb.mass) / total;
+        nd.mass = total;
+        store(rec, tree_id_, tree_, static_cast<std::size_t>(node));
+        return;
+      }
+      // Split: push the resident particle one level down.
+      const float old_x = nd.cx;
+      const float old_y = nd.cy;
+      const float old_mass = nd.mass;
+      const float hs = nd.half_size * 0.5F;
+      const float gx = cell_x_[static_cast<std::size_t>(node)];
+      const float gy = cell_y_[static_cast<std::size_t>(node)];
+      const int old_quad = (old_x >= gx ? 1 : 0) | (old_y >= gy ? 2 : 0);
+      const std::int32_t fresh = allocate_node(hs);
+      cell_x_[static_cast<std::size_t>(fresh)] =
+          gx + (old_quad & 1 ? hs : -hs);
+      cell_y_[static_cast<std::size_t>(fresh)] =
+          gy + (old_quad & 2 ? hs : -hs);
+      Node& child_node = tree_[static_cast<std::size_t>(fresh)];
+      child_node.cx = old_x;
+      child_node.cy = old_y;
+      child_node.mass = old_mass;
+      store(rec, tree_id_, tree_, static_cast<std::size_t>(fresh));
+      nd.child[old_quad] = fresh;
+      // The node becomes internal; fall through to route the new body.
+    }
+
+    // Internal node: fold the body into the aggregate and descend.
+    const float total = nd.mass + pb.mass;
+    nd.cx = (nd.cx * nd.mass + pb.x * pb.mass) / total;
+    nd.cy = (nd.cy * nd.mass + pb.y * pb.mass) / total;
+    nd.mass = total;
+    store(rec, tree_id_, tree_, static_cast<std::size_t>(node));
+
+    const float gx = cell_x_[static_cast<std::size_t>(node)];
+    const float gy = cell_y_[static_cast<std::size_t>(node)];
+    const int quad = (pb.x >= gx ? 1 : 0) | (pb.y >= gy ? 2 : 0);
+    // Range guard: an injected fault may corrupt a child index; treat an
+    // out-of-pool value as an empty slot rather than dereferencing it.
+    if (nd.child[quad] >= static_cast<std::int32_t>(node_count_)) {
+      nd.child[quad] = -1;
+    }
+    if (nd.child[quad] < 0) {
+      const float hs = nd.half_size * 0.5F;
+      const std::int32_t fresh = allocate_node(hs);
+      cell_x_[static_cast<std::size_t>(fresh)] = gx + (quad & 1 ? hs : -hs);
+      cell_y_[static_cast<std::size_t>(fresh)] = gy + (quad & 2 ? hs : -hs);
+      tree_[static_cast<std::size_t>(node)].child[quad] = fresh;
+      Node& child_node = tree_[static_cast<std::size_t>(fresh)];
+      child_node.cx = pb.x;
+      child_node.cy = pb.y;
+      child_node.mass = pb.mass;
+      store(rec, tree_id_, tree_, static_cast<std::size_t>(fresh));
+      return;
+    }
+    node = nd.child[quad];
+    ++depth;
+  }
+}
+
+template <RecorderLike R>
+void BarnesHut::force_on_body(R& rec, std::uint32_t body) {
+  Particle& pb = bodies_[body];
+  load(rec, bodies_id_, bodies_, body);
+
+  constexpr float kSoftening = 1e-4F;
+  float fx = 0.0F;
+  float fy = 0.0F;
+
+  // Explicit stack traversal (paper Algorithm 2, FORCE_UPDATE). The visit
+  // budget and child-range guards keep the traversal memory-safe even when
+  // a fault-injection campaign corrupts child indices mid-run.
+  const std::uint64_t visit_budget = 64 * node_count_ + 256;
+  std::uint64_t visited = 0;
+  std::int32_t stack[128];
+  int top = 0;
+  stack[top++] = 0;
+  while (top > 0 && visited++ < visit_budget) {
+    const std::int32_t node = stack[--top];
+    const Node& nd = tree_[static_cast<std::size_t>(node)];
+    load(rec, tree_id_, tree_, static_cast<std::size_t>(node));
+    ++total_visits_;
+    ++visit_counts_[static_cast<std::size_t>(node)];
+
+    if (nd.mass == 0.0F) {
+      continue;
+    }
+    const float dx = nd.cx - pb.x;
+    const float dy = nd.cy - pb.y;
+    const float dist2 = dx * dx + dy * dy + kSoftening;
+    const float dist = std::sqrt(dist2);
+
+    const bool is_leaf = nd.child[0] < 0 && nd.child[1] < 0 &&
+                         nd.child[2] < 0 && nd.child[3] < 0;
+    if (is_leaf || (2.0F * nd.half_size) / dist <
+                       static_cast<float>(config_.theta)) {
+      // Aggregate (or single) interaction; skip self-interaction, which
+      // manifests as a near-zero distance leaf.
+      if (!(is_leaf && dist2 <= 2.0F * kSoftening)) {
+        const float f = pb.mass * nd.mass / (dist2 * dist);
+        fx += f * dx;
+        fy += f * dy;
+      }
+      continue;
+    }
+    for (const std::int32_t c : nd.child) {
+      if (c >= 0 && c < static_cast<std::int32_t>(node_count_) && top < 128) {
+        stack[top++] = c;
+      }
+    }
+  }
+
+  pb.fx = fx;
+  pb.fy = fy;
+  store(rec, bodies_id_, bodies_, body);
+  ++total_force_passes_;
+}
+
+template <RecorderLike R>
+void BarnesHut::run(R& rec) {
+  build_tree_geometry();
+  total_visits_ = 0;
+  total_force_passes_ = 0;
+  for (std::uint32_t b = 0; b < config_.bodies; ++b) {
+    insert_body(rec, b);
+  }
+  visit_counts_.assign(node_count_, 0);
+  for (std::uint64_t s = 0; s < config_.steps; ++s) {
+    for (std::uint32_t b = 0; b < config_.bodies; ++b) {
+      force_on_body(rec, b);
+    }
+  }
+}
+
+}  // namespace dvf::kernels

@@ -1,0 +1,94 @@
+#include "dvf/kernels/injection_campaign.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "dvf/common/error.hpp"
+#include "dvf/common/rng.hpp"
+
+namespace dvf::kernels {
+
+std::vector<StructureInjectionStats> run_injection_campaign(
+    KernelCase& kernel, const CampaignConfig& config) {
+  DVF_CHECK_MSG(config.trials_per_structure >= 1,
+                "campaign needs at least one trial per structure");
+
+  const ModelSpec spec = kernel.model_spec();
+  const std::uint64_t total_refs = kernel.total_references();
+  DVF_CHECK_MSG(total_refs > 0, "kernel issued no references");
+
+  Xoshiro256 rng(config.seed);
+  std::vector<StructureInjectionStats> results;
+  for (const DataStructureSpec& ds : spec.structures) {
+    const auto id = kernel.registry().find(ds.name);
+    if (!id.has_value()) {
+      continue;
+    }
+    const DataStructureInfo& info = kernel.registry().info(*id);
+
+    StructureInjectionStats stats;
+    stats.structure = ds.name;
+    for (std::uint64_t trial = 0; trial < config.trials_per_structure;
+         ++trial) {
+      const std::uint64_t trigger = 1 + rng.below(total_refs);
+      const std::uint64_t offset = rng.below(info.size_bytes);
+      const auto bit = static_cast<std::uint8_t>(rng.below(8));
+      const InjectionOutcome outcome =
+          kernel.run_injected(*id, trigger, offset, bit);
+      ++stats.trials;
+      stats.injected += outcome.injected ? 1 : 0;
+      stats.corrupted += outcome.corrupted ? 1 : 0;
+    }
+    results.push_back(stats);
+  }
+  return results;
+}
+
+double rank_correlation(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  DVF_CHECK_MSG(a.size() == b.size(), "rank correlation needs equal sizes");
+  const std::size_t n = a.size();
+  if (n < 2) {
+    return 1.0;
+  }
+
+  // Fractional ranks (ties get the average rank).
+  const auto ranks_of = [n](const std::vector<double>& xs) {
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&xs](std::size_t i, std::size_t j) { return xs[i] < xs[j]; });
+    std::vector<double> ranks(n, 0.0);
+    std::size_t i = 0;
+    while (i < n) {
+      std::size_t j = i;
+      while (j + 1 < n && xs[order[j + 1]] == xs[order[i]]) {
+        ++j;
+      }
+      const double shared = 0.5 * static_cast<double>(i + j) + 1.0;
+      for (std::size_t k = i; k <= j; ++k) {
+        ranks[order[k]] = shared;
+      }
+      i = j + 1;
+    }
+    return ranks;
+  };
+
+  const std::vector<double> ra = ranks_of(a);
+  const std::vector<double> rb = ranks_of(b);
+  const double mean = (static_cast<double>(n) + 1.0) / 2.0;
+  double cov = 0.0;
+  double var_a = 0.0;
+  double var_b = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    cov += (ra[i] - mean) * (rb[i] - mean);
+    var_a += (ra[i] - mean) * (ra[i] - mean);
+    var_b += (rb[i] - mean) * (rb[i] - mean);
+  }
+  if (var_a == 0.0 || var_b == 0.0) {
+    return 0.0;  // a constant ranking carries no order information
+  }
+  return cov / std::sqrt(var_a * var_b);
+}
+
+}  // namespace dvf::kernels

@@ -1,0 +1,97 @@
+#include "dvf/kernels/montecarlo.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "dvf/common/error.hpp"
+
+namespace dvf::kernels {
+
+namespace {
+
+std::vector<double> sorted_fractions(const std::vector<std::uint64_t>& counts,
+                                     std::uint64_t iterations) {
+  std::vector<double> fractions;
+  fractions.reserve(counts.size());
+  for (const std::uint64_t c : counts) {
+    fractions.push_back(static_cast<double>(c) /
+                        static_cast<double>(iterations));
+  }
+  std::sort(fractions.begin(), fractions.end(), std::greater<>());
+  return fractions;
+}
+
+}  // namespace
+
+MonteCarlo::MonteCarlo(const Config& config)
+    : config_(config), grid_(config.grid_points), xs_(config.xs_entries) {
+  DVF_CHECK_MSG(config.grid_points >= 4, "MC: need at least 4 grid points");
+  DVF_CHECK_MSG(config.xs_entries >= 1, "MC: need at least one XS entry");
+  DVF_CHECK_MSG(config.lookups >= 1, "MC: need at least one lookup");
+
+  // Sorted unionized grid over [0, 1) with deterministic cross-section rows.
+  Xoshiro256 rng(config_.seed);
+  for (std::size_t i = 0; i < grid_.size(); ++i) {
+    grid_[i].energy = static_cast<double>(i) / static_cast<double>(grid_.size());
+    grid_[i].xs_index = static_cast<std::uint32_t>(rng.below(config_.xs_entries));
+  }
+  for (std::size_t i = 0; i < xs_.size(); ++i) {
+    for (double& v : xs_[i].xs) {
+      v = rng.uniform();
+    }
+  }
+
+  grid_id_ = registry_.register_structure("G", grid_.data(), grid_.size_bytes(),
+                                          sizeof(GridPoint));
+  xs_id_ = registry_.register_structure("E", xs_.data(), xs_.size_bytes(),
+                                        sizeof(XsEntry));
+}
+
+ModelSpec MonteCarlo::model_spec() {
+  if (lookups_done_ == 0) {
+    // k comes from profiling (paper §III-C); profile with a null recorder.
+    NullRecorder null;
+    run(null);
+  }
+
+  const double sg = static_cast<double>(grid_.size_bytes());
+  const double se = static_cast<double>(xs_.size_bytes());
+
+  ModelSpec spec;
+  spec.name = "MC";
+  {
+    DataStructureSpec ds;
+    ds.name = "G";
+    ds.size_bytes = grid_.size_bytes();
+    RandomSpec r;
+    r.element_count = config_.grid_points;
+    r.element_bytes = sizeof(GridPoint);
+    r.visits_per_iteration = average_grid_visits();
+    r.iterations = config_.lookups;
+    r.cache_ratio = sg / (sg + se);  // the paper's size-proportional split
+    // IRM extension: bisection touches the top levels of the implicit tree
+    // on every lookup; those stay cached.
+    r.sorted_visit_fractions = sorted_fractions(grid_visit_counts_,
+                                                config_.lookups);
+    ds.patterns.emplace_back(std::move(r));
+    spec.structures.push_back(std::move(ds));
+  }
+  {
+    DataStructureSpec ds;
+    ds.name = "E";
+    ds.size_bytes = xs_.size_bytes();
+    RandomSpec r;
+    r.element_count = config_.xs_entries;
+    r.element_bytes = sizeof(XsEntry);
+    r.visits_per_iteration = average_xs_visits();
+    r.iterations = config_.lookups;
+    r.cache_ratio = se / (sg + se);
+    r.sorted_visit_fractions = sorted_fractions(xs_visit_counts_,
+                                                config_.lookups);
+    ds.patterns.emplace_back(std::move(r));
+    spec.structures.push_back(std::move(ds));
+  }
+  return spec;
+}
+
+}  // namespace dvf::kernels

@@ -1,0 +1,118 @@
+#include "dvf/kernels/suite.hpp"
+
+#include "dvf/kernels/cg.hpp"
+#include "dvf/kernels/fft.hpp"
+#include "dvf/kernels/montecarlo.hpp"
+#include "dvf/kernels/multigrid.hpp"
+#include "dvf/kernels/nbody.hpp"
+#include "dvf/kernels/sparse_cg.hpp"
+#include "dvf/kernels/vm.hpp"
+
+namespace dvf::kernels {
+
+namespace {
+
+template <typename K, typename Config>
+std::unique_ptr<KernelCase> make_case(const char* name, const char* method,
+                                      const Config& config) {
+  return std::make_unique<KernelCaseAdapter<K>>(name, method, config);
+}
+
+}  // namespace
+
+std::vector<std::unique_ptr<KernelCase>> make_verification_suite() {
+  std::vector<std::unique_ptr<KernelCase>> suite;
+
+  // Table V. VM: 10^3 integer array.
+  VectorMultiply::Config vm;
+  vm.iterations = 1000;
+  suite.push_back(make_case<VectorMultiply>("VM", "Dense linear algebra", vm));
+
+  // CG: 500x500 double matrix. The iteration cap keeps the trace-driven
+  // verification affordable; the model uses the same iteration count.
+  ConjugateGradient::Config cg;
+  cg.n = 500;
+  cg.max_iterations = 20;
+  suite.push_back(make_case<ConjugateGradient>("CG", "Sparse linear algebra", cg));
+
+  // NB: 1000 particles.
+  BarnesHut::Config nb;
+  nb.bodies = 1000;
+  suite.push_back(make_case<BarnesHut>("NB", "N-body method", nb));
+
+  // MG: problem class S (32^3 finest grid, 4 V-cycles).
+  MultiGrid::Config mg;
+  mg.dim = 32;
+  mg.levels = 3;
+  mg.vcycles = 4;
+  suite.push_back(make_case<MultiGrid>("MG", "Structured grids", mg));
+
+  // FT: the 1-D FFT segment of problem class S (2048-point transform — a
+  // ~32 KiB working set, matching the paper's reported FT footprint).
+  Fft1D::Config ft;
+  ft.n = 2048;
+  suite.push_back(make_case<Fft1D>("FT", "Spectral methods", ft));
+
+  // MC: size = small, 10^3 lookups.
+  MonteCarlo::Config mc;
+  mc.lookups = 1000;
+  suite.push_back(make_case<MonteCarlo>("MC", "Monte Carlo", mc));
+
+  return suite;
+}
+
+std::vector<std::unique_ptr<KernelCase>> make_profiling_suite() {
+  std::vector<std::unique_ptr<KernelCase>> suite;
+
+  // Table VI. VM: 10^5 integer array.
+  VectorMultiply::Config vm;
+  vm.iterations = 100000;
+  suite.push_back(make_case<VectorMultiply>("VM", "Dense linear algebra", vm));
+
+  // CG: 800x800 double matrix, run to convergence.
+  ConjugateGradient::Config cg;
+  cg.n = 800;
+  cg.max_iterations = 0;
+  suite.push_back(make_case<ConjugateGradient>("CG", "Sparse linear algebra", cg));
+
+  // NB: 6000 particles.
+  BarnesHut::Config nb;
+  nb.bodies = 6000;
+  suite.push_back(make_case<BarnesHut>("NB", "N-body method", nb));
+
+  // MG: problem class W (scaled to a 64^3 finest grid so the analytical
+  // template stays laptop-evaluable; the working set still exceeds every
+  // profiling cache, which is what the experiment probes).
+  MultiGrid::Config mg;
+  mg.dim = 64;
+  mg.levels = 4;
+  mg.vcycles = 4;
+  suite.push_back(make_case<MultiGrid>("MG", "Structured grids", mg));
+
+  // FT: problem class S (the paper reuses class S for profiling).
+  Fft1D::Config ft;
+  ft.n = 2048;
+  suite.push_back(make_case<Fft1D>("FT", "Spectral methods", ft));
+
+  // MC: size = small, 10^5 lookups.
+  MonteCarlo::Config mc;
+  mc.lookups = 100000;
+  suite.push_back(make_case<MonteCarlo>("MC", "Monte Carlo", mc));
+
+  return suite;
+}
+
+std::vector<std::unique_ptr<KernelCase>> make_extended_suite() {
+  auto suite = make_verification_suite();
+
+  SparseConjugateGradient::Config cgs;
+  cgs.n = 2000;
+  cgs.offdiag_per_row = 8;
+  cgs.max_iterations = 20;
+  suite.push_back(make_case<SparseConjugateGradient>(
+      "CGS", "Sparse linear algebra (CSR)", cgs));
+
+  return suite;
+}
+
+}  // namespace dvf::kernels

@@ -1,0 +1,77 @@
+#include "dvf/kernels/vm.hpp"
+
+#include "dvf/common/error.hpp"
+
+namespace dvf::kernels {
+
+VectorMultiply::VectorMultiply(const Config& config)
+    : config_(config),
+      a_(config.iterations * config.stride_a),
+      b_(config.iterations * config.stride_b),
+      c_(config.iterations * config.stride_c) {
+  DVF_CHECK_MSG(config.iterations > 0, "VM: iteration count must be positive");
+  DVF_CHECK_MSG(config.stride_a >= 1 && config.stride_b >= 1 &&
+                    config.stride_c >= 1,
+                "VM: strides must be at least 1");
+  DVF_CHECK_MSG(config.repeats >= 1, "VM: repeats must be at least 1");
+
+  // Deterministic non-trivial contents so tests can checksum the product.
+  for (std::size_t i = 0; i < a_.size(); ++i) {
+    a_[i] = static_cast<Element>(i % 7 + 1);
+  }
+  for (std::size_t i = 0; i < b_.size(); ++i) {
+    b_[i] = static_cast<Element>(i % 5 + 1);
+  }
+
+  a_id_ = registry_.register_structure("A", a_.data(), a_.size_bytes(),
+                                       sizeof(Element));
+  b_id_ = registry_.register_structure("B", b_.data(), b_.size_bytes(),
+                                       sizeof(Element));
+  c_id_ = registry_.register_structure("C", c_.data(), c_.size_bytes(),
+                                       sizeof(Element));
+}
+
+ModelSpec VectorMultiply::model_spec() const {
+  const auto stream = [this](std::uint64_t stride) {
+    StreamingSpec s;
+    s.element_bytes = sizeof(Element);
+    s.element_count = config_.iterations * stride;
+    s.stride_elements = stride;
+    return s;
+  };
+
+  ModelSpec spec;
+  spec.name = "VM";
+  const auto add = [&](const char* name, std::uint64_t stride,
+                       std::uint64_t phases_per_repeat) {
+    DataStructureSpec ds;
+    ds.name = name;
+    ds.size_bytes = config_.iterations * stride * sizeof(Element);
+    for (std::uint64_t r = 0; r < config_.repeats * phases_per_repeat; ++r) {
+      ds.patterns.emplace_back(stream(stride));
+    }
+    spec.structures.push_back(std::move(ds));
+  };
+  add("A", config_.stride_a, 1);
+  add("B", config_.stride_b, 1);
+  // C is read and written each step; as a streaming phase that is still one
+  // traversal of the footprint (the write hits the line the read loaded).
+  add("C", config_.stride_c, 1);
+  return spec;
+}
+
+void VectorMultiply::reset() {
+  for (std::size_t i = 0; i < c_.size(); ++i) {
+    c_[i] = 0;
+  }
+}
+
+std::int64_t VectorMultiply::checksum() const {
+  std::int64_t sum = 0;
+  for (std::size_t i = 0; i < c_.size(); ++i) {
+    sum += c_[i];
+  }
+  return sum;
+}
+
+}  // namespace dvf::kernels

@@ -1,0 +1,48 @@
+#include "dvf/machine/cache_config.hpp"
+
+#include <utility>
+
+#include "dvf/common/error.hpp"
+
+namespace dvf {
+
+namespace {
+bool is_power_of_two(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+}  // namespace
+
+CacheConfig::CacheConfig(std::string name, std::uint32_t associativity,
+                         std::uint32_t num_sets, std::uint32_t line_bytes)
+    : name_(std::move(name)),
+      associativity_(associativity),
+      num_sets_(num_sets),
+      line_bytes_(line_bytes) {
+  DVF_CHECK_MSG(associativity_ > 0, "cache associativity must be positive");
+  DVF_CHECK_MSG(num_sets_ > 0, "cache must have at least one set");
+  DVF_CHECK_MSG(is_power_of_two(line_bytes_),
+                "cache line length must be a power of two");
+}
+
+std::string CacheConfig::describe() const {
+  return name_ + " (CA=" + std::to_string(associativity_) +
+         ", NA=" + std::to_string(num_sets_) +
+         ", CL=" + std::to_string(line_bytes_) +
+         "B, Cc=" + std::to_string(capacity_bytes()) + "B)";
+}
+
+namespace caches {
+
+CacheConfig small_verification() { return {"small-verification", 4, 64, 32}; }
+CacheConfig large_verification() { return {"large-verification", 16, 4096, 64}; }
+CacheConfig profiling_16kb() { return {"16KB", 2, 1024, 8}; }
+CacheConfig profiling_128kb() { return {"128KB", 4, 2048, 16}; }
+CacheConfig profiling_1mb() { return {"1MB", 6, 4096, 32}; }
+CacheConfig profiling_8mb() { return {"8MB", 8, 8192, 64}; }
+
+std::vector<CacheConfig> all_profiling() {
+  return {profiling_16kb(), profiling_128kb(), profiling_1mb(),
+          profiling_8mb()};
+}
+
+}  // namespace caches
+
+}  // namespace dvf

@@ -1,0 +1,78 @@
+// Last-level-cache description used by both the analytical models and the
+// trace-driven simulator (paper Table III / Table IV).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dvf/common/units.hpp"
+
+namespace dvf {
+
+/// Geometry of a set-associative cache. Capacity is always derived:
+/// Cc = CA * NA * CL. The paper's Table IV labels two profiling caches
+/// ("1MB", "8MB") whose stated CA/NA/CL imply smaller capacities; we encode
+/// the CA/NA/CL triples verbatim and keep the paper's labels as names — the
+/// analytical and simulated sides both see the same derived capacity, so the
+/// comparison stays consistent.
+class CacheConfig {
+ public:
+  /// Throws InvalidArgumentError unless all fields are positive and the line
+  /// length is a power of two (block math uses it as an address divisor).
+  CacheConfig(std::string name, std::uint32_t associativity,
+              std::uint32_t num_sets, std::uint32_t line_bytes);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  /// CA — ways per set.
+  [[nodiscard]] std::uint32_t associativity() const noexcept { return associativity_; }
+  /// NA — number of sets.
+  [[nodiscard]] std::uint32_t num_sets() const noexcept { return num_sets_; }
+  /// CL — line length in bytes.
+  [[nodiscard]] std::uint32_t line_bytes() const noexcept { return line_bytes_; }
+  /// Cc — total capacity in bytes.
+  [[nodiscard]] Byte capacity_bytes() const noexcept {
+    return static_cast<Byte>(associativity_) * num_sets_ * line_bytes_;
+  }
+  /// Total number of cache blocks (CA * NA).
+  [[nodiscard]] std::uint64_t total_blocks() const noexcept {
+    return static_cast<std::uint64_t>(associativity_) * num_sets_;
+  }
+
+  /// Set index of a byte address.
+  [[nodiscard]] std::uint64_t set_of(std::uint64_t address) const noexcept {
+    return (address / line_bytes_) % num_sets_;
+  }
+  /// Block (line) number of a byte address.
+  [[nodiscard]] std::uint64_t block_of(std::uint64_t address) const noexcept {
+    return address / line_bytes_;
+  }
+
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  std::string name_;
+  std::uint32_t associativity_;
+  std::uint32_t num_sets_;
+  std::uint32_t line_bytes_;
+};
+
+/// The paper's named cache configurations (Table IV).
+namespace caches {
+/// Verification: 4-way, 64 sets, 32 B lines — 8 KiB.
+[[nodiscard]] CacheConfig small_verification();
+/// Verification: 16-way, 4096 sets, 64 B lines — 4 MiB.
+[[nodiscard]] CacheConfig large_verification();
+/// Profiling: 2-way, 1024 sets, 8 B lines — 16 KiB.
+[[nodiscard]] CacheConfig profiling_16kb();
+/// Profiling: 4-way, 2048 sets, 16 B lines — 128 KiB.
+[[nodiscard]] CacheConfig profiling_128kb();
+/// Profiling: 6-way, 4096 sets, 32 B lines (paper label "1MB").
+[[nodiscard]] CacheConfig profiling_1mb();
+/// Profiling: 8-way, 8192 sets, 64 B lines (paper label "8MB").
+[[nodiscard]] CacheConfig profiling_8mb();
+/// The four profiling caches in Table IV order.
+[[nodiscard]] std::vector<CacheConfig> all_profiling();
+}  // namespace caches
+
+}  // namespace dvf

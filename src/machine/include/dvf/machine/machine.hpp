@@ -1,0 +1,33 @@
+// A machine model: the composition the DVF calculator consumes.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "dvf/machine/cache_config.hpp"
+#include "dvf/machine/memory_model.hpp"
+
+namespace dvf {
+
+/// The abstract machine the resilience models evaluate against: a last-level
+/// cache (which shapes N_ha) and a main-memory failure model (which shapes
+/// N_error). Mirrors the paper's scope — main memory only; other components
+/// (register file, NIC) would slot in as further fields.
+struct Machine {
+  std::string name;
+  CacheConfig llc;
+  MemoryModel memory;
+
+  Machine(std::string machine_name, CacheConfig cache, MemoryModel mem)
+      : name(std::move(machine_name)),
+        llc(std::move(cache)),
+        memory(mem) {}
+
+  /// Paper default: unprotected DRAM behind the given LLC.
+  static Machine with_cache(CacheConfig cache) {
+    std::string n = "machine-" + cache.name();
+    return {std::move(n), std::move(cache), MemoryModel::with_ecc(EccScheme::kNone)};
+  }
+};
+
+}  // namespace dvf

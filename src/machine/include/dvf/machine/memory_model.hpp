@@ -1,0 +1,46 @@
+// Main-memory failure model: raw FIT rates and the ECC schemes of the
+// paper's Table VII, plus the protection-coverage model used for the
+// Fig. 7 performance/resilience trade-off.
+#pragma once
+
+#include <string>
+
+namespace dvf {
+
+/// ECC protection schemes evaluated in §V-B (Table VII).
+enum class EccScheme {
+  kNone,      ///< unprotected DRAM
+  kSecDed,    ///< single-error-correct / double-error-detect
+  kChipkill,  ///< chipkill-correct
+};
+
+/// FIT rate (failures / 1e9 hours / Mbit) for a scheme — Table VII values.
+[[nodiscard]] double fit_rate(EccScheme scheme) noexcept;
+
+/// Human-readable scheme name for reports.
+[[nodiscard]] std::string to_string(EccScheme scheme);
+
+/// Parses "none" / "secded" / "chipkill" (case-sensitive, as the DSL emits).
+/// Throws InvalidArgumentError on anything else.
+[[nodiscard]] EccScheme ecc_from_string(const std::string& text);
+
+/// Memory failure model attached to a machine. `fit` may be any positive
+/// rate, allowing the DSL to model hypothetical devices; the presets mirror
+/// Table VII.
+class MemoryModel {
+ public:
+  explicit MemoryModel(double fit);
+  static MemoryModel with_ecc(EccScheme scheme) {
+    return MemoryModel(fit_rate(scheme));
+  }
+
+  [[nodiscard]] double fit() const noexcept { return fit_; }
+
+ private:
+  double fit_;
+};
+
+/// A machine, as the models see it: one LLC plus a memory failure model.
+struct Machine;
+
+}  // namespace dvf

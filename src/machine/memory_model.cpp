@@ -1,0 +1,50 @@
+#include "dvf/machine/memory_model.hpp"
+
+#include "dvf/common/error.hpp"
+
+namespace dvf {
+
+double fit_rate(EccScheme scheme) noexcept {
+  // Table VII: error rate with ECC in place, FIT / Mbit.
+  switch (scheme) {
+    case EccScheme::kNone:
+      return 5000.0;
+    case EccScheme::kSecDed:
+      return 1300.0;
+    case EccScheme::kChipkill:
+      return 0.02;
+  }
+  return 5000.0;  // unreachable; keeps -Wreturn-type quiet
+}
+
+std::string to_string(EccScheme scheme) {
+  switch (scheme) {
+    case EccScheme::kNone:
+      return "none";
+    case EccScheme::kSecDed:
+      return "secded";
+    case EccScheme::kChipkill:
+      return "chipkill";
+  }
+  return "none";
+}
+
+EccScheme ecc_from_string(const std::string& text) {
+  if (text == "none") {
+    return EccScheme::kNone;
+  }
+  if (text == "secded") {
+    return EccScheme::kSecDed;
+  }
+  if (text == "chipkill") {
+    return EccScheme::kChipkill;
+  }
+  throw InvalidArgumentError("unknown ECC scheme: '" + text +
+                             "' (expected none|secded|chipkill)");
+}
+
+MemoryModel::MemoryModel(double fit) : fit_(fit) {
+  DVF_CHECK_MSG(fit > 0.0, "FIT rate must be positive");
+}
+
+}  // namespace dvf

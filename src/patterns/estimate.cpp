@@ -1,0 +1,52 @@
+#include "dvf/patterns/estimate.hpp"
+
+#include <variant>
+
+#include "dvf/common/math.hpp"
+
+namespace dvf {
+
+char pattern_letter(const PatternSpec& spec) noexcept {
+  return std::visit(
+      [](const auto& s) {
+        using T = std::decay_t<decltype(s)>;
+        if constexpr (std::is_same_v<T, StreamingSpec>) {
+          return 's';
+        } else if constexpr (std::is_same_v<T, RandomSpec>) {
+          return 'r';
+        } else if constexpr (std::is_same_v<T, TemplateSpec>) {
+          return 't';
+        } else {
+          return 'u';
+        }
+      },
+      spec);
+}
+
+double estimate_accesses(const PatternSpec& spec, const CacheConfig& cache) {
+  return std::visit(
+      [&cache](const auto& s) -> double {
+        using T = std::decay_t<decltype(s)>;
+        if constexpr (std::is_same_v<T, StreamingSpec>) {
+          return estimate_streaming(s, cache);
+        } else if constexpr (std::is_same_v<T, RandomSpec>) {
+          return estimate_random(s, cache);
+        } else if constexpr (std::is_same_v<T, TemplateSpec>) {
+          return estimate_template(s, cache);
+        } else {
+          return estimate_reuse(s, cache);
+        }
+      },
+      spec);
+}
+
+double estimate_accesses(std::span<const PatternSpec> phases,
+                         const CacheConfig& cache) {
+  math::KahanSum sum;
+  for (const PatternSpec& phase : phases) {
+    sum.add(estimate_accesses(phase, cache));
+  }
+  return sum.value();
+}
+
+}  // namespace dvf

@@ -1,0 +1,25 @@
+// Pattern dispatch: one entry point for estimating main-memory accesses of
+// any access-pattern spec, and of a composition of specs.
+#pragma once
+
+#include <span>
+
+#include "dvf/machine/cache_config.hpp"
+#include "dvf/patterns/random.hpp"
+#include "dvf/patterns/reuse.hpp"
+#include "dvf/patterns/specs.hpp"
+#include "dvf/patterns/streaming.hpp"
+#include "dvf/patterns/template_access.hpp"
+
+namespace dvf {
+
+/// Estimated main-memory accesses of one pattern phase.
+[[nodiscard]] double estimate_accesses(const PatternSpec& spec,
+                                       const CacheConfig& cache);
+
+/// A data structure whose behaviour is a composition of pattern phases
+/// accumulates the phases' estimates (CGPMAC composability).
+[[nodiscard]] double estimate_accesses(std::span<const PatternSpec> phases,
+                                       const CacheConfig& cache);
+
+}  // namespace dvf

@@ -1,0 +1,121 @@
+// Parameter records for the four CGPMAC access-pattern classes (§III-C).
+//
+// A data structure's access behaviour is a composition of these specs; the
+// DVF engine sums the estimated main-memory accesses over the composition
+// (the paper's modular "composition of these four classes").
+#pragma once
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+namespace dvf {
+
+/// Streaming access (§III-C "Streaming Access Pattern"): a sequential
+/// traversal with a fixed stride. Parameters mirror the Aspen program of the
+/// VM example: (element size, element count, stride in elements).
+struct StreamingSpec {
+  std::uint32_t element_bytes = 8;
+  std::uint64_t element_count = 0;
+  std::uint64_t stride_elements = 1;
+
+  /// D — total footprint in bytes.
+  [[nodiscard]] std::uint64_t footprint_bytes() const noexcept {
+    return element_count * element_bytes;
+  }
+  /// S — stride in bytes.
+  [[nodiscard]] std::uint64_t stride_bytes() const noexcept {
+    return stride_elements * element_bytes;
+  }
+};
+
+/// Random access (§III-C "Random Access Pattern"): `iterations` rounds, each
+/// visiting `visits_per_iteration` (k) distinct elements of an N-element
+/// structure that owns a `cache_ratio` (r) share of the LLC. Mirrors the
+/// Barnes–Hut Aspen program parameters (N, E, k, iter, r).
+///
+/// Extension beyond the paper: `sorted_visit_fractions` optionally carries a
+/// profiled popularity histogram — entry i is the fraction of iterations
+/// that visit the i-th most popular element (sorted descending). When
+/// present, the estimator uses the independent-reference model (the cache
+/// retains the hottest elements; misses are the visit mass beyond the
+/// cacheable prefix), which captures the hot-top-of-tree locality of
+/// Barnes–Hut descents and binary searches that the paper's uniform
+/// hypergeometric model (Eqs. 5–6) cannot. Leave empty for the paper model.
+struct RandomSpec {
+  std::uint64_t element_count = 0;        ///< N
+  std::uint32_t element_bytes = 8;        ///< E
+  double visits_per_iteration = 1.0;      ///< k
+  std::uint64_t iterations = 0;           ///< iter
+  double cache_ratio = 1.0;               ///< r in (0, 1]
+  std::vector<double> sorted_visit_fractions;  ///< optional IRM histogram
+};
+
+/// How the template model measures the gap between two uses of a block.
+enum class DistanceKind {
+  /// Distinct blocks touched in between (LRU stack distance) — matches the
+  /// LRU verification simulator and is the default.
+  kStack,
+  /// Raw reference count in between — the literal two-step wording of the
+  /// paper; kept for the ablation study.
+  kRaw,
+};
+
+/// Template-based access (§III-C): an explicit element-index reference
+/// string (already expanded from the DSL's start:step:end template syntax).
+/// `repetitions` replays the same string back-to-back — iterative kernels
+/// (multigrid sweeps, FFT passes) repeat one sweep template many times, and
+/// replaying through the analyzer is far cheaper than materializing it.
+struct TemplateSpec {
+  std::uint32_t element_bytes = 8;
+  std::vector<std::uint64_t> element_indices;
+  std::uint64_t repetitions = 1;
+  double cache_ratio = 1.0;  ///< share of the cache available to the structure
+  DistanceKind distance = DistanceKind::kStack;
+};
+
+/// Interference scenario for the reuse model (the paper's two post-load
+/// scenarios, Eqs. 11 and 12).
+enum class ReuseScenario {
+  /// Eq. 11: the target was just touched, so LRU evicts interferer blocks
+  /// first; deterministic survivor count. Default.
+  kLruProtects,
+  /// Eq. 12: any resident block is equally likely to be evicted
+  /// (hypergeometric survivors).
+  kUniformEviction,
+  /// Equal-weight mixture of the two scenarios (the paper combines both).
+  kBlend,
+};
+
+/// How blocks of a structure distribute over the cache's associative sets.
+enum class ReuseOccupancy {
+  /// Eq. 8: Bernoulli trials (the paper's model, after Thiébaut–Stone) —
+  /// right for pointer-chased or randomly placed data.
+  kBernoulli,
+  /// Contiguous arrays map round-robin onto sets, so per-set occupancy is
+  /// deterministically floor/ceil of F/NA. Extension beyond the paper;
+  /// removes the spurious tail evictions Bernoulli predicts for arrays.
+  kContiguous,
+};
+
+/// Data-reuse access (§III-C "Data Reuse Pattern", Eqs. 8–15): the target
+/// structure is loaded, then re-read `reuse_rounds` times while an
+/// aggregated interferer (all other live structures, size `other_bytes`)
+/// competes for the same sets.
+struct ReuseSpec {
+  std::uint64_t self_bytes = 0;    ///< footprint of the target structure
+  std::uint64_t other_bytes = 0;   ///< combined footprint of interferers (B)
+  std::uint64_t reuse_rounds = 1;  ///< number of re-traversals after the load
+  ReuseScenario scenario = ReuseScenario::kLruProtects;
+  ReuseOccupancy occupancy = ReuseOccupancy::kBernoulli;
+};
+
+/// One access-pattern phase of a data structure.
+using PatternSpec =
+    std::variant<StreamingSpec, RandomSpec, TemplateSpec, ReuseSpec>;
+
+/// Pattern-class letter as used in the paper's Aspen programs
+/// (s = streaming, r = random, t = template, u = reuse).
+[[nodiscard]] char pattern_letter(const PatternSpec& spec) noexcept;
+
+}  // namespace dvf

@@ -1,0 +1,61 @@
+// Template-based access model (§III-C "Template-Based Access Pattern").
+//
+// The user-supplied template is an element-index reference string; elements
+// map to cache blocks, and the paper's two-step algorithm counts one
+// main-memory access for each first use of a block plus one for each reuse
+// whose distance exceeds the available cache capacity.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "dvf/machine/cache_config.hpp"
+#include "dvf/patterns/specs.hpp"
+
+namespace dvf {
+
+/// Online LRU stack-distance computation over a block reference string.
+/// For each reference, observe() yields the number of DISTINCT blocks
+/// touched since that block's previous use, or kColdMiss for a first use.
+/// O(log n) per reference via a Fenwick tree over reference positions.
+class ReuseDistanceAnalyzer {
+ public:
+  static constexpr std::uint64_t kColdMiss = ~std::uint64_t{0};
+
+  /// `expected_references`: reserve hint (the full string length).
+  explicit ReuseDistanceAnalyzer(std::size_t expected_references = 0);
+
+  /// Feeds the next reference; returns its stack distance (kColdMiss for the
+  /// first touch of the block).
+  std::uint64_t observe(std::uint64_t block);
+
+  /// Number of distinct blocks seen so far.
+  [[nodiscard]] std::size_t distinct_blocks() const noexcept {
+    return last_position_.size();
+  }
+
+ private:
+  void bit_add(std::size_t pos, std::int64_t delta);
+  [[nodiscard]] std::int64_t bit_prefix_sum(std::size_t pos) const;
+  void ensure_capacity(std::size_t pos);
+
+  std::vector<std::int64_t> tree_;  // Fenwick: 1 at each block's latest use
+  std::unordered_map<std::uint64_t, std::uint64_t> last_position_;  // block -> pos+1
+  std::size_t position_ = 0;
+};
+
+/// Converts the template's element indices to a cache-block reference string
+/// (structure assumed block-aligned at offset 0).
+[[nodiscard]] std::vector<std::uint64_t> blocks_from_elements(
+    std::span<const std::uint64_t> element_indices, std::uint32_t element_bytes,
+    std::uint32_t line_bytes);
+
+/// The two-step counting algorithm. Returns the estimated number of
+/// main-memory accesses for the reference string under a cache with
+/// `cache_ratio * total_blocks` blocks available to this structure.
+[[nodiscard]] double estimate_template(const TemplateSpec& spec,
+                                       const CacheConfig& cache);
+
+}  // namespace dvf

@@ -1,0 +1,52 @@
+// Fixed-width table / CSV emission for the benchmark harness and examples.
+// Every figure-regenerating binary prints its series through this, so the
+// output format is uniform and machine-harvestable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dvf {
+
+/// A rectangular table with a header row. Cells are strings; numeric helpers
+/// format through format_significant.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds a row; throws InvalidArgumentError if the width differs from the
+  /// header's.
+  Table& add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const noexcept { return headers_.size(); }
+  [[nodiscard]] const std::vector<std::string>& header() const noexcept {
+    return headers_;
+  }
+  [[nodiscard]] const std::vector<std::string>& row(std::size_t i) const;
+
+  /// Pretty fixed-width rendering with a rule under the header.
+  [[nodiscard]] std::string to_text() const;
+  /// RFC-4180-ish CSV (quotes cells containing comma/quote/newline).
+  [[nodiscard]] std::string to_csv() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const Table& t);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Numeric cell helper: significant-digit formatting.
+[[nodiscard]] std::string num(double value, int digits = 5);
+
+/// Section banner used by the bench binaries ("=== Figure 5(b): ... ===").
+[[nodiscard]] std::string banner(const std::string& title);
+
+/// When the DVF_CSV_DIR environment variable is set, writes the table as
+/// `<dir>/<name>.csv` (for plotting pipelines) and returns true; otherwise
+/// does nothing. Every figure bench calls this after printing.
+bool maybe_export_csv(const std::string& name, const Table& table);
+
+}  // namespace dvf

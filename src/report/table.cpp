@@ -1,0 +1,129 @@
+#include "dvf/report/table.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "dvf/common/error.hpp"
+#include "dvf/common/string_util.hpp"
+
+namespace dvf {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  DVF_CHECK_MSG(!headers_.empty(), "a table needs at least one column");
+}
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  DVF_CHECK_MSG(cells.size() == headers_.size(),
+                "row width does not match header width");
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+const std::vector<std::string>& Table::row(std::size_t i) const {
+  DVF_CHECK_MSG(i < rows_.size(), "table row index out of range");
+  return rows_[i];
+}
+
+std::string Table::to_text() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      widths[c] = std::max(widths[c], r[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  const auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c != 0) {
+        out << "  ";
+      }
+      out << cells[c];
+      out << std::string(widths[c] - cells[c].size(), ' ');
+    }
+    out << '\n';
+  };
+
+  emit_row(headers_);
+  std::size_t total = 0;
+  for (const std::size_t w : widths) {
+    total += w;
+  }
+  total += 2 * (widths.size() - 1);
+  out << std::string(total, '-') << '\n';
+  for (const auto& r : rows_) {
+    emit_row(r);
+  }
+  return out.str();
+}
+
+namespace {
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) {
+    return cell;
+  }
+  std::string out = "\"";
+  for (const char ch : cell) {
+    if (ch == '"') {
+      out += "\"\"";
+    } else {
+      out += ch;
+    }
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+std::string Table::to_csv() const {
+  std::ostringstream out;
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c != 0) {
+        out << ',';
+      }
+      out << csv_escape(cells[c]);
+    }
+    out << '\n';
+  };
+  emit(headers_);
+  for (const auto& r : rows_) {
+    emit(r);
+  }
+  return out.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& t) {
+  return os << t.to_text();
+}
+
+std::string num(double value, int digits) {
+  return format_significant(value, digits);
+}
+
+std::string banner(const std::string& title) {
+  return "\n=== " + title + " ===\n";
+}
+
+bool maybe_export_csv(const std::string& name, const Table& table) {
+  const char* dir = std::getenv("DVF_CSV_DIR");
+  if (dir == nullptr || *dir == '\0') {
+    return false;
+  }
+  const std::string path = std::string(dir) + "/" + name + ".csv";
+  std::ofstream out(path);
+  if (!out) {
+    throw Error("cannot write CSV to " + path);
+  }
+  out << table.to_csv();
+  return true;
+}
+
+}  // namespace dvf

@@ -1,0 +1,65 @@
+// Cache-line/page aligned storage for kernel data structures.
+//
+// Aligned bases make the trace-driven simulation deterministic (set indices
+// do not depend on where the allocator happened to place a vector) and match
+// the analytical models' assumption that a structure starts on a block
+// boundary.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <span>
+
+#include "dvf/common/error.hpp"
+
+namespace dvf {
+
+/// Fixed-size, over-aligned, zero-initialized array of trivially copyable T.
+template <typename T>
+class AlignedBuffer {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "kernel data structures hold plain values");
+
+ public:
+  static constexpr std::size_t kAlignment = 4096;  // page: aligns every cache line
+
+  AlignedBuffer() = default;
+
+  explicit AlignedBuffer(std::size_t count) : count_(count) {
+    DVF_CHECK_MSG(count > 0, "AlignedBuffer size must be positive");
+    data_.reset(static_cast<T*>(
+        ::operator new[](count * sizeof(T), std::align_val_t{kAlignment})));
+    std::uninitialized_value_construct_n(data_.get(), count_);
+  }
+
+  [[nodiscard]] T* data() noexcept { return data_.get(); }
+  [[nodiscard]] const T* data() const noexcept { return data_.get(); }
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+  [[nodiscard]] std::uint64_t size_bytes() const noexcept {
+    return count_ * sizeof(T);
+  }
+
+  [[nodiscard]] T& operator[](std::size_t i) noexcept { return data_[i]; }
+  [[nodiscard]] const T& operator[](std::size_t i) const noexcept { return data_[i]; }
+
+  [[nodiscard]] std::span<T> span() noexcept { return {data_.get(), count_}; }
+  [[nodiscard]] std::span<const T> span() const noexcept { return {data_.get(), count_}; }
+
+  /// Byte address of element `i`, as recorders see it.
+  [[nodiscard]] std::uint64_t address_of(std::size_t i) const noexcept {
+    return reinterpret_cast<std::uintptr_t>(data_.get() + i);
+  }
+
+ private:
+  struct Deleter {
+    void operator()(T* p) const noexcept {
+      ::operator delete[](p, std::align_val_t{kAlignment});
+    }
+  };
+  std::unique_ptr<T[], Deleter> data_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace dvf

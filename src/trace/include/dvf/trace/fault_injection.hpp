@@ -1,0 +1,78 @@
+// Fault injection at the memory-reference level — the statistical baseline
+// methodology the paper compares DVF against (§VI: "the statistical-based
+// fault injection technique injects random faults into application
+// states... researchers have to perform a large amount of fault injection
+// operations, which is prohibitively expensive").
+//
+// A FaultInjectingRecorder rides along a kernel run, counts references, and
+// at the chosen trigger reference flips one bit of the target structure's
+// live memory — emulating a DRAM upset striking mid-execution. The campaign
+// driver (kernels/injection_campaign) repeats this to estimate per-structure
+// corruption probabilities, the ground truth DVF approximates analytically.
+#pragma once
+
+#include <cstdint>
+
+#include "dvf/common/error.hpp"
+#include "dvf/trace/recorder.hpp"
+
+namespace dvf {
+
+/// One fault to inject: flip `bit` of the byte at `target_byte` once the
+/// run's `trigger_reference`-th reference (1-based, loads and stores both
+/// count) has been issued.
+struct FaultSpec {
+  std::uint64_t trigger_reference = 1;
+  std::uint8_t* target_byte = nullptr;
+  std::uint8_t bit = 0;
+};
+
+/// Recorder that injects the fault and otherwise observes silently.
+class FaultInjectingRecorder {
+ public:
+  explicit FaultInjectingRecorder(const FaultSpec& fault) : fault_(fault) {
+    DVF_CHECK_MSG(fault.target_byte != nullptr, "fault needs a target byte");
+    DVF_CHECK_MSG(fault.bit < 8, "bit index must be 0..7");
+    DVF_CHECK_MSG(fault.trigger_reference >= 1,
+                  "trigger reference is 1-based");
+  }
+
+  void on_load(DsId, std::uint64_t, std::uint32_t) { tick(); }
+  void on_store(DsId, std::uint64_t, std::uint32_t) { tick(); }
+
+  /// Whether the flip happened (false when the run ended early).
+  [[nodiscard]] bool injected() const noexcept { return injected_; }
+  /// References seen so far.
+  [[nodiscard]] std::uint64_t references() const noexcept { return count_; }
+  /// The byte value before the flip (valid once injected()).
+  [[nodiscard]] std::uint8_t original_value() const noexcept {
+    return original_;
+  }
+
+  /// Undoes the flip (used by campaigns to restore read-only inputs after
+  /// the trial; structures rewritten by the kernel's own reset/run do not
+  /// care).
+  void restore() const noexcept {
+    if (injected_) {
+      *fault_.target_byte = original_;
+    }
+  }
+
+ private:
+  void tick() {
+    if (++count_ == fault_.trigger_reference) {
+      original_ = *fault_.target_byte;
+      *fault_.target_byte =
+          static_cast<std::uint8_t>(original_ ^ (1u << fault_.bit));
+      injected_ = true;
+    }
+  }
+
+  FaultSpec fault_;
+  std::uint64_t count_ = 0;
+  std::uint8_t original_ = 0;
+  bool injected_ = false;
+};
+static_assert(RecorderLike<FaultInjectingRecorder>);
+
+}  // namespace dvf

@@ -1,0 +1,55 @@
+// Registry of the data structures a kernel exposes to the resilience
+// analysis: name, base address, extent and element size. Provides address →
+// structure attribution for trace post-processing and the footprint sizes
+// (S_d) the DVF calculation needs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dvf/trace/recorder.hpp"
+
+namespace dvf {
+
+/// Metadata of one registered structure.
+struct DataStructureInfo {
+  std::string name;
+  std::uint64_t base_address = 0;
+  std::uint64_t size_bytes = 0;
+  std::uint32_t element_bytes = 0;
+
+  [[nodiscard]] std::uint64_t element_count() const noexcept {
+    return element_bytes == 0 ? 0 : size_bytes / element_bytes;
+  }
+  [[nodiscard]] bool contains(std::uint64_t address) const noexcept {
+    return address >= base_address && address < base_address + size_bytes;
+  }
+};
+
+/// Append-only registry. Ids are dense indices in registration order, so
+/// recorders can use them as vector indices.
+class DataStructureRegistry {
+ public:
+  /// Registers a structure; throws InvalidArgumentError on empty name,
+  /// zero size, zero/odd element size that does not divide the size, or a
+  /// duplicate name.
+  DsId register_structure(std::string name, const void* base,
+                          std::uint64_t size_bytes, std::uint32_t element_bytes);
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] const DataStructureInfo& info(DsId id) const;
+  [[nodiscard]] std::optional<DsId> find(const std::string& name) const;
+  /// Attribution by address (linear scan — registries hold a handful of
+  /// structures). Returns kNoDs when no structure contains the address.
+  [[nodiscard]] DsId attribute(std::uint64_t address) const noexcept;
+
+  [[nodiscard]] auto begin() const noexcept { return entries_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return entries_.end(); }
+
+ private:
+  std::vector<DataStructureInfo> entries_;
+};
+
+}  // namespace dvf

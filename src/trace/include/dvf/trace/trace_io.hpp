@@ -1,0 +1,42 @@
+// Trace serialization: persist a kernel's memory-reference stream together
+// with its data-structure table, and replay it later against any cache
+// configuration (dvfc trace / dvfc replay). This decouples the expensive
+// part of a verification study (generating references) from the cheap part
+// (simulating caches), the same split the paper's Pin-based flow used.
+//
+// Format (native-endian binary):
+//   magic "DVFT", u32 version,
+//   u32 structure count, then per structure:
+//     u32 name length, name bytes, u64 base address, u64 size, u32 elem size
+//   u64 record count, then per record:
+//     u64 address, u32 size, u32 ds id, u8 is_write
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "dvf/trace/recorder.hpp"
+#include "dvf/trace/registry.hpp"
+
+namespace dvf {
+
+/// A deserialized trace: the structure table plus the reference stream.
+struct TraceFile {
+  std::vector<DataStructureInfo> structures;
+  std::vector<MemoryRecord> records;
+};
+
+/// Serializes a trace. Throws Error on I/O failure.
+void write_trace(std::ostream& out, const DataStructureRegistry& registry,
+                 const std::vector<MemoryRecord>& records);
+void write_trace_file(const std::string& path,
+                      const DataStructureRegistry& registry,
+                      const std::vector<MemoryRecord>& records);
+
+/// Deserializes a trace. Throws Error on malformed input (bad magic,
+/// unsupported version, truncated stream, out-of-range structure ids).
+[[nodiscard]] TraceFile read_trace(std::istream& in);
+[[nodiscard]] TraceFile read_trace_file(const std::string& path);
+
+}  // namespace dvf

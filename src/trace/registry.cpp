@@ -1,0 +1,52 @@
+#include "dvf/trace/registry.hpp"
+
+#include <utility>
+
+#include "dvf/common/error.hpp"
+
+namespace dvf {
+
+DsId DataStructureRegistry::register_structure(std::string name, const void* base,
+                                               std::uint64_t size_bytes,
+                                               std::uint32_t element_bytes) {
+  DVF_CHECK_MSG(!name.empty(), "data structure name must not be empty");
+  DVF_CHECK_MSG(size_bytes > 0, "data structure size must be positive");
+  DVF_CHECK_MSG(element_bytes > 0, "element size must be positive");
+  DVF_CHECK_MSG(size_bytes % element_bytes == 0,
+                "element size must divide total size");
+  DVF_CHECK_MSG(!find(name).has_value(),
+                "duplicate data structure name: " + name);
+
+  DataStructureInfo info;
+  info.name = std::move(name);
+  info.base_address = reinterpret_cast<std::uintptr_t>(base);
+  info.size_bytes = size_bytes;
+  info.element_bytes = element_bytes;
+  entries_.push_back(std::move(info));
+  return static_cast<DsId>(entries_.size() - 1);
+}
+
+const DataStructureInfo& DataStructureRegistry::info(DsId id) const {
+  DVF_CHECK_MSG(id < entries_.size(), "data structure id out of range");
+  return entries_[id];
+}
+
+std::optional<DsId> DataStructureRegistry::find(const std::string& name) const {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].name == name) {
+      return static_cast<DsId>(i);
+    }
+  }
+  return std::nullopt;
+}
+
+DsId DataStructureRegistry::attribute(std::uint64_t address) const noexcept {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].contains(address)) {
+      return static_cast<DsId>(i);
+    }
+  }
+  return kNoDs;
+}
+
+}  // namespace dvf

@@ -1,0 +1,126 @@
+#include "dvf/trace/trace_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "dvf/common/error.hpp"
+
+namespace dvf {
+
+namespace {
+
+constexpr char kMagic[4] = {'D', 'V', 'F', 'T'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void put(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T get(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) {
+    throw Error("truncated trace stream");
+  }
+  return value;
+}
+
+}  // namespace
+
+void write_trace(std::ostream& out, const DataStructureRegistry& registry,
+                 const std::vector<MemoryRecord>& records) {
+  out.write(kMagic, sizeof(kMagic));
+  put(out, kVersion);
+
+  put(out, static_cast<std::uint32_t>(registry.size()));
+  for (const DataStructureInfo& info : registry) {
+    put(out, static_cast<std::uint32_t>(info.name.size()));
+    out.write(info.name.data(),
+              static_cast<std::streamsize>(info.name.size()));
+    put(out, info.base_address);
+    put(out, info.size_bytes);
+    put(out, info.element_bytes);
+  }
+
+  put(out, static_cast<std::uint64_t>(records.size()));
+  for (const MemoryRecord& record : records) {
+    put(out, record.address);
+    put(out, record.size);
+    put(out, static_cast<std::uint32_t>(record.ds));
+    put(out, static_cast<std::uint8_t>(record.is_write ? 1 : 0));
+  }
+  if (!out) {
+    throw Error("trace write failed");
+  }
+}
+
+void write_trace_file(const std::string& path,
+                      const DataStructureRegistry& registry,
+                      const std::vector<MemoryRecord>& records) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw Error("cannot open trace file for writing: " + path);
+  }
+  write_trace(out, registry, records);
+}
+
+TraceFile read_trace(std::istream& in) {
+  char magic[4] = {};
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw Error("not a DVF trace (bad magic)");
+  }
+  const auto version = get<std::uint32_t>(in);
+  if (version != kVersion) {
+    throw Error("unsupported trace version " + std::to_string(version));
+  }
+
+  TraceFile trace;
+  const auto n_structures = get<std::uint32_t>(in);
+  trace.structures.reserve(n_structures);
+  for (std::uint32_t i = 0; i < n_structures; ++i) {
+    DataStructureInfo info;
+    const auto name_len = get<std::uint32_t>(in);
+    if (name_len > 4096) {
+      throw Error("implausible structure name length in trace");
+    }
+    info.name.resize(name_len);
+    in.read(info.name.data(), name_len);
+    if (!in) {
+      throw Error("truncated trace stream");
+    }
+    info.base_address = get<std::uint64_t>(in);
+    info.size_bytes = get<std::uint64_t>(in);
+    info.element_bytes = get<std::uint32_t>(in);
+    trace.structures.push_back(std::move(info));
+  }
+
+  const auto n_records = get<std::uint64_t>(in);
+  trace.records.reserve(static_cast<std::size_t>(n_records));
+  for (std::uint64_t i = 0; i < n_records; ++i) {
+    MemoryRecord record{};
+    record.address = get<std::uint64_t>(in);
+    record.size = get<std::uint32_t>(in);
+    record.ds = get<std::uint32_t>(in);
+    record.is_write = get<std::uint8_t>(in) != 0;
+    if (record.ds != kNoDs && record.ds >= trace.structures.size()) {
+      throw Error("trace record references an unknown structure id");
+    }
+    trace.records.push_back(record);
+  }
+  return trace;
+}
+
+TraceFile read_trace_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw Error("cannot open trace file: " + path);
+  }
+  return read_trace(in);
+}
+
+}  // namespace dvf

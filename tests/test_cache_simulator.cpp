@@ -1,0 +1,148 @@
+// Unit tests for the trace-driven LRU cache simulator.
+#include "dvf/cachesim/cache_simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dvf/common/error.hpp"
+#include "dvf/machine/cache_config.hpp"
+
+namespace dvf {
+namespace {
+
+CacheConfig tiny() { return {"tiny", 2, 2, 16}; }  // 2-way, 2 sets, 16B lines
+
+TEST(CacheSimulator, ColdMissThenHit) {
+  CacheSimulator sim(tiny());
+  sim.on_load(0, 0, 8);
+  sim.on_load(0, 0, 8);
+  const CacheStats st = sim.stats(0);
+  EXPECT_EQ(st.accesses, 2u);
+  EXPECT_EQ(st.misses, 1u);
+  EXPECT_EQ(st.hits, 1u);
+  EXPECT_EQ(st.writebacks, 0u);
+}
+
+TEST(CacheSimulator, AccessSpanningTwoLinesProbesBoth) {
+  CacheSimulator sim(tiny());
+  sim.on_load(0, 12, 8);  // bytes 12..19 cross the 16-byte boundary
+  const CacheStats st = sim.stats(0);
+  EXPECT_EQ(st.accesses, 2u);
+  EXPECT_EQ(st.misses, 2u);
+}
+
+TEST(CacheSimulator, LruEvictionOrder) {
+  CacheSimulator sim(tiny());
+  // Set 0 receives blocks at addresses 0, 32, 64 (block % 2 == 0).
+  sim.on_load(0, 0, 4);
+  sim.on_load(0, 32, 4);
+  sim.on_load(0, 0, 4);   // touch block 0 again: block 32 becomes LRU
+  sim.on_load(0, 64, 4);  // evicts block 32
+  sim.on_load(0, 0, 4);   // still resident
+  EXPECT_EQ(sim.stats(0).misses, 3u);
+  EXPECT_EQ(sim.stats(0).hits, 2u);
+  sim.on_load(0, 32, 4);  // was evicted: miss
+  EXPECT_EQ(sim.stats(0).misses, 4u);
+}
+
+TEST(CacheSimulator, WritebackOnDirtyEviction) {
+  CacheSimulator sim(tiny());
+  sim.on_store(1, 0, 4);   // dirty block 0 (owner ds=1)
+  sim.on_load(2, 32, 4);   // same set
+  sim.on_load(2, 64, 4);   // evicts ds=1's dirty block
+  EXPECT_EQ(sim.stats(1).writebacks, 1u);
+  EXPECT_EQ(sim.stats(2).writebacks, 0u);
+}
+
+TEST(CacheSimulator, FlushChargesResidentDirtyLines) {
+  CacheSimulator sim(tiny());
+  sim.on_store(0, 0, 4);
+  sim.on_store(0, 16, 4);
+  sim.on_load(0, 48, 4);
+  EXPECT_EQ(sim.stats(0).writebacks, 0u);
+  sim.flush();
+  EXPECT_EQ(sim.stats(0).writebacks, 2u);
+  EXPECT_EQ(sim.resident_lines(), 0u);
+}
+
+TEST(CacheSimulator, FlushIsIdempotent) {
+  CacheSimulator sim(tiny());
+  sim.on_store(0, 0, 4);
+  sim.flush();
+  sim.flush();
+  EXPECT_EQ(sim.stats(0).writebacks, 1u);
+}
+
+TEST(CacheSimulator, ResetClearsEverything) {
+  CacheSimulator sim(tiny());
+  sim.on_store(0, 0, 4);
+  sim.reset();
+  EXPECT_EQ(sim.total_stats().accesses, 0u);
+  EXPECT_EQ(sim.resident_lines(), 0u);
+  sim.on_load(0, 0, 4);
+  EXPECT_EQ(sim.stats(0).misses, 1u);
+}
+
+TEST(CacheSimulator, PerStructureAttribution) {
+  CacheSimulator sim(tiny());
+  sim.on_load(3, 0, 4);
+  sim.on_load(7, 16, 4);
+  EXPECT_EQ(sim.stats(3).misses, 1u);
+  EXPECT_EQ(sim.stats(7).misses, 1u);
+  EXPECT_EQ(sim.stats(4).accesses, 0u);
+  EXPECT_EQ(sim.total_stats().misses, 2u);
+}
+
+TEST(CacheSimulator, UnattributedAccessesLandInTotals) {
+  CacheSimulator sim(tiny());
+  sim.on_load(kNoDs, 0, 4);
+  EXPECT_EQ(sim.stats(kNoDs).misses, 1u);
+  EXPECT_EQ(sim.total_stats().misses, 1u);
+}
+
+TEST(CacheSimulator, WorkingSetWithinCapacityNeverMissesTwice) {
+  // 2 sets * 2 ways * 16B = 64B capacity: a 64-byte working set fits.
+  CacheSimulator sim(tiny());
+  for (int round = 0; round < 10; ++round) {
+    for (std::uint64_t addr = 0; addr < 64; addr += 16) {
+      sim.on_load(0, addr, 4);
+    }
+  }
+  EXPECT_EQ(sim.stats(0).misses, 4u);
+  EXPECT_EQ(sim.stats(0).hits, 36u);
+}
+
+TEST(CacheSimulator, CyclicOverCapacityThrashesUnderLru) {
+  // 3 blocks cycling through a 2-way set: LRU evicts the block about to be
+  // used, so every access misses.
+  CacheSimulator sim({"one-set", 2, 1, 16});
+  for (int round = 0; round < 5; ++round) {
+    sim.on_load(0, 0, 4);
+    sim.on_load(0, 16, 4);
+    sim.on_load(0, 32, 4);
+  }
+  EXPECT_EQ(sim.stats(0).hits, 0u);
+  EXPECT_EQ(sim.stats(0).misses, 15u);
+}
+
+TEST(CacheSimulator, ZeroSizeAccessRejected) {
+  CacheSimulator sim(tiny());
+  EXPECT_THROW(sim.access(0, 0, false, 0), InvalidArgumentError);
+}
+
+TEST(CacheConfig, DerivedQuantities) {
+  const CacheConfig c = caches::small_verification();
+  EXPECT_EQ(c.capacity_bytes(), 8u * 1024u);
+  EXPECT_EQ(c.total_blocks(), 256u);
+  EXPECT_EQ(c.set_of(0), 0u);
+  EXPECT_EQ(c.set_of(32), 1u);
+  EXPECT_EQ(c.block_of(63), 1u);
+}
+
+TEST(CacheConfig, RejectsBadGeometry) {
+  EXPECT_THROW(CacheConfig("bad", 0, 4, 32), InvalidArgumentError);
+  EXPECT_THROW(CacheConfig("bad", 4, 0, 32), InvalidArgumentError);
+  EXPECT_THROW(CacheConfig("bad", 4, 4, 48), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace dvf

@@ -1,0 +1,98 @@
+// Coverage for paths the mainline suites exercise only implicitly.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "dvf/common/rng.hpp"
+#include "dvf/dvf/cache_vulnerability.hpp"
+#include "dvf/kernels/suite.hpp"
+#include "dvf/patterns/random.hpp"
+#include "dvf/report/table.hpp"
+
+namespace dvf {
+namespace {
+
+TEST(CsvExport, DisabledWithoutEnvironment) {
+  ::unsetenv("DVF_CSV_DIR");
+  Table t({"a"});
+  t.add_row({"1"});
+  EXPECT_FALSE(maybe_export_csv("never_written", t));
+}
+
+TEST(CsvExport, WritesWhenEnvironmentSet) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "dvf_csv_test").string();
+  std::filesystem::create_directories(dir);
+  ::setenv("DVF_CSV_DIR", dir.c_str(), 1);
+  Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  EXPECT_TRUE(maybe_export_csv("gap_test", t));
+  ::unsetenv("DVF_CSV_DIR");
+
+  std::ifstream in(dir + "/gap_test.csv");
+  ASSERT_TRUE(in.good());
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "x,y");
+}
+
+TEST(LruIrm, UnsortedInputMatchesSortedInput) {
+  Xoshiro256 rng(31);
+  std::vector<double> shuffled;
+  for (int i = 0; i < 500; ++i) {
+    shuffled.push_back(rng.uniform() * 0.5);
+  }
+  std::vector<double> sorted = shuffled;
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  EXPECT_DOUBLE_EQ(expected_misses_lru_irm(shuffled, 100),
+                   expected_misses_lru_irm(sorted, 100));
+}
+
+TEST(LruIrm, AscendingInputHandledWithoutResort) {
+  std::vector<double> ascending;
+  for (int i = 1; i <= 200; ++i) {
+    ascending.push_back(static_cast<double>(i) / 400.0);
+  }
+  std::vector<double> descending(ascending.rbegin(), ascending.rend());
+  EXPECT_DOUBLE_EQ(expected_misses_lru_irm(ascending, 50),
+                   expected_misses_lru_irm(descending, 50));
+}
+
+TEST(CacheReferences, ReuseCountsLineGranularTraversals) {
+  ReuseSpec u;
+  u.self_bytes = 6400;  // 100 64-byte line touches per traversal
+  u.reuse_rounds = 4;
+  EXPECT_DOUBLE_EQ(cache_references(PatternSpec{u}), 100.0 * 5);
+}
+
+TEST(ExtendedSuite, AddsSparseCgToTheSixKernels) {
+  const auto suite = kernels::make_extended_suite();
+  ASSERT_EQ(suite.size(), 7u);
+  EXPECT_EQ(suite.back()->name(), "CGS");
+  EXPECT_EQ(suite.back()->method_class(), "Sparse linear algebra (CSR)");
+  // The extension kernel is a full citizen: model + registry line up.
+  const ModelSpec spec = suite.back()->model_spec();
+  for (const auto& ds : spec.structures) {
+    EXPECT_TRUE(suite.back()->registry().find(ds.name).has_value())
+        << ds.name;
+  }
+}
+
+TEST(KernelCase, NamesAndMethodsAreStable) {
+  const auto suite = kernels::make_verification_suite();
+  EXPECT_EQ(suite[0]->name(), "VM");
+  EXPECT_EQ(suite[1]->method_class(), "Sparse linear algebra");
+  EXPECT_EQ(suite[5]->name(), "MC");
+}
+
+TEST(TableAccessors, HeaderAndRowRoundTrip) {
+  Table t({"h1", "h2"});
+  t.add_row({"a", "b"});
+  EXPECT_EQ(t.header(), (std::vector<std::string>{"h1", "h2"}));
+  EXPECT_EQ(t.row(0), (std::vector<std::string>{"a", "b"}));
+}
+
+}  // namespace
+}  // namespace dvf

@@ -1,0 +1,86 @@
+// Unit tests for the DSL lexer.
+#include "dvf/dsl/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dvf/common/error.hpp"
+
+namespace dvf::dsl {
+namespace {
+
+TEST(Lexer, TokenizesIdentifiersAndPunctuation) {
+  const auto tokens = tokenize("model \"x\" { data A ; }");
+  ASSERT_EQ(tokens.size(), 8u);  // incl. EOF
+  EXPECT_TRUE(tokens[0].is_word("model"));
+  EXPECT_EQ(tokens[1].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[1].text, "x");
+  EXPECT_EQ(tokens[2].kind, TokenKind::kLBrace);
+  EXPECT_TRUE(tokens[3].is_word("data"));
+  EXPECT_TRUE(tokens[4].is_word("A"));
+  EXPECT_EQ(tokens[5].kind, TokenKind::kSemicolon);
+  EXPECT_EQ(tokens[6].kind, TokenKind::kRBrace);
+  EXPECT_EQ(tokens[7].kind, TokenKind::kEndOfFile);
+}
+
+TEST(Lexer, NumbersWithExponentsAndSuffixes) {
+  const auto tokens = tokenize("42 3.5 1e3 2.5e-2 4KB 2MB 1GB");
+  EXPECT_DOUBLE_EQ(tokens[0].number, 42.0);
+  EXPECT_DOUBLE_EQ(tokens[1].number, 3.5);
+  EXPECT_DOUBLE_EQ(tokens[2].number, 1000.0);
+  EXPECT_DOUBLE_EQ(tokens[3].number, 0.025);
+  EXPECT_DOUBLE_EQ(tokens[4].number, 4096.0);
+  EXPECT_DOUBLE_EQ(tokens[5].number, 2.0 * 1024 * 1024);
+  EXPECT_DOUBLE_EQ(tokens[6].number, 1024.0 * 1024 * 1024);
+}
+
+TEST(Lexer, OperatorsAndExpressions) {
+  const auto tokens = tokenize("a + b*2 - (c/d) % e ^ 2");
+  std::vector<TokenKind> kinds;
+  for (const auto& t : tokens) {
+    kinds.push_back(t.kind);
+  }
+  EXPECT_EQ(kinds[1], TokenKind::kPlus);
+  EXPECT_EQ(kinds[3], TokenKind::kStar);
+  EXPECT_EQ(kinds[5], TokenKind::kMinus);
+  EXPECT_EQ(kinds[6], TokenKind::kLParen);
+  EXPECT_EQ(kinds[8], TokenKind::kSlash);
+  EXPECT_EQ(kinds[11], TokenKind::kPercent);
+  EXPECT_EQ(kinds[13], TokenKind::kCaret);
+}
+
+TEST(Lexer, CommentsAreSkipped) {
+  const auto tokens = tokenize(
+      "a // line comment\n b /* block\n comment */ c");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_TRUE(tokens[0].is_word("a"));
+  EXPECT_TRUE(tokens[1].is_word("b"));
+  EXPECT_TRUE(tokens[2].is_word("c"));
+}
+
+TEST(Lexer, TracksLineAndColumn) {
+  const auto tokens = tokenize("a\n  b");
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[0].column, 1);
+  EXPECT_EQ(tokens[1].line, 2);
+  EXPECT_EQ(tokens[1].column, 3);
+}
+
+TEST(Lexer, StringEscapes) {
+  const auto tokens = tokenize(R"("say \"hi\"")");
+  EXPECT_EQ(tokens[0].text, "say \"hi\"");
+}
+
+TEST(Lexer, RejectsMalformedInput) {
+  EXPECT_THROW(tokenize("\"unterminated"), ParseError);
+  EXPECT_THROW(tokenize("/* never closed"), ParseError);
+  EXPECT_THROW(tokenize("@"), ParseError);
+}
+
+TEST(Lexer, EmptyInputYieldsOnlyEof) {
+  const auto tokens = tokenize("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kEndOfFile);
+}
+
+}  // namespace
+}  // namespace dvf::dsl

@@ -1,0 +1,125 @@
+// Unit tests for the DSL parser (AST shape and error reporting).
+#include "dvf/dsl/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dvf/common/error.hpp"
+
+namespace dvf::dsl {
+namespace {
+
+TEST(Parser, ParamDeclarations) {
+  const Program p = parse("param n = 10; param m = n * 2;");
+  ASSERT_EQ(p.params.size(), 2u);
+  EXPECT_EQ(p.params[0].name, "n");
+  EXPECT_EQ(p.params[1].name, "m");
+  EXPECT_EQ(p.params[1].value->kind, Expr::Kind::kBinary);
+}
+
+TEST(Parser, MachineBlocks) {
+  const Program p = parse(R"(
+    machine "laptop" {
+      cache { associativity 4; sets 64; line 32; }
+      memory { fit 5000; }
+    })");
+  ASSERT_EQ(p.machines.size(), 1u);
+  EXPECT_EQ(p.machines[0].name, "laptop");
+  EXPECT_EQ(p.machines[0].cache.size(), 3u);
+  EXPECT_EQ(p.machines[0].memory.size(), 1u);
+  EXPECT_TRUE(p.machines[0].ecc.empty());
+}
+
+TEST(Parser, EccShorthandInMemoryBlock) {
+  const Program p = parse(R"(
+    machine "m" {
+      cache { associativity 2; sets 2; line 32; }
+      memory { ecc "secded"; }
+    })");
+  EXPECT_EQ(p.machines[0].ecc, "secded");
+  EXPECT_TRUE(p.machines[0].memory.empty());
+}
+
+TEST(Parser, ModelWithDataPatternsTimeOrder) {
+  const Program p = parse(R"(
+    model "CG" {
+      time 0.5;
+      order "r(Ap)p";
+      data A { elements 100; element_size 8; }
+      pattern A stream { stride 2; }
+      data r { elements 10; }
+      pattern r reuse { rounds 5; other_bytes 800; }
+    })");
+  ASSERT_EQ(p.models.size(), 1u);
+  const ModelDecl& m = p.models[0];
+  EXPECT_NE(m.time, nullptr);
+  EXPECT_EQ(m.order, "r(Ap)p");
+  ASSERT_EQ(m.data.size(), 2u);
+  ASSERT_EQ(m.patterns.size(), 2u);
+  EXPECT_EQ(m.patterns[0].target, "A");
+  EXPECT_EQ(m.patterns[0].kind, "stream");
+  EXPECT_EQ(m.patterns[1].kind, "reuse");
+}
+
+TEST(Parser, TemplateTuples) {
+  const Program p = parse(R"(
+    model "MG" {
+      data R { elements 1000; }
+      pattern R template {
+        start (1, 2, 3);
+        step 1;
+        count 10;
+      }
+    })");
+  const PatternDecl& pat = p.models[0].patterns[0];
+  ASSERT_EQ(pat.tuples.size(), 1u);
+  EXPECT_EQ(pat.tuples[0].key, "start");
+  EXPECT_EQ(pat.tuples[0].values.size(), 3u);
+  EXPECT_EQ(pat.properties.size(), 2u);
+}
+
+TEST(Parser, OptionalEqualsBetweenKeyAndValue) {
+  const Program p = parse("model \"m\" { data A { elements = 5; } }");
+  EXPECT_EQ(p.models[0].data[0].properties[0].key, "elements");
+}
+
+TEST(Parser, ExpressionPrecedence) {
+  const Program p = parse("param x = 2 + 3 * 4;");
+  const Expr& e = *p.params[0].value;
+  ASSERT_EQ(e.kind, Expr::Kind::kBinary);
+  EXPECT_EQ(e.op, '+');
+  EXPECT_EQ(e.rhs->op, '*');
+}
+
+TEST(Parser, PowerIsRightAssociative) {
+  const Program p = parse("param x = 2 ^ 3 ^ 2;");
+  const Expr& e = *p.params[0].value;
+  EXPECT_EQ(e.op, '^');
+  EXPECT_EQ(e.rhs->op, '^');
+}
+
+TEST(Parser, UnaryMinus) {
+  const Program p = parse("param x = -3 + 1;");
+  EXPECT_EQ(p.params[0].value->lhs->kind, Expr::Kind::kUnary);
+}
+
+TEST(Parser, ErrorsCarrySourcePositions) {
+  try {
+    (void)parse("model \"m\" {\n  bogus 1;\n}");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& err) {
+    EXPECT_EQ(err.line(), 2);
+    EXPECT_NE(std::string(err.what()).find("bogus"), std::string::npos);
+  }
+}
+
+TEST(Parser, RejectsStructuralMistakes) {
+  EXPECT_THROW((void)parse("param 3 = 4;"), ParseError);
+  EXPECT_THROW((void)parse("machine noquotes { }"), ParseError);
+  EXPECT_THROW((void)parse("model \"m\" { data A { elements 1; }"), ParseError);
+  EXPECT_THROW((void)parse("model \"m\" { pattern A }"), ParseError);
+  EXPECT_THROW((void)parse("wibble;"), ParseError);
+  EXPECT_THROW((void)parse("param x = (1 + ;"), ParseError);
+}
+
+}  // namespace
+}  // namespace dvf::dsl

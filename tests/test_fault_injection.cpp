@@ -1,0 +1,146 @@
+// Tests for the fault-injection substrate and campaign driver.
+#include "dvf/kernels/injection_campaign.hpp"
+#include "dvf/trace/fault_injection.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dvf/common/error.hpp"
+#include "dvf/kernels/vm.hpp"
+#include "dvf/kernels/suite.hpp"
+
+namespace dvf {
+namespace {
+
+TEST(FaultInjectingRecorder, FlipsExactlyOnceAtTheTrigger) {
+  std::uint8_t target = 0b0000'0100;
+  FaultSpec fault;
+  fault.trigger_reference = 3;
+  fault.target_byte = &target;
+  fault.bit = 1;
+  FaultInjectingRecorder rec(fault);
+
+  rec.on_load(0, 0, 8);
+  EXPECT_FALSE(rec.injected());
+  EXPECT_EQ(target, 0b0000'0100);
+  rec.on_store(0, 0, 8);
+  rec.on_load(0, 0, 8);  // third reference: flip
+  EXPECT_TRUE(rec.injected());
+  EXPECT_EQ(target, 0b0000'0110);
+  rec.on_load(0, 0, 8);  // no further flips
+  EXPECT_EQ(target, 0b0000'0110);
+  EXPECT_EQ(rec.references(), 4u);
+  EXPECT_EQ(rec.original_value(), 0b0000'0100);
+
+  rec.restore();
+  EXPECT_EQ(target, 0b0000'0100);
+}
+
+TEST(FaultInjectingRecorder, NeverFiresWhenRunEndsEarly) {
+  std::uint8_t target = 7;
+  FaultSpec fault;
+  fault.trigger_reference = 100;
+  fault.target_byte = &target;
+  FaultInjectingRecorder rec(fault);
+  rec.on_load(0, 0, 8);
+  EXPECT_FALSE(rec.injected());
+  rec.restore();  // no-op
+  EXPECT_EQ(target, 7);
+}
+
+TEST(FaultInjectingRecorder, Validation) {
+  FaultSpec fault;
+  EXPECT_THROW(FaultInjectingRecorder{fault}, InvalidArgumentError);
+  std::uint8_t b = 0;
+  fault.target_byte = &b;
+  fault.bit = 8;
+  EXPECT_THROW(FaultInjectingRecorder{fault}, InvalidArgumentError);
+  fault.bit = 0;
+  fault.trigger_reference = 0;
+  EXPECT_THROW(FaultInjectingRecorder{fault}, InvalidArgumentError);
+}
+
+TEST(KernelInjection, FlipInInputBeforeUseCorruptsVmChecksum) {
+  kernels::KernelCaseAdapter<kernels::VectorMultiply> vm(
+      "VM", "dense", kernels::VectorMultiply::Config{.iterations = 100,
+                                                     .stride_a = 1});
+  const auto a = *vm.registry().find("A");
+  // Flip a high bit of A[50] before anything runs (trigger 1); element 50
+  // is read at iteration 50, so the product must change.
+  const auto outcome = vm.run_injected(a, 1, 50 * 4 + 1, 7);
+  EXPECT_TRUE(outcome.injected);
+  EXPECT_TRUE(outcome.corrupted);
+  EXPECT_GT(outcome.deviation, 0.0);
+}
+
+TEST(KernelInjection, FlipAfterLastUseIsBenign) {
+  kernels::KernelCaseAdapter<kernels::VectorMultiply> vm(
+      "VM", "dense", kernels::VectorMultiply::Config{.iterations = 100,
+                                                     .stride_a = 1});
+  const auto a = *vm.registry().find("A");
+  const std::uint64_t total = vm.total_references();
+  // Flip A's first element at the very last reference: every read already
+  // happened, so the output is untouched.
+  const auto outcome = vm.run_injected(a, total, 0, 7);
+  EXPECT_TRUE(outcome.injected);
+  EXPECT_FALSE(outcome.corrupted);
+}
+
+TEST(KernelInjection, TrialsAreIndependent) {
+  kernels::KernelCaseAdapter<kernels::VectorMultiply> vm(
+      "VM", "dense", kernels::VectorMultiply::Config{.iterations = 100});
+  const auto a = *vm.registry().find("A");
+  const auto first = vm.run_injected(a, 1, 3, 6);
+  // The restore undid the flip: a clean-trigger trial after it behaves as
+  // if it were the first.
+  const auto second = vm.run_injected(a, 1, 3, 6);
+  EXPECT_EQ(first.corrupted, second.corrupted);
+  EXPECT_DOUBLE_EQ(first.deviation, second.deviation);
+}
+
+TEST(KernelInjection, RejectsOutOfRangeOffsets) {
+  kernels::KernelCaseAdapter<kernels::VectorMultiply> vm(
+      "VM", "dense", kernels::VectorMultiply::Config{.iterations = 10});
+  const auto a = *vm.registry().find("A");
+  EXPECT_THROW((void)vm.run_injected(a, 1, 1 << 20, 0), InvalidArgumentError);
+}
+
+TEST(Campaign, ProducesStatsForEveryModeledStructure) {
+  kernels::KernelCaseAdapter<kernels::VectorMultiply> vm(
+      "VM", "dense", kernels::VectorMultiply::Config{.iterations = 200});
+  kernels::CampaignConfig config;
+  config.trials_per_structure = 30;
+  const auto stats = kernels::run_injection_campaign(vm, config);
+  ASSERT_EQ(stats.size(), 3u);  // A, B, C
+  for (const auto& s : stats) {
+    EXPECT_EQ(s.trials, 30u);
+    EXPECT_EQ(s.injected, 30u);  // triggers always within the run
+    EXPECT_LE(s.corrupted, s.trials);
+  }
+}
+
+TEST(Campaign, DeterministicUnderASeed) {
+  kernels::KernelCaseAdapter<kernels::VectorMultiply> a(
+      "VM", "dense", kernels::VectorMultiply::Config{.iterations = 200});
+  kernels::KernelCaseAdapter<kernels::VectorMultiply> b(
+      "VM", "dense", kernels::VectorMultiply::Config{.iterations = 200});
+  kernels::CampaignConfig config;
+  config.trials_per_structure = 25;
+  const auto sa = kernels::run_injection_campaign(a, config);
+  const auto sb = kernels::run_injection_campaign(b, config);
+  ASSERT_EQ(sa.size(), sb.size());
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_EQ(sa[i].corrupted, sb[i].corrupted) << sa[i].structure;
+  }
+}
+
+TEST(RankCorrelation, KnownValues) {
+  using kernels::rank_correlation;
+  EXPECT_DOUBLE_EQ(rank_correlation({1, 2, 3}, {10, 20, 30}), 1.0);
+  EXPECT_DOUBLE_EQ(rank_correlation({1, 2, 3}, {30, 20, 10}), -1.0);
+  EXPECT_DOUBLE_EQ(rank_correlation({1, 1, 1}, {1, 2, 3}), 0.0);
+  EXPECT_NEAR(rank_correlation({1, 2, 3, 4}, {1, 2, 4, 3}), 0.8, 1e-12);
+  EXPECT_THROW((void)rank_correlation({1}, {1, 2}), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace dvf

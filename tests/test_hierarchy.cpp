@@ -1,0 +1,116 @@
+// Tests for the multi-level cache hierarchy.
+#include "dvf/cachesim/hierarchy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dvf/common/error.hpp"
+#include "dvf/common/rng.hpp"
+
+namespace dvf {
+namespace {
+
+CacheHierarchy two_level() {
+  // L1: 2-way, 4 sets, 16B lines (128 B); L2: 4-way, 16 sets (1 KiB).
+  return CacheHierarchy({{"l1", 2, 4, 16}, {"l2", 4, 16, 16}});
+}
+
+TEST(Hierarchy, L1HitNeverReachesL2) {
+  CacheHierarchy h = two_level();
+  h.on_load(0, 0, 4);   // cold: L1 miss, L2 miss
+  h.on_load(0, 4, 4);   // same line: L1 hit
+  EXPECT_EQ(h.level_stats(0, 0).hits, 1u);
+  EXPECT_EQ(h.level_stats(1, 0).accesses, 1u);
+  EXPECT_EQ(h.main_memory_accesses(0), 1u);
+}
+
+TEST(Hierarchy, L1MissL2HitDoesNotTouchMemory) {
+  CacheHierarchy h = two_level();
+  // Fill L1's set 0 beyond capacity so an early line falls out of L1 but
+  // stays in the larger L2.
+  h.on_load(0, 0, 4);    // line 0 -> L1 set 0, L2 set 0
+  h.on_load(0, 64, 4);   // line 4 -> L1 set 0, L2 set 4
+  h.on_load(0, 128, 4);  // line 8 -> evicts line 0 from L1
+  h.on_load(0, 0, 4);    // L1 miss, L2 hit
+  EXPECT_EQ(h.level_stats(1, 0).hits, 1u);
+  EXPECT_EQ(h.main_memory_accesses(0), 3u);  // three distinct lines fetched
+}
+
+TEST(Hierarchy, DirtyL1EvictionWritesBackIntoL2) {
+  CacheHierarchy h = two_level();
+  h.on_store(0, 0, 4);   // dirty line 0 in L1
+  h.on_load(0, 64, 4);
+  h.on_load(0, 128, 4);  // evicts dirty line 0 from L1 -> write into L2
+  EXPECT_EQ(h.level_stats(0, 0).writebacks, 1u);
+  // Line 0 is dirty in L2 now; flushing pushes it to memory.
+  h.flush();
+  EXPECT_GE(h.level_stats(1, 0).writebacks, 1u);
+}
+
+TEST(Hierarchy, FlushCascadesToMemory) {
+  CacheHierarchy h = two_level();
+  h.on_store(0, 0, 4);
+  h.flush();
+  // The dirty line travels L1 -> L2 -> memory: exactly one memory writeback.
+  EXPECT_EQ(h.level_stats(1, 0).writebacks, 1u);
+  EXPECT_EQ(h.main_memory_accesses(0),
+            h.level_stats(1, 0).misses + h.level_stats(1, 0).writebacks);
+}
+
+TEST(Hierarchy, ResetClearsAllLevels) {
+  CacheHierarchy h = two_level();
+  h.on_store(0, 0, 4);
+  h.reset();
+  EXPECT_EQ(h.level_stats(0, 0).accesses, 0u);
+  EXPECT_EQ(h.level_stats(1, 0).accesses, 0u);
+}
+
+TEST(Hierarchy, SingleLevelEquivalentToPlainSimulator) {
+  CacheConfig config("only", 4, 64, 32);
+  CacheHierarchy h({config});
+  CacheSimulator reference(config);
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t addr = rng.below(1 << 16);
+    const bool write = (rng() & 1) != 0;
+    h.access(addr, 4, write, 0);
+    reference.access(addr, 4, write, 0);
+  }
+  h.flush();
+  reference.flush();
+  EXPECT_EQ(h.level_stats(0, 0).misses, reference.stats(0).misses);
+  EXPECT_EQ(h.level_stats(0, 0).writebacks, reference.stats(0).writebacks);
+}
+
+TEST(Hierarchy, UpperLevelFiltersButMemoryTrafficStaysClose) {
+  // The paper's LLC-only assumption: adding an L1 changes which level
+  // absorbs hits, but memory traffic is governed by the LLC. For an
+  // LRU-friendly working set the last-level misses must match an LLC-only
+  // simulation exactly.
+  CacheConfig llc("llc", 8, 64, 32);  // 16 KiB
+  CacheHierarchy with_l1({{"l1", 2, 16, 32}, llc});
+  CacheSimulator only_llc(llc);
+
+  Xoshiro256 rng(23);
+  for (int i = 0; i < 50000; ++i) {
+    const std::uint64_t addr = rng.below(8 * 1024);  // 8 KiB set: fits LLC
+    with_l1.access(addr, 4, false, 0);
+    only_llc.access(addr, 4, false, 0);
+  }
+  // Everything fits the LLC: only compulsory misses either way. The L1
+  // filters most probes away from the LLC, but memory traffic is equal.
+  EXPECT_EQ(with_l1.main_memory_accesses(0),
+            only_llc.stats(0).main_memory_accesses());
+  EXPECT_LT(with_l1.level_stats(1, 0).accesses, only_llc.stats(0).accesses);
+}
+
+TEST(Hierarchy, RejectsBadConfigurations) {
+  EXPECT_THROW(CacheHierarchy({}), InvalidArgumentError);
+  EXPECT_THROW(CacheHierarchy({{"a", 2, 4, 16}, {"b", 4, 16, 32}}),
+               InvalidArgumentError);
+  CacheHierarchy h = two_level();
+  EXPECT_THROW(h.access(0, 0, false, 0), InvalidArgumentError);
+  EXPECT_THROW((void)h.level_stats(2, 0), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace dvf

@@ -1,0 +1,145 @@
+// Tests for pattern inference (trace -> model).
+#include "dvf/dvf/inference.hpp"
+
+#include <gtest/gtest.h>
+
+#include <variant>
+
+#include "dvf/cachesim/cache_simulator.hpp"
+#include "dvf/common/math.hpp"
+#include "dvf/common/rng.hpp"
+#include "dvf/kernels/fft.hpp"
+#include "dvf/kernels/suite.hpp"
+#include "dvf/kernels/vm.hpp"
+#include "dvf/machine/cache_config.hpp"
+#include "dvf/patterns/estimate.hpp"
+
+namespace dvf {
+namespace {
+
+TEST(InferPatterns, DetectsUnitStrideStreaming) {
+  std::vector<std::uint64_t> idx;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    idx.push_back(i);
+  }
+  const auto patterns = infer_patterns(idx, 8, 100);
+  ASSERT_EQ(patterns.size(), 1u);
+  const auto* s = std::get_if<StreamingSpec>(&patterns[0]);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->stride_elements, 1u);
+  EXPECT_EQ(s->element_count, 100u);
+}
+
+TEST(InferPatterns, DetectsStridedStreamingWithMultipleSweeps) {
+  std::vector<std::uint64_t> idx;
+  for (int sweep = 0; sweep < 3; ++sweep) {
+    for (std::uint64_t i = 0; i < 50; ++i) {
+      idx.push_back(i * 4);
+    }
+  }
+  const auto patterns = infer_patterns(idx, 8, 200);
+  ASSERT_EQ(patterns.size(), 3u);
+  for (const auto& p : patterns) {
+    const auto* s = std::get_if<StreamingSpec>(&p);
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->stride_elements, 4u);
+  }
+}
+
+TEST(InferPatterns, DetectsPeriodicTemplates) {
+  const std::vector<std::uint64_t> base = {5, 1, 9, 1, 7};
+  std::vector<std::uint64_t> idx;
+  for (int rep = 0; rep < 6; ++rep) {
+    idx.insert(idx.end(), base.begin(), base.end());
+  }
+  const auto patterns = infer_patterns(idx, 8, 10);
+  ASSERT_EQ(patterns.size(), 1u);
+  const auto* t = std::get_if<TemplateSpec>(&patterns[0]);
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->element_indices, base);
+  EXPECT_EQ(t->repetitions, 6u);
+}
+
+TEST(InferPatterns, IrregularStreamBecomesLiteralTemplate) {
+  Xoshiro256 rng(3);
+  std::vector<std::uint64_t> idx;
+  for (int i = 0; i < 1000; ++i) {
+    idx.push_back(rng.below(64));
+  }
+  const auto patterns = infer_patterns(idx, 8, 64);
+  ASSERT_EQ(patterns.size(), 1u);
+  const auto* t = std::get_if<TemplateSpec>(&patterns[0]);
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->element_indices.size() * t->repetitions, 1000u);
+}
+
+TEST(InferPatterns, OverBudgetStreamBecomesIrmRandom) {
+  Xoshiro256 rng(4);
+  std::vector<std::uint64_t> idx;
+  for (int i = 0; i < 2000; ++i) {
+    idx.push_back(rng.below(128));
+  }
+  InferenceOptions options;
+  options.literal_template_limit = 100;  // force the fallback
+  const auto patterns = infer_patterns(idx, 8, 128, options);
+  ASSERT_EQ(patterns.size(), 1u);
+  const auto* r = std::get_if<RandomSpec>(&patterns[0]);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->element_count, 128u);
+  EXPECT_FALSE(r->sorted_visit_fractions.empty());
+}
+
+TEST(InferPatterns, EmptyStreamYieldsNothing) {
+  EXPECT_TRUE(infer_patterns({}, 8, 10).empty());
+}
+
+TEST(InferModel, RecoversVmAsStreaming) {
+  kernels::KernelCaseAdapter<kernels::VectorMultiply> vm(
+      "VM", "dense", kernels::VectorMultiply::Config{.iterations = 500});
+  TraceBuffer buffer;
+  vm.run_buffered(buffer);
+
+  TraceFile trace;
+  for (const auto& info : vm.registry()) {
+    trace.structures.push_back(info);
+  }
+  trace.records = buffer.records();
+
+  const ModelSpec inferred = infer_model(trace);
+  ASSERT_EQ(inferred.structures.size(), 3u);
+  const auto* a = inferred.find("A");
+  ASSERT_NE(a, nullptr);
+  const auto* s = std::get_if<StreamingSpec>(&a->patterns.front());
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->stride_elements, 4u);
+}
+
+TEST(InferModel, InferredFftModelPredictsSimulatedMissesExactly) {
+  // The literal-template path makes the inferred model's stack-distance
+  // count near-exact for a fully-associative-friendly stream.
+  kernels::KernelCaseAdapter<kernels::Fft1D> fft(
+      "FT", "spectral", kernels::Fft1D::Config{.n = 512});
+  TraceBuffer buffer;
+  fft.run_buffered(buffer);
+  TraceFile trace;
+  for (const auto& info : fft.registry()) {
+    trace.structures.push_back(info);
+  }
+  trace.records = buffer.records();
+
+  CacheSimulator sim(caches::small_verification());
+  fft.run_traced(sim);
+
+  const ModelSpec inferred = infer_model(trace);
+  const auto* x = inferred.find("X");
+  ASSERT_NE(x, nullptr);
+  const double estimate = estimate_accesses(
+      std::span<const PatternSpec>(x->patterns), sim.config());
+  const auto id = *fft.registry().find("X");
+  EXPECT_LE(math::relative_error(
+                estimate, static_cast<double>(sim.stats(id).misses)),
+            0.05);
+}
+
+}  // namespace
+}  // namespace dvf

@@ -1,0 +1,114 @@
+// Integration: the Fig. 4 experiment as assertions — CGPMAC estimates vs
+// the trace-driven LRU simulator over all six kernels and both verification
+// caches (Table IV/V).
+//
+// Accuracy bands: the paper claims <= 15%. Our reproduction meets that for
+// every structure except CG's p and r on the 8 KiB cache, whose misses are
+// dominated by intra-matvec conflict evictions that the paper's
+// reuse-pattern abstraction cannot represent (see EXPERIMENTS.md); those
+// two carry a documented looser band.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "dvf/cachesim/cache_simulator.hpp"
+#include "dvf/common/math.hpp"
+#include "dvf/kernels/suite.hpp"
+#include "dvf/machine/cache_config.hpp"
+#include "dvf/patterns/estimate.hpp"
+
+namespace dvf {
+namespace {
+
+struct Case {
+  std::string cache;
+  std::string kernel;
+  std::string structure;
+  double band;  // maximum tolerated relative error vs simulated misses
+};
+
+class VerificationExperiment : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    results_ = new std::map<std::string, double>();
+    for (const auto& cache : {caches::small_verification(),
+                              caches::large_verification()}) {
+      auto suite = kernels::make_verification_suite();
+      for (auto& kernel : suite) {
+        CacheSimulator sim(cache);
+        kernel->run_traced(sim);
+        const ModelSpec spec = kernel->model_spec();
+        for (const auto& ds : spec.structures) {
+          const auto id = kernel->registry().find(ds.name);
+          ASSERT_TRUE(id.has_value());
+          const double estimate = estimate_accesses(
+              std::span<const PatternSpec>(ds.patterns), cache);
+          const double err = math::relative_error(
+              estimate, static_cast<double>(sim.stats(*id).misses));
+          (*results_)[cache.name() + "/" + kernel->name() + "/" + ds.name] =
+              err;
+        }
+      }
+    }
+  }
+  static void TearDownTestSuite() {
+    delete results_;
+    results_ = nullptr;
+  }
+
+  static double error_for(const std::string& key) {
+    const auto it = results_->find(key);
+    EXPECT_NE(it, results_->end()) << key;
+    return it == results_->end() ? 1e9 : it->second;
+  }
+
+  static std::map<std::string, double>* results_;
+};
+
+std::map<std::string, double>* VerificationExperiment::results_ = nullptr;
+
+TEST_F(VerificationExperiment, StreamingStructuresAreExact) {
+  for (const char* cache : {"small-verification", "large-verification"}) {
+    for (const char* ds : {"VM/A", "VM/B", "VM/C"}) {
+      EXPECT_LE(error_for(std::string(cache) + "/" + ds), 0.01)
+          << cache << "/" << ds;
+    }
+  }
+}
+
+TEST_F(VerificationExperiment, CgMatrixWithinPaperBand) {
+  EXPECT_LE(error_for("small-verification/CG/A"), 0.15);
+  EXPECT_LE(error_for("large-verification/CG/A"), 0.15);
+  EXPECT_LE(error_for("small-verification/CG/x"), 0.15);
+  EXPECT_LE(error_for("large-verification/CG/x"), 0.15);
+}
+
+TEST_F(VerificationExperiment, CgConflictDominatedVectorsWithinLooseBand) {
+  // Documented deviation: intra-matvec conflict misses (EXPERIMENTS.md).
+  EXPECT_LE(error_for("small-verification/CG/p"), 0.60);
+  EXPECT_LE(error_for("small-verification/CG/r"), 0.60);
+  EXPECT_LE(error_for("large-verification/CG/p"), 0.15);
+  EXPECT_LE(error_for("large-verification/CG/r"), 0.15);
+}
+
+TEST_F(VerificationExperiment, RandomAccessKernelsWithinPaperBand) {
+  for (const char* key : {"NB/T", "NB/P", "MC/G", "MC/E"}) {
+    EXPECT_LE(error_for(std::string("small-verification/") + key), 0.15)
+        << key;
+    EXPECT_LE(error_for(std::string("large-verification/") + key), 0.15)
+        << key;
+  }
+}
+
+TEST_F(VerificationExperiment, TemplateKernelsWithinPaperBand) {
+  for (const char* key : {"MG/R", "FT/X"}) {
+    EXPECT_LE(error_for(std::string("small-verification/") + key), 0.15)
+        << key;
+    EXPECT_LE(error_for(std::string("large-verification/") + key), 0.15)
+        << key;
+  }
+}
+
+}  // namespace
+}  // namespace dvf

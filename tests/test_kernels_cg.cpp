@@ -1,0 +1,116 @@
+// Tests for the CG/PCG kernel: it must genuinely solve the system, and its
+// self-description must follow Algorithm 4/5.
+#include "dvf/kernels/cg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <variant>
+
+#include "dvf/common/error.hpp"
+
+namespace dvf::kernels {
+namespace {
+
+TEST(CgKernel, SolvesTheSystem) {
+  ConjugateGradient::Config config;
+  config.n = 64;
+  ConjugateGradient cg(config);
+  NullRecorder null;
+  cg.run(null);
+  EXPECT_LT(cg.relative_residual(), config.tolerance);
+  EXPECT_LT(cg.solution_error(), 1e-3);
+  EXPECT_GT(cg.iterations_run(), 0u);
+  EXPECT_LE(cg.iterations_run(), config.n);
+}
+
+TEST(CgKernel, PreconditioningSolvesToo) {
+  ConjugateGradient::Config config;
+  config.n = 64;
+  config.preconditioned = true;
+  ConjugateGradient pcg(config);
+  NullRecorder null;
+  pcg.run(null);
+  EXPECT_LT(pcg.relative_residual(), config.tolerance);
+  EXPECT_LT(pcg.solution_error(), 1e-3);
+}
+
+TEST(CgKernel, PreconditioningNeverNeedsMoreIterationsAtLargeN) {
+  ConjugateGradient::Config config;
+  config.n = 400;  // condition number ~ (400/160)^3
+  ConjugateGradient cg(config);
+  config.preconditioned = true;
+  ConjugateGradient pcg(config);
+  NullRecorder null;
+  cg.run(null);
+  pcg.run(null);
+  EXPECT_LT(pcg.iterations_run(), cg.iterations_run());
+}
+
+TEST(CgKernel, RunsAreDeterministicAndRepeatable) {
+  ConjugateGradient cg({.n = 48});
+  NullRecorder null;
+  cg.run(null);
+  const std::uint64_t first = cg.iterations_run();
+  const double residual = cg.relative_residual();
+  cg.run(null);
+  EXPECT_EQ(cg.iterations_run(), first);
+  EXPECT_DOUBLE_EQ(cg.relative_residual(), residual);
+}
+
+TEST(CgKernel, IterationCapIsHonored) {
+  ConjugateGradient::Config config;
+  config.n = 200;
+  config.max_iterations = 5;
+  ConjugateGradient cg(config);
+  NullRecorder null;
+  cg.run(null);
+  EXPECT_EQ(cg.iterations_run(), 5u);
+}
+
+TEST(CgKernel, ReferenceCountsScaleWithTheMatvec) {
+  ConjugateGradient::Config config;
+  config.n = 32;
+  config.max_iterations = 3;
+  ConjugateGradient cg(config);
+  CountingRecorder counts;
+  cg.run(counts);
+  const auto a = *cg.registry().find("A");
+  // One n^2 matvec per iteration, loads only.
+  EXPECT_EQ(counts.counts(a).loads, 3u * 32u * 32u);
+  EXPECT_EQ(counts.counts(a).stores, 0u);
+  const auto p = *cg.registry().find("p");
+  // p: n loads per matvec row + p.Ap + axpy + update, plus init stores.
+  EXPECT_GT(counts.counts(p).loads, 3u * 32u * 32u);
+  EXPECT_GT(counts.counts(p).stores, 0u);
+}
+
+TEST(CgKernel, ModelSpecListsThePaperStructures) {
+  ConjugateGradient cg({.n = 32, .max_iterations = 4});
+  NullRecorder null;
+  cg.run(null);
+  const ModelSpec spec = cg.model_spec();
+  EXPECT_EQ(spec.name, "CG");
+  ASSERT_EQ(spec.structures.size(), 4u);  // A, x, p, r
+  EXPECT_NE(spec.find("A"), nullptr);
+  EXPECT_NE(spec.find("x"), nullptr);
+  EXPECT_NE(spec.find("p"), nullptr);
+  EXPECT_NE(spec.find("r"), nullptr);
+  EXPECT_TRUE(std::holds_alternative<ReuseSpec>(spec.find("p")->patterns[0]));
+}
+
+TEST(CgKernel, PcgModelAddsAuxiliaryStructures) {
+  ConjugateGradient pcg({.n = 32, .max_iterations = 4, .preconditioned = true});
+  const ModelSpec spec = pcg.model_spec();
+  EXPECT_EQ(spec.name, "PCG");
+  EXPECT_NE(spec.find("M"), nullptr);
+  EXPECT_NE(spec.find("z"), nullptr);
+  EXPECT_GT(spec.working_set_bytes(),
+            ConjugateGradient({.n = 32}).model_spec().working_set_bytes());
+}
+
+TEST(CgKernel, RejectsTinySystems) {
+  EXPECT_THROW(ConjugateGradient({.n = 1}), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace dvf::kernels

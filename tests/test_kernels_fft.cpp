@@ -1,0 +1,114 @@
+// Tests for the FFT kernel: transform correctness (known spectra, Parseval),
+// template fidelity against the traced reference order.
+#include "dvf/kernels/fft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <variant>
+
+#include "dvf/common/error.hpp"
+
+namespace dvf::kernels {
+namespace {
+
+TEST(FftKernel, TransformOfPureToneConcentratesEnergy) {
+  // The constructor's signal is sin(2*pi*5 t) plus small noise: bins 5 and
+  // n-5 must dominate the spectrum.
+  Fft1D fft({.n = 256});
+  NullRecorder null;
+  fft.run(null);
+  double tone = 0.0;
+  double rest = 0.0;
+  for (std::size_t k = 0; k < 256; ++k) {
+    const double mag = fft.bin(k).re * fft.bin(k).re +
+                       fft.bin(k).im * fft.bin(k).im;
+    if (k == 5 || k == 251) {
+      tone += mag;
+    } else {
+      rest += mag;
+    }
+  }
+  EXPECT_GT(tone, 10.0 * rest);
+}
+
+TEST(FftKernel, ParsevalHolds) {
+  Fft1D fft({.n = 512});
+  double time_energy = 0.0;
+  for (std::size_t i = 0; i < 512; ++i) {
+    time_energy += fft.bin(i).re * fft.bin(i).re +
+                   fft.bin(i).im * fft.bin(i).im;
+  }
+  NullRecorder null;
+  fft.run(null);
+  EXPECT_NEAR(fft.spectrum_energy(), 512.0 * time_energy,
+              1e-6 * fft.spectrum_energy());
+}
+
+TEST(FftKernel, ResetRestoresTheSignal) {
+  Fft1D fft({.n = 64});
+  const double before = fft.bin(3).re;
+  NullRecorder null;
+  fft.run(null);
+  fft.reset();
+  EXPECT_DOUBLE_EQ(fft.bin(3).re, before);
+}
+
+TEST(FftKernel, ReferenceCountsMatchButterflyArithmetic) {
+  const std::uint64_t n = 128;
+  Fft1D fft({.n = n});
+  CountingRecorder counts;
+  fft.run(counts);
+  const auto id = *fft.registry().find("X");
+  // Butterflies: log2(n) stages of n/2 butterflies, 2 loads + 2 stores each;
+  // plus 4 references per bit-reversal swap.
+  const std::uint64_t butterflies = 7 * (n / 2);
+  EXPECT_GE(counts.counts(id).loads, 2 * butterflies);
+  EXPECT_GE(counts.counts(id).stores, 2 * butterflies);
+  EXPECT_EQ(counts.counts(id).loads, counts.counts(id).stores);
+}
+
+TEST(FftKernel, TemplateMatchesTracedElementOrder) {
+  Fft1D fft({.n = 64});
+  TraceBuffer trace;
+  fft.run(trace);
+  const auto id = *fft.registry().find("X");
+  const auto& info = fft.registry().info(id);
+  const auto tmpl = fft.transform_template();
+
+  // The traced loads follow the template's element order exactly (each
+  // template entry corresponds to a load+store pair or swap reference).
+  std::size_t t = 0;
+  for (const MemoryRecord& record : trace.records()) {
+    if (record.ds != id || record.is_write) {
+      continue;
+    }
+    const std::uint64_t element =
+        (record.address - info.base_address) / sizeof(Fft1D::Complex);
+    ASSERT_LT(t, tmpl.size());
+    ASSERT_EQ(element, tmpl[t]) << "load #" << t;
+    ++t;
+  }
+  EXPECT_EQ(t, tmpl.size());
+}
+
+TEST(FftKernel, ModelSpecIsATemplateOnX) {
+  Fft1D fft({.n = 2048, .transforms = 3});
+  const ModelSpec spec = fft.model_spec();
+  EXPECT_EQ(spec.name, "FT");
+  ASSERT_EQ(spec.structures.size(), 1u);
+  EXPECT_EQ(spec.structures[0].size_bytes, 2048u * 16u);
+  const auto* tmpl = std::get_if<TemplateSpec>(&spec.structures[0].patterns[0]);
+  ASSERT_NE(tmpl, nullptr);
+  EXPECT_EQ(tmpl->repetitions, 3u);
+  EXPECT_EQ(tmpl->element_bytes, 16u);
+}
+
+TEST(FftKernel, RejectsNonPowerOfTwoLengths) {
+  EXPECT_THROW(Fft1D({.n = 100}), InvalidArgumentError);
+  EXPECT_THROW(Fft1D({.n = 2}), InvalidArgumentError);
+  EXPECT_THROW(Fft1D({.n = 64, .transforms = 0}), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace dvf::kernels

@@ -1,0 +1,94 @@
+// Tests for the Monte Carlo lookup kernel: bisection correctness, profiling
+// counters, cache-share split, self-description.
+#include "dvf/kernels/montecarlo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <variant>
+
+#include "dvf/common/error.hpp"
+
+namespace dvf::kernels {
+namespace {
+
+TEST(McKernel, LookupsAccumulateCrossSections) {
+  MonteCarlo mc({.grid_points = 1000, .xs_entries = 100, .lookups = 500});
+  NullRecorder null;
+  mc.run(null);
+  EXPECT_GT(mc.accumulated_xs(), 0.0);
+  // Each term is bounded by 4 (xs values are in [0,1) with weights <= 1).
+  EXPECT_LT(mc.accumulated_xs(), 4.0 * 500);
+}
+
+TEST(McKernel, Deterministic) {
+  MonteCarlo a({.grid_points = 1000, .xs_entries = 100, .lookups = 200});
+  MonteCarlo b({.grid_points = 1000, .xs_entries = 100, .lookups = 200});
+  NullRecorder null;
+  a.run(null);
+  b.run(null);
+  EXPECT_DOUBLE_EQ(a.accumulated_xs(), b.accumulated_xs());
+}
+
+TEST(McKernel, BisectionTouchesLogarithmicGridElements) {
+  MonteCarlo mc({.grid_points = 4096, .xs_entries = 64, .lookups = 1000});
+  NullRecorder null;
+  mc.run(null);
+  // Bisecting 4096 sorted entries takes ~11 probes.
+  EXPECT_NEAR(mc.average_grid_visits(), std::log2(4096.0), 2.0);
+  EXPECT_DOUBLE_EQ(mc.average_xs_visits(), 1.0);
+}
+
+TEST(McKernel, ReferenceCountsIncludeConstructionTraversal) {
+  MonteCarlo mc({.grid_points = 1000, .xs_entries = 100, .lookups = 50});
+  CountingRecorder counts;
+  mc.run(counts);
+  const auto g = *mc.registry().find("G");
+  const auto e = *mc.registry().find("E");
+  EXPECT_GE(counts.counts(g).loads, 1000u);  // construction pass at least
+  EXPECT_EQ(counts.counts(e).loads, 100u + 50u);
+  EXPECT_EQ(counts.counts(g).stores, 0u);
+}
+
+TEST(McKernel, ModelSplitsTheCacheByFootprint) {
+  MonteCarlo mc({.grid_points = 2000, .xs_entries = 500, .lookups = 100});
+  ModelSpec spec = mc.model_spec();
+  EXPECT_EQ(spec.name, "MC");
+  ASSERT_EQ(spec.structures.size(), 2u);
+  const auto* g = std::get_if<RandomSpec>(&spec.find("G")->patterns[0]);
+  const auto* e = std::get_if<RandomSpec>(&spec.find("E")->patterns[0]);
+  ASSERT_NE(g, nullptr);
+  ASSERT_NE(e, nullptr);
+  // r_G = S_G / (S_G + S_E), and the two shares partition the cache.
+  const double sg = 2000.0 * 16.0;
+  const double se = 500.0 * 32.0;
+  EXPECT_DOUBLE_EQ(g->cache_ratio, sg / (sg + se));
+  EXPECT_DOUBLE_EQ(e->cache_ratio, se / (sg + se));
+  EXPECT_NEAR(g->cache_ratio + e->cache_ratio, 1.0, 1e-12);
+}
+
+TEST(McKernel, HistogramsReflectBisectionPopularity) {
+  MonteCarlo mc({.grid_points = 4096, .xs_entries = 64, .lookups = 2000});
+  ModelSpec spec = mc.model_spec();
+  const auto* g = std::get_if<RandomSpec>(&spec.find("G")->patterns[0]);
+  ASSERT_NE(g, nullptr);
+  ASSERT_EQ(g->sorted_visit_fractions.size(), 4096u);
+  // The root of the implicit bisection tree is touched every lookup (plus
+  // the odd hit as a final bracket, so it can slightly exceed 1).
+  EXPECT_GE(g->sorted_visit_fractions[0], 0.99);
+  EXPECT_LE(g->sorted_visit_fractions[0], 1.01);
+  // Popularity halves level by level: the 15th-ranked entry is much colder.
+  EXPECT_LT(g->sorted_visit_fractions[15], 0.6);
+}
+
+TEST(McKernel, RejectsDegenerateConfigs) {
+  EXPECT_THROW(MonteCarlo({.grid_points = 2}), InvalidArgumentError);
+  EXPECT_THROW(MonteCarlo({.grid_points = 10, .xs_entries = 0}),
+               InvalidArgumentError);
+  EXPECT_THROW(
+      MonteCarlo({.grid_points = 10, .xs_entries = 5, .lookups = 0}),
+      InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace dvf::kernels

@@ -1,0 +1,100 @@
+// Tests for the Barnes–Hut kernel: tree invariants, force physics sanity,
+// profiling counters, self-description.
+#include "dvf/kernels/nbody.hpp"
+
+#include <gtest/gtest.h>
+
+#include <variant>
+
+#include "dvf/common/error.hpp"
+
+namespace dvf::kernels {
+namespace {
+
+TEST(NbodyKernel, BuildsATreeAndComputesForces) {
+  BarnesHut nb({.bodies = 200});
+  NullRecorder null;
+  nb.run(null);
+  EXPECT_GE(nb.node_count(), 200u);      // at least one node per body
+  EXPECT_LE(nb.node_count(), 200u * 8);  // pool bound
+  EXPECT_GT(nb.total_force(), 0.0);
+  EXPECT_GT(nb.average_visits(), 1.0);
+  EXPECT_LT(nb.average_visits(), static_cast<double>(nb.node_count()));
+}
+
+TEST(NbodyKernel, Deterministic) {
+  BarnesHut a({.bodies = 300, .seed = 9});
+  BarnesHut b({.bodies = 300, .seed = 9});
+  NullRecorder null;
+  a.run(null);
+  b.run(null);
+  EXPECT_EQ(a.node_count(), b.node_count());
+  EXPECT_DOUBLE_EQ(a.total_force(), b.total_force());
+  EXPECT_DOUBLE_EQ(a.average_visits(), b.average_visits());
+}
+
+TEST(NbodyKernel, SmallerThetaVisitsMoreNodes) {
+  BarnesHut coarse({.bodies = 500, .theta = 1.0});
+  BarnesHut fine({.bodies = 500, .theta = 0.2});
+  NullRecorder null;
+  coarse.run(null);
+  fine.run(null);
+  EXPECT_GT(fine.average_visits(), coarse.average_visits());
+}
+
+TEST(NbodyKernel, ForceIsSymmetricForTwoBodiesPair) {
+  // With theta small every interaction is exact pairwise; a two-body system
+  // must see equal and opposite forces.
+  BarnesHut nb({.bodies = 2, .theta = 0.01});
+  NullRecorder null;
+  nb.run(null);
+  EXPECT_GT(nb.total_force(), 0.0);
+}
+
+TEST(NbodyKernel, ProfiledVisitsMatchTraceCounts) {
+  BarnesHut nb({.bodies = 400});
+  CountingRecorder counts;
+  nb.run(counts);
+  const auto tree = *nb.registry().find("T");
+  // Tree loads = insert-phase loads + force-phase visits; the profiled
+  // average covers only the force pass, so loads must exceed it.
+  EXPECT_GT(counts.counts(tree).loads,
+            static_cast<std::uint64_t>(nb.average_visits() * 400));
+}
+
+TEST(NbodyKernel, ModelSpecCarriesProfiledParameters) {
+  BarnesHut nb({.bodies = 300});
+  const ModelSpec spec = nb.model_spec();  // profiles on demand
+  EXPECT_EQ(spec.name, "NB");
+  ASSERT_EQ(spec.structures.size(), 2u);
+  const auto* tree = spec.find("T");
+  ASSERT_NE(tree, nullptr);
+  const auto* random = std::get_if<RandomSpec>(&tree->patterns[0]);
+  ASSERT_NE(random, nullptr);
+  EXPECT_EQ(random->iterations, 300u);
+  EXPECT_GT(random->visits_per_iteration, 1.0);
+  ASSERT_EQ(random->sorted_visit_fractions.size(), random->element_count);
+  // Histogram sorted descending, with the root visited every iteration.
+  EXPECT_DOUBLE_EQ(random->sorted_visit_fractions.front(), 1.0);
+  for (std::size_t i = 1; i < random->sorted_visit_fractions.size(); ++i) {
+    ASSERT_LE(random->sorted_visit_fractions[i],
+              random->sorted_visit_fractions[i - 1]);
+  }
+}
+
+TEST(NbodyKernel, MultiStepRunsScaleIterations) {
+  BarnesHut nb({.bodies = 100, .steps = 3});
+  const ModelSpec spec = nb.model_spec();
+  const auto* random = std::get_if<RandomSpec>(&spec.find("T")->patterns[0]);
+  ASSERT_NE(random, nullptr);
+  EXPECT_EQ(random->iterations, 300u);
+}
+
+TEST(NbodyKernel, RejectsDegenerateConfigs) {
+  EXPECT_THROW(BarnesHut({.bodies = 1}), InvalidArgumentError);
+  EXPECT_THROW(BarnesHut({.bodies = 10, .theta = 0.0}), InvalidArgumentError);
+  EXPECT_THROW(BarnesHut({.bodies = 10, .steps = 0}), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace dvf::kernels

@@ -1,0 +1,116 @@
+// Tests for the kernel-suite abstraction: Table II metadata, adapter
+// behaviour, repeatability across the type-erased interface.
+#include "dvf/kernels/suite.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dvf/cachesim/hierarchy.hpp"
+#include "dvf/machine/cache_config.hpp"
+
+namespace dvf::kernels {
+namespace {
+
+TEST(Suite, VerificationSuiteCoversTableII) {
+  const auto suite = make_verification_suite();
+  ASSERT_EQ(suite.size(), 6u);
+  std::set<std::string> names;
+  std::set<std::string> methods;
+  for (const auto& kernel : suite) {
+    names.insert(kernel->name());
+    methods.insert(kernel->method_class());
+  }
+  EXPECT_EQ(names, (std::set<std::string>{"VM", "CG", "NB", "MG", "FT", "MC"}));
+  EXPECT_EQ(methods.size(), 6u);  // six distinct computational-method classes
+}
+
+TEST(Suite, ProfilingSuiteUsesLargerInputs) {
+  auto verification = make_verification_suite();
+  auto profiling = make_profiling_suite();
+  for (std::size_t i = 0; i < verification.size(); ++i) {
+    ASSERT_EQ(verification[i]->name(), profiling[i]->name());
+    const auto ws_small = verification[i]->model_spec().working_set_bytes();
+    const auto ws_big = profiling[i]->model_spec().working_set_bytes();
+    EXPECT_GE(ws_big, ws_small) << verification[i]->name();
+  }
+}
+
+TEST(Suite, EveryModeledStructureIsRegistered) {
+  auto suite = make_verification_suite();
+  for (auto& kernel : suite) {
+    const ModelSpec spec = kernel->model_spec();
+    EXPECT_FALSE(spec.structures.empty()) << kernel->name();
+    for (const auto& ds : spec.structures) {
+      EXPECT_TRUE(kernel->registry().find(ds.name).has_value())
+          << kernel->name() << "/" << ds.name;
+      EXPECT_GT(ds.size_bytes, 0u);
+      EXPECT_FALSE(ds.patterns.empty());
+    }
+  }
+}
+
+TEST(Suite, TracedRunsAreRepeatable) {
+  auto suite = make_verification_suite();
+  for (auto& kernel : suite) {
+    CacheSimulator first(caches::small_verification());
+    kernel->run_traced(first);
+    CacheSimulator second(caches::small_verification());
+    kernel->run_traced(second);
+    const ModelSpec spec = kernel->model_spec();
+    for (const auto& ds : spec.structures) {
+      const auto id = *kernel->registry().find(ds.name);
+      EXPECT_EQ(first.stats(id).accesses, second.stats(id).accesses)
+          << kernel->name() << "/" << ds.name;
+      EXPECT_EQ(first.stats(id).misses, second.stats(id).misses)
+          << kernel->name() << "/" << ds.name;
+    }
+  }
+}
+
+TEST(Suite, CountingMatchesSimulatorProbeTotalsAtLineGranularity) {
+  // The simulator counts line-granular probes; the counting recorder counts
+  // logical references. For kernels whose elements never straddle lines the
+  // two agree exactly.
+  auto suite = make_verification_suite();
+  for (auto& kernel : suite) {
+    if (kernel->name() == "CG") {
+      continue;  // CG's doubles on 32B lines never straddle either, but the
+                 // run is long; skip for test-time budget
+    }
+    CountingRecorder counts;
+    kernel->run_counting(counts);
+    CacheSimulator sim(caches::small_verification());
+    kernel->run_traced(sim);
+    for (const auto& ds : kernel->model_spec().structures) {
+      const auto id = *kernel->registry().find(ds.name);
+      EXPECT_EQ(counts.counts(id).total(), sim.stats(id).accesses)
+          << kernel->name() << "/" << ds.name;
+    }
+  }
+}
+
+TEST(Suite, TimedRunsReturnPositiveDurations) {
+  auto suite = make_verification_suite();
+  for (auto& kernel : suite) {
+    EXPECT_GT(kernel->run_timed(), 0.0) << kernel->name();
+  }
+}
+
+TEST(Suite, HierarchyTracingWorksThroughTheAdapter) {
+  auto suite = make_verification_suite();
+  for (auto& kernel : suite) {
+    if (kernel->name() != "VM") {
+      continue;
+    }
+    CacheHierarchy hierarchy(
+        {{"l1", 2, 32, 32}, caches::small_verification()});
+    kernel->run_traced(hierarchy);
+    const auto id = *kernel->registry().find("A");
+    EXPECT_GT(hierarchy.level_stats(0, id).accesses, 0u);
+    EXPECT_GT(hierarchy.main_memory_accesses(id), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace dvf::kernels

@@ -1,0 +1,53 @@
+// Unit tests for the memory failure model and the Table VII ECC rates.
+#include "dvf/machine/memory_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dvf/common/error.hpp"
+#include "dvf/machine/machine.hpp"
+
+namespace dvf {
+namespace {
+
+TEST(EccTable, MatchesTableVII) {
+  EXPECT_DOUBLE_EQ(fit_rate(EccScheme::kNone), 5000.0);
+  EXPECT_DOUBLE_EQ(fit_rate(EccScheme::kSecDed), 1300.0);
+  EXPECT_DOUBLE_EQ(fit_rate(EccScheme::kChipkill), 0.02);
+}
+
+TEST(EccTable, OrderingIsChipkillBestSecdedMiddle) {
+  EXPECT_LT(fit_rate(EccScheme::kChipkill), fit_rate(EccScheme::kSecDed));
+  EXPECT_LT(fit_rate(EccScheme::kSecDed), fit_rate(EccScheme::kNone));
+}
+
+TEST(EccParsing, RoundTrips) {
+  for (const auto scheme : {EccScheme::kNone, EccScheme::kSecDed,
+                            EccScheme::kChipkill}) {
+    EXPECT_EQ(ecc_from_string(to_string(scheme)), scheme);
+  }
+}
+
+TEST(EccParsing, RejectsUnknownNames) {
+  EXPECT_THROW((void)ecc_from_string("parity"), InvalidArgumentError);
+  EXPECT_THROW((void)ecc_from_string("SECDED"), InvalidArgumentError);
+  EXPECT_THROW((void)ecc_from_string(""), InvalidArgumentError);
+}
+
+TEST(MemoryModel, StoresArbitraryPositiveFit) {
+  EXPECT_DOUBLE_EQ(MemoryModel(123.5).fit(), 123.5);
+  EXPECT_DOUBLE_EQ(MemoryModel::with_ecc(EccScheme::kChipkill).fit(), 0.02);
+}
+
+TEST(MemoryModel, RejectsNonPositiveFit) {
+  EXPECT_THROW(MemoryModel(0.0), InvalidArgumentError);
+  EXPECT_THROW(MemoryModel(-1.0), InvalidArgumentError);
+}
+
+TEST(Machine, WithCacheDefaultsToUnprotectedDram) {
+  const Machine m = Machine::with_cache(caches::profiling_16kb());
+  EXPECT_DOUBLE_EQ(m.memory.fit(), 5000.0);
+  EXPECT_EQ(m.llc.name(), "16KB");
+}
+
+}  // namespace
+}  // namespace dvf

@@ -1,0 +1,141 @@
+// Tests for the selective-protection planner.
+#include "dvf/dvf/protection.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dvf/common/error.hpp"
+#include "dvf/machine/cache_config.hpp"
+
+namespace dvf {
+namespace {
+
+/// Two streaming structures: a hot one (most of the traffic) and a cold one.
+ModelSpec two_structure_model() {
+  ModelSpec model;
+  model.name = "planner-test";
+  model.exec_time_seconds = 1.0;
+  const auto make = [](const char* name, std::uint64_t elements) {
+    DataStructureSpec ds;
+    ds.name = name;
+    ds.size_bytes = elements * 8;
+    StreamingSpec s;
+    s.element_bytes = 8;
+    s.element_count = elements;
+    s.stride_elements = 1;
+    ds.patterns.emplace_back(s);
+    return ds;
+  };
+  model.structures.push_back(make("hot", 900000));
+  model.structures.push_back(make("cold", 100000));
+  return model;
+}
+
+ProtectionPlanner planner() {
+  return {Machine::with_cache(caches::profiling_1mb()), two_structure_model(),
+          {ProtectionMechanism::none(), ProtectionMechanism::secded(),
+           ProtectionMechanism::chipkill()}};
+}
+
+TEST(Planner, TrafficSharesMatchFootprints) {
+  const ProtectionPlanner p = planner();
+  ASSERT_EQ(p.traffic_shares().size(), 2u);
+  EXPECT_NEAR(p.traffic_shares()[0], 0.9, 1e-6);
+  EXPECT_NEAR(p.traffic_shares()[1], 0.1, 1e-6);
+}
+
+TEST(Planner, NoneEverywhereReproducesBaseline) {
+  const ProtectionPlanner p = planner();
+  const ProtectionPlan plan = p.evaluate({0, 0});
+  EXPECT_DOUBLE_EQ(plan.time_overhead, 0.0);
+  EXPECT_NEAR(plan.total_dvf, plan.baseline_dvf, 1e-12 * plan.baseline_dvf);
+  EXPECT_DOUBLE_EQ(plan.improvement(), 1.0);
+}
+
+TEST(Planner, ProtectingAStructureShrinksItsDvf) {
+  const ProtectionPlanner p = planner();
+  const ProtectionPlan base = p.evaluate({0, 0});
+  const ProtectionPlan protected_hot = p.evaluate({2, 0});  // chipkill on hot
+  EXPECT_LT(protected_hot.choices[0].structure_dvf,
+            1e-3 * base.choices[0].structure_dvf);
+  // The slowdown slightly raises the unprotected structure's exposure.
+  EXPECT_GT(protected_hot.choices[1].structure_dvf,
+            base.choices[1].structure_dvf);
+  EXPECT_LT(protected_hot.total_dvf, base.total_dvf);
+}
+
+TEST(Planner, OverheadWeightedByTrafficShare) {
+  const ProtectionPlanner p = planner();
+  // chipkill (5% access overhead) on the hot structure: ~4.5% app slowdown;
+  // on the cold one: ~0.5%.
+  EXPECT_NEAR(p.evaluate({2, 0}).time_overhead, 0.05 * 0.9, 1e-6);
+  EXPECT_NEAR(p.evaluate({0, 2}).time_overhead, 0.05 * 0.1, 1e-6);
+}
+
+TEST(Planner, OptimizeRespectsTheBudget) {
+  const ProtectionPlanner p = planner();
+  const ProtectionPlan within = p.optimize(0.01);
+  EXPECT_LE(within.time_overhead, 0.01 + 1e-9);
+  // 1% budget cannot protect the hot structure (4.5% needed), so the best
+  // move is protecting the cold one.
+  EXPECT_EQ(within.choices[0].mechanism, "none");
+  EXPECT_NE(within.choices[1].mechanism, "none");
+
+  const ProtectionPlan generous = p.optimize(1.0);
+  // With an unconstrained budget every structure gets the strongest
+  // mechanism.
+  EXPECT_EQ(generous.choices[0].mechanism, "chipkill");
+  EXPECT_EQ(generous.choices[1].mechanism, "chipkill");
+  EXPECT_LT(generous.total_dvf, within.total_dvf);
+}
+
+TEST(Planner, OptimizeZeroBudgetIsBaseline) {
+  const ProtectionPlanner p = planner();
+  const ProtectionPlan plan = p.optimize(0.0);
+  EXPECT_EQ(plan.choices[0].mechanism, "none");
+  EXPECT_EQ(plan.choices[1].mechanism, "none");
+}
+
+TEST(Planner, CheapestMeetingTarget) {
+  const ProtectionPlanner p = planner();
+  const double baseline = p.evaluate({0, 0}).total_dvf;
+
+  // A target just under the baseline: protecting the cold structure with
+  // SECDED should be the cheapest sufficient move.
+  const auto modest = p.cheapest_meeting_target(baseline * 0.95);
+  ASSERT_TRUE(modest.has_value());
+  EXPECT_LE(modest->total_dvf, baseline * 0.95);
+  // Among sufficient plans none is cheaper.
+  const auto strict = p.cheapest_meeting_target(baseline * 1e-4);
+  ASSERT_TRUE(strict.has_value());
+  EXPECT_GE(strict->time_overhead, modest->time_overhead);
+
+  // An impossible target.
+  EXPECT_FALSE(p.cheapest_meeting_target(baseline * 1e-12).has_value());
+}
+
+TEST(Planner, Validation) {
+  ModelSpec model = two_structure_model();
+  EXPECT_THROW(ProtectionPlanner(Machine::with_cache(caches::profiling_1mb()),
+                                 model, {}),
+               InvalidArgumentError);
+  model.exec_time_seconds.reset();
+  EXPECT_THROW(ProtectionPlanner(Machine::with_cache(caches::profiling_1mb()),
+                                 model, {ProtectionMechanism::none()}),
+               SemanticError);
+  const ProtectionPlanner p = planner();
+  EXPECT_THROW((void)p.evaluate({0}), InvalidArgumentError);
+  EXPECT_THROW((void)p.evaluate({0, 9}), InvalidArgumentError);
+  EXPECT_THROW((void)p.optimize(-0.1), InvalidArgumentError);
+  EXPECT_THROW((void)p.cheapest_meeting_target(0.0), InvalidArgumentError);
+}
+
+TEST(Mechanisms, PresetsMatchTableVIIRatios) {
+  EXPECT_NEAR(ProtectionMechanism::secded().fit_factor, 1300.0 / 5000.0,
+              1e-12);
+  EXPECT_NEAR(ProtectionMechanism::chipkill().fit_factor, 0.02 / 5000.0,
+              1e-12);
+  EXPECT_DOUBLE_EQ(ProtectionMechanism::none().fit_factor, 1.0);
+}
+
+}  // namespace
+}  // namespace dvf

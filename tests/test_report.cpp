@@ -1,0 +1,65 @@
+// Unit tests for the table/CSV reporter.
+#include "dvf/report/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dvf/common/error.hpp"
+
+namespace dvf {
+namespace {
+
+TEST(Table, BasicLayout) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"}).add_row({"b", "22"});
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.columns(), 2u);
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("-----"), std::string::npos);
+}
+
+TEST(Table, RejectsMismatchedRows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), InvalidArgumentError);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), InvalidArgumentError);
+}
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table({}), InvalidArgumentError);
+}
+
+TEST(Table, RowAccessIsBoundsChecked) {
+  Table t({"a"});
+  t.add_row({"x"});
+  EXPECT_EQ(t.row(0)[0], "x");
+  EXPECT_THROW((void)t.row(1), InvalidArgumentError);
+}
+
+TEST(Table, CsvEscapesSpecialCells) {
+  Table t({"k", "v"});
+  t.add_row({"plain", "with,comma"});
+  t.add_row({"quote\"inside", "multi\nline"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"quote\"\"inside\""), std::string::npos);
+  EXPECT_NE(csv.find("\"multi\nline\""), std::string::npos);
+  EXPECT_EQ(csv.find("plain\""), std::string::npos);
+}
+
+TEST(Table, CsvHasHeaderAndRows) {
+  Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "x,y\n1,2\n");
+}
+
+TEST(Num, FormatsSignificantDigits) {
+  EXPECT_EQ(num(1234.0, 3), "1.23e+03");
+  EXPECT_EQ(num(0.5), "0.5");
+}
+
+TEST(Banner, WrapsTitle) {
+  EXPECT_EQ(banner("hello"), "\n=== hello ===\n");
+}
+
+}  // namespace
+}  // namespace dvf

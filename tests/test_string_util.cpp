@@ -1,0 +1,50 @@
+// Unit tests for the string utilities used by the DSL and reporters.
+#include "dvf/common/string_util.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dvf {
+namespace {
+
+TEST(Split, PreservesEmptyFields) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split(",x,", ','), (std::vector<std::string>{"", "x", ""}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(Trim, RemovesOuterWhitespaceOnly) {
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+  EXPECT_EQ(trim("a b"), "a b");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(StartsWith, Basics) {
+  EXPECT_TRUE(starts_with("pattern", "pat"));
+  EXPECT_FALSE(starts_with("pat", "pattern"));
+  EXPECT_TRUE(starts_with("x", ""));
+}
+
+TEST(Join, WithSeparator) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(FormatSignificant, RoundsToSignificantDigits) {
+  EXPECT_EQ(format_significant(1234.5678, 4), "1235");
+  EXPECT_EQ(format_significant(0.00012345, 3), "0.000123");
+  EXPECT_EQ(format_significant(1.0, 4), "1");
+}
+
+TEST(FormatSignificant, SpecialValues) {
+  EXPECT_EQ(format_significant(std::numeric_limits<double>::quiet_NaN()),
+            "nan");
+  EXPECT_EQ(format_significant(std::numeric_limits<double>::infinity()),
+            "inf");
+  EXPECT_EQ(format_significant(-std::numeric_limits<double>::infinity()),
+            "-inf");
+}
+
+}  // namespace
+}  // namespace dvf

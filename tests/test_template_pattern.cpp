@@ -1,0 +1,197 @@
+// Unit + property tests for the template-based model: the stack-distance
+// analyzer (cross-validated against a brute-force oracle), block expansion,
+// and the two-step counting algorithm.
+#include "dvf/patterns/template_access.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "dvf/common/error.hpp"
+#include "dvf/common/rng.hpp"
+
+namespace dvf {
+namespace {
+
+/// Brute-force stack distance: distinct blocks strictly between the previous
+/// and current use.
+std::vector<std::uint64_t> oracle_distances(
+    const std::vector<std::uint64_t>& blocks) {
+  std::vector<std::uint64_t> out;
+  std::unordered_map<std::uint64_t, std::size_t> last;
+  for (std::size_t t = 0; t < blocks.size(); ++t) {
+    const auto it = last.find(blocks[t]);
+    if (it == last.end()) {
+      out.push_back(ReuseDistanceAnalyzer::kColdMiss);
+    } else {
+      std::set<std::uint64_t> distinct;
+      for (std::size_t u = it->second + 1; u < t; ++u) {
+        distinct.insert(blocks[u]);
+      }
+      out.push_back(distinct.size());
+    }
+    last[blocks[t]] = t;
+  }
+  return out;
+}
+
+TEST(ReuseDistance, SimpleSequences) {
+  ReuseDistanceAnalyzer analyzer;
+  EXPECT_EQ(analyzer.observe(10), ReuseDistanceAnalyzer::kColdMiss);
+  EXPECT_EQ(analyzer.observe(10), 0u);          // immediate reuse
+  EXPECT_EQ(analyzer.observe(20), ReuseDistanceAnalyzer::kColdMiss);
+  EXPECT_EQ(analyzer.observe(10), 1u);          // one distinct block between
+  EXPECT_EQ(analyzer.observe(30), ReuseDistanceAnalyzer::kColdMiss);
+  EXPECT_EQ(analyzer.observe(20), 2u);          // 10 and 30 in between
+  EXPECT_EQ(analyzer.distinct_blocks(), 3u);
+}
+
+TEST(ReuseDistance, RepeatedBlockBetweenUsesCountsOnce) {
+  ReuseDistanceAnalyzer analyzer;
+  (void)analyzer.observe(1);
+  (void)analyzer.observe(2);
+  (void)analyzer.observe(2);
+  (void)analyzer.observe(2);
+  EXPECT_EQ(analyzer.observe(1), 1u);  // block 2 appears once, not thrice
+}
+
+TEST(ReuseDistance, MatchesOracleOnRandomStrings) {
+  Xoshiro256 rng(2024);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::uint64_t> blocks;
+    for (int i = 0; i < 400; ++i) {
+      blocks.push_back(rng.below(40));
+    }
+    const auto expected = oracle_distances(blocks);
+    ReuseDistanceAnalyzer analyzer;
+    for (std::size_t t = 0; t < blocks.size(); ++t) {
+      ASSERT_EQ(analyzer.observe(blocks[t]), expected[t])
+          << "trial " << trial << " position " << t;
+    }
+  }
+}
+
+TEST(ReuseDistance, SurvivesCompactionOnLongStreams) {
+  // Run far past the eager tree capacity with a small block universe so the
+  // compaction path executes; compare against the oracle on a suffix.
+  ReuseDistanceAnalyzer analyzer(8);
+  Xoshiro256 rng(7);
+  std::vector<std::uint64_t> blocks;
+  for (int i = 0; i < 200000; ++i) {
+    blocks.push_back(rng.below(64));
+  }
+  const auto expected = oracle_distances(blocks);
+  for (std::size_t t = 0; t < blocks.size(); ++t) {
+    ASSERT_EQ(analyzer.observe(blocks[t]), expected[t]) << "position " << t;
+  }
+}
+
+TEST(BlocksFromElements, MapsThroughElementAndLineSizes) {
+  const std::vector<std::uint64_t> idx = {0, 1, 2, 3, 4};
+  // 8-byte elements, 32-byte lines: four elements per block.
+  const auto blocks = blocks_from_elements(idx, 8, 32);
+  EXPECT_EQ(blocks, (std::vector<std::uint64_t>{0, 0, 0, 0, 1}));
+}
+
+TEST(BlocksFromElements, WideElementsTouchEveryCoveredBlock) {
+  const std::vector<std::uint64_t> idx = {0, 1};
+  // 64-byte elements over 32-byte lines: each element covers two blocks.
+  const auto blocks = blocks_from_elements(idx, 64, 32);
+  EXPECT_EQ(blocks, (std::vector<std::uint64_t>{0, 1, 2, 3}));
+}
+
+TEST(TemplateEstimate, ColdBlocksOnlyWhenFitting) {
+  TemplateSpec spec;
+  spec.element_bytes = 32;
+  for (int rep = 0; rep < 5; ++rep) {
+    for (std::uint64_t i = 0; i < 100; ++i) {
+      spec.element_indices.push_back(i);
+    }
+  }
+  const CacheConfig c("c", 4, 64, 32);  // 256 blocks >= 100
+  EXPECT_DOUBLE_EQ(estimate_template(spec, c), 100.0);
+}
+
+TEST(TemplateEstimate, CyclicOverCapacityThrashes) {
+  TemplateSpec spec;
+  spec.element_bytes = 32;
+  for (int rep = 0; rep < 3; ++rep) {
+    for (std::uint64_t i = 0; i < 300; ++i) {  // 300 blocks > 256
+      spec.element_indices.push_back(i);
+    }
+  }
+  const CacheConfig c("c", 4, 64, 32);
+  // Every reference misses under LRU for a cyclic over-capacity scan.
+  EXPECT_DOUBLE_EQ(estimate_template(spec, c), 900.0);
+}
+
+TEST(TemplateEstimate, RepetitionsEquivalentToMaterializedRepeats) {
+  TemplateSpec once;
+  once.element_bytes = 8;
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 500; ++i) {
+    once.element_indices.push_back(rng.below(2000));
+  }
+  TemplateSpec repeated = once;
+  repeated.repetitions = 4;
+  TemplateSpec materialized = once;
+  for (int rep = 1; rep < 4; ++rep) {
+    materialized.element_indices.insert(materialized.element_indices.end(),
+                                        once.element_indices.begin(),
+                                        once.element_indices.end());
+  }
+  const CacheConfig c("c", 2, 32, 32);
+  EXPECT_DOUBLE_EQ(estimate_template(repeated, c),
+                   estimate_template(materialized, c));
+}
+
+TEST(TemplateEstimate, CacheRatioReducesEffectiveCapacity) {
+  TemplateSpec spec;
+  spec.element_bytes = 32;
+  for (int rep = 0; rep < 2; ++rep) {
+    for (std::uint64_t i = 0; i < 200; ++i) {
+      spec.element_indices.push_back(i);
+    }
+  }
+  const CacheConfig c("c", 4, 64, 32);  // 256 blocks
+  spec.cache_ratio = 1.0;
+  const double full = estimate_template(spec, c);   // fits: 200
+  spec.cache_ratio = 0.5;                            // 128 blocks: thrash
+  const double half = estimate_template(spec, c);
+  EXPECT_DOUBLE_EQ(full, 200.0);
+  EXPECT_DOUBLE_EQ(half, 400.0);
+}
+
+TEST(TemplateEstimate, RawDistanceVariantDiffersOnSkewedStrings) {
+  // A string where raw distance is large but only one distinct block
+  // intervenes: stack treats it as a hit, raw as a miss.
+  TemplateSpec spec;
+  spec.element_bytes = 32;
+  spec.element_indices.push_back(0);
+  for (int i = 0; i < 400; ++i) {
+    spec.element_indices.push_back(1);
+  }
+  spec.element_indices.push_back(0);
+  const CacheConfig c("c", 4, 64, 32);
+  spec.distance = DistanceKind::kStack;
+  EXPECT_DOUBLE_EQ(estimate_template(spec, c), 2.0);
+  spec.distance = DistanceKind::kRaw;
+  EXPECT_DOUBLE_EQ(estimate_template(spec, c), 3.0);
+}
+
+TEST(TemplateEstimate, RejectsInvalidSpecs) {
+  TemplateSpec spec;
+  const CacheConfig c("c", 4, 64, 32);
+  EXPECT_THROW((void)estimate_template(spec, c), InvalidArgumentError);
+  spec.element_indices = {1, 2, 3};
+  spec.cache_ratio = 0.0;
+  EXPECT_THROW((void)estimate_template(spec, c), InvalidArgumentError);
+  spec.cache_ratio = 1.0;
+  spec.repetitions = 0;
+  EXPECT_THROW((void)estimate_template(spec, c), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace dvf

@@ -1,0 +1,111 @@
+// Tests for trace serialization: round-trip fidelity, format validation,
+// and replay equivalence (serialized trace simulates identically to the
+// live run).
+#include "dvf/trace/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "dvf/cachesim/cache_simulator.hpp"
+#include "dvf/common/error.hpp"
+#include "dvf/kernels/suite.hpp"
+#include "dvf/kernels/vm.hpp"
+#include "dvf/machine/cache_config.hpp"
+
+namespace dvf {
+namespace {
+
+TEST(TraceIo, RoundTripsStructuresAndRecords) {
+  DataStructureRegistry registry;
+  double a[8] = {};
+  int b[16] = {};
+  (void)registry.register_structure("alpha", a, sizeof(a), 8);
+  (void)registry.register_structure("beta", b, sizeof(b), 4);
+
+  std::vector<MemoryRecord> records = {
+      {0x1000, 8, 0, false},
+      {0x2000, 4, 1, true},
+      {0x3000, 2, kNoDs, false},
+  };
+
+  std::stringstream stream;
+  write_trace(stream, registry, records);
+  const TraceFile trace = read_trace(stream);
+
+  ASSERT_EQ(trace.structures.size(), 2u);
+  EXPECT_EQ(trace.structures[0].name, "alpha");
+  EXPECT_EQ(trace.structures[0].size_bytes, sizeof(a));
+  EXPECT_EQ(trace.structures[1].element_bytes, 4u);
+  ASSERT_EQ(trace.records.size(), 3u);
+  EXPECT_EQ(trace.records[0], records[0]);
+  EXPECT_EQ(trace.records[1], records[1]);
+  EXPECT_EQ(trace.records[2], records[2]);
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips) {
+  DataStructureRegistry registry;
+  std::stringstream stream;
+  write_trace(stream, registry, {});
+  const TraceFile trace = read_trace(stream);
+  EXPECT_TRUE(trace.structures.empty());
+  EXPECT_TRUE(trace.records.empty());
+}
+
+TEST(TraceIo, RejectsMalformedStreams) {
+  {
+    std::stringstream bad("not a trace at all");
+    EXPECT_THROW((void)read_trace(bad), Error);
+  }
+  {
+    // Valid magic, then truncation.
+    std::stringstream truncated;
+    truncated.write("DVFT", 4);
+    EXPECT_THROW((void)read_trace(truncated), Error);
+  }
+  {
+    // Records referencing an unknown structure id.
+    DataStructureRegistry registry;
+    int x[4] = {};
+    (void)registry.register_structure("x", x, sizeof(x), 4);
+    std::stringstream stream;
+    write_trace(stream, registry, {{0, 4, 7, false}});
+    EXPECT_THROW((void)read_trace(stream), Error);
+  }
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW((void)read_trace_file("/nonexistent/path.dvft"), Error);
+}
+
+TEST(TraceIo, ReplayedTraceSimulatesIdenticallyToLiveRun) {
+  kernels::KernelCaseAdapter<kernels::VectorMultiply> vm(
+      "VM", "dense", kernels::VectorMultiply::Config{.iterations = 500});
+
+  // Live run through the simulator.
+  CacheSimulator live(caches::small_verification());
+  vm.run_traced(live);
+
+  // Buffered run, serialized and replayed.
+  TraceBuffer buffer;
+  vm.run_buffered(buffer);
+  std::stringstream stream;
+  write_trace(stream, vm.registry(), buffer.records());
+  const TraceFile trace = read_trace(stream);
+
+  CacheSimulator replay(caches::small_verification());
+  for (const MemoryRecord& record : trace.records) {
+    replay.access(record.address, record.size, record.is_write, record.ds);
+  }
+  replay.flush();
+
+  for (const auto& ds : vm.model_spec().structures) {
+    const auto id = *vm.registry().find(ds.name);
+    EXPECT_EQ(live.stats(id).misses, replay.stats(id).misses) << ds.name;
+    EXPECT_EQ(live.stats(id).writebacks, replay.stats(id).writebacks)
+        << ds.name;
+  }
+}
+
+}  // namespace
+}  // namespace dvf

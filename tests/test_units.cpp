@@ -1,0 +1,43 @@
+// Unit tests for the unit conversions behind N_error (Eq. 1).
+#include "dvf/common/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dvf {
+namespace {
+
+TEST(Units, ByteLiterals) {
+  EXPECT_EQ(4_KiB, 4096u);
+  EXPECT_EQ(2_MiB, 2u * 1024 * 1024);
+  EXPECT_EQ(1_GiB, 1024u * 1024 * 1024);
+}
+
+TEST(Units, BytesToMegabits) {
+  // 1 MB (decimal-ish of bits): 125000 bytes = 1e6 bits = 1 Mbit.
+  EXPECT_DOUBLE_EQ(bytes_to_megabits(125000.0), 1.0);
+  EXPECT_DOUBLE_EQ(bytes_to_megabits(0.0), 0.0);
+}
+
+TEST(Units, ExpectedErrorsMatchesHandComputation) {
+  // 1 Mbit of memory exposed for 3600 s (1 h) at 1e9 FIT:
+  // N = 1e9 * (1 h / 1e9 h) * 1 Mbit = 1 error.
+  EXPECT_DOUBLE_EQ(expected_errors(1e9, 3600.0, 125000.0), 1.0);
+}
+
+TEST(Units, ExpectedErrorsLinearInEachFactor) {
+  const double base = expected_errors(5000.0, 10.0, 1_MiB);
+  EXPECT_DOUBLE_EQ(expected_errors(10000.0, 10.0, 1_MiB), 2.0 * base);
+  EXPECT_DOUBLE_EQ(expected_errors(5000.0, 20.0, 1_MiB), 2.0 * base);
+  EXPECT_DOUBLE_EQ(expected_errors(5000.0, 10.0, 2.0 * 1_MiB), 2.0 * base);
+}
+
+TEST(Units, TypicalMagnitudesAreTiny) {
+  // 5000 FIT/Mbit over a 1-second run of a 1 MiB structure: far below one
+  // expected error — which is why DVF multiplies in N_ha.
+  const double n = expected_errors(5000.0, 1.0, 1_MiB);
+  EXPECT_GT(n, 0.0);
+  EXPECT_LT(n, 1e-6);
+}
+
+}  // namespace
+}  // namespace dvf

@@ -1,0 +1,382 @@
+// dvfc — command-line front end for the DVF library.
+//
+//   dvfc check <file>...                      validate model files
+//   dvfc fmt <file>                           print canonical formatting
+//   dvfc eval <file> [--model N] [--machine N] [--csv]
+//                                             evaluate models on machines
+//   dvfc caches <file> --model N              sweep the paper's four
+//                                             profiling caches
+//   dvfc ecc <file> --model N [--machine N]   ECC/performance trade-off
+//   dvfc kernels [--suite verification|profiling]
+//                                             DVF-profile the built-in
+//                                             kernel suite
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dvf/common/error.hpp"
+#include "dvf/common/math.hpp"
+#include "dvf/dsl/analyzer.hpp"
+#include "dvf/dsl/parser.hpp"
+#include "dvf/dsl/printer.hpp"
+#include "dvf/dvf/calculator.hpp"
+#include "dvf/dvf/ecc.hpp"
+#include "dvf/cachesim/cache_simulator.hpp"
+#include "dvf/dvf/inference.hpp"
+#include "dvf/kernels/suite.hpp"
+#include "dvf/patterns/estimate.hpp"
+#include "dvf/machine/cache_config.hpp"
+#include "dvf/report/table.hpp"
+#include "dvf/trace/trace_io.hpp"
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> options;
+  bool flag(const std::string& name) const { return options.count(name) != 0; }
+  std::string option(const std::string& name, const std::string& fallback = "")
+      const {
+    const auto it = options.find(name);
+    return it == options.end() ? fallback : it->second;
+  }
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  if (argc > 1) {
+    args.command = argv[1];
+  }
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      const std::string name = arg.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        args.options[name] = argv[++i];
+      } else {
+        args.options[name] = "";
+      }
+    } else {
+      args.positional.push_back(arg);
+    }
+  }
+  return args;
+}
+
+int usage() {
+  std::cerr <<
+      "usage: dvfc <command> [args]\n"
+      "  check <file>...                       validate model files\n"
+      "  fmt <file>                            canonical formatting\n"
+      "  eval <file> [--model N] [--machine N] [--csv]\n"
+      "  caches <file> --model N               profiling-cache sweep\n"
+      "  ecc <file> --model N [--machine N]    ECC trade-off sweep\n"
+      "  kernels [--suite verification|profiling]\n"
+      "  trace <kernel> <out.dvft>             record a kernel's references\n"
+      "  replay <in.dvft> [--assoc A --sets S --line L]\n"
+      "                                        simulate a saved trace\n"
+      "  infer <in.dvft> [--assoc A --sets S --line L]\n"
+      "                                        derive pattern specs from a\n"
+      "                                        trace and compare estimates\n"
+      "                                        against its replay\n";
+  return 2;
+}
+
+int cmd_check(const Args& args) {
+  if (args.positional.empty()) {
+    return usage();
+  }
+  int failures = 0;
+  for (const std::string& file : args.positional) {
+    try {
+      const auto program = dvf::dsl::compile_file(file);
+      std::cout << file << ": OK (" << program.models.size() << " model(s), "
+                << program.machines.size() << " machine(s))\n";
+    } catch (const dvf::Error& err) {
+      std::cout << file << ": " << err.what() << "\n";
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+int cmd_fmt(const Args& args) {
+  if (args.positional.size() != 1) {
+    return usage();
+  }
+  std::ifstream in(args.positional[0]);
+  if (!in) {
+    std::cerr << "cannot open " << args.positional[0] << "\n";
+    return 1;
+  }
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  std::cout << dvf::dsl::print(dvf::dsl::parse(contents.str()));
+  return 0;
+}
+
+void print_application(const dvf::ApplicationDvf& app, bool csv) {
+  dvf::Table table({"structure", "S_d (bytes)", "N_ha", "N_error", "DVF"});
+  for (const auto& s : app.structures) {
+    table.add_row({s.name, dvf::num(s.size_bytes), dvf::num(s.n_ha),
+                   dvf::num(s.n_error), dvf::num(s.dvf)});
+  }
+  table.add_row({"(application)", "", "", "", dvf::num(app.total)});
+  std::cout << (csv ? table.to_csv() : table.to_text());
+}
+
+int cmd_eval(const Args& args) {
+  if (args.positional.size() != 1) {
+    return usage();
+  }
+  const auto program = dvf::dsl::compile_file(args.positional[0]);
+  const std::string model_name = args.option("model");
+  const std::string machine_name = args.option("machine");
+  const bool csv = args.flag("csv");
+
+  for (const dvf::ModelSpec& model : program.models) {
+    if (!model_name.empty() && model.name != model_name) {
+      continue;
+    }
+    for (const dvf::Machine& machine : program.machines) {
+      if (!machine_name.empty() && machine.name != machine_name) {
+        continue;
+      }
+      if (!csv) {
+        std::cout << dvf::banner("model '" + model.name + "' on machine '" +
+                                 machine.name + "'");
+      }
+      print_application(dvf::DvfCalculator(machine).for_model(model), csv);
+    }
+  }
+  return 0;
+}
+
+int cmd_caches(const Args& args) {
+  if (args.positional.size() != 1 || args.option("model").empty()) {
+    return usage();
+  }
+  const auto program = dvf::dsl::compile_file(args.positional[0]);
+  const dvf::ModelSpec& model = program.model(args.option("model"));
+
+  std::vector<std::string> headers = {"structure"};
+  const auto caches = dvf::caches::all_profiling();
+  for (const auto& c : caches) {
+    headers.push_back("DVF @" + c.name());
+  }
+  dvf::Table table(headers);
+  std::vector<dvf::ApplicationDvf> results;
+  for (const auto& cache : caches) {
+    results.push_back(dvf::DvfCalculator(dvf::Machine::with_cache(cache))
+                          .for_model(model));
+  }
+  for (std::size_t s = 0; s < model.structures.size(); ++s) {
+    std::vector<std::string> row = {model.structures[s].name};
+    for (const auto& app : results) {
+      row.push_back(dvf::num(app.structures[s].dvf));
+    }
+    table.add_row(std::move(row));
+  }
+  std::cout << table;
+  return 0;
+}
+
+int cmd_ecc(const Args& args) {
+  if (args.positional.size() != 1 || args.option("model").empty()) {
+    return usage();
+  }
+  const auto program = dvf::dsl::compile_file(args.positional[0]);
+  const dvf::ModelSpec& model = program.model(args.option("model"));
+  const dvf::Machine machine =
+      args.option("machine").empty()
+          ? dvf::Machine::with_cache(dvf::caches::profiling_8mb())
+          : program.machine(args.option("machine"));
+
+  const dvf::EccTradeoffExplorer explorer(machine, model);
+  dvf::Table table({"degradation_%", "DVF secded", "DVF chipkill"});
+  dvf::EccSweepConfig secded;
+  secded.scheme = dvf::EccScheme::kSecDed;
+  dvf::EccSweepConfig chipkill;
+  chipkill.scheme = dvf::EccScheme::kChipkill;
+  const auto s = explorer.sweep(secded);
+  const auto c = explorer.sweep(chipkill);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    table.add_row({dvf::num(100.0 * s[i].degradation, 3), dvf::num(s[i].dvf),
+                   dvf::num(c[i].dvf)});
+  }
+  std::cout << table;
+  return 0;
+}
+
+int cmd_kernels(const Args& args) {
+  const std::string suite_name = args.option("suite", "verification");
+  auto suite = suite_name == "profiling"
+                   ? dvf::kernels::make_profiling_suite()
+                   : dvf::kernels::make_verification_suite();
+
+  dvf::Table table({"kernel", "method", "T (s)", "DVF_a @8MB"});
+  const dvf::DvfCalculator calc(
+      dvf::Machine::with_cache(dvf::caches::profiling_8mb()));
+  for (auto& kernel : suite) {
+    const double seconds = kernel->run_timed();
+    dvf::ModelSpec spec = kernel->model_spec();
+    spec.exec_time_seconds = seconds;
+    table.add_row({kernel->name(), kernel->method_class(),
+                   dvf::num(seconds, 3),
+                   dvf::num(calc.for_model(spec).total)});
+  }
+  std::cout << table;
+  return 0;
+}
+
+int cmd_trace(const Args& args) {
+  if (args.positional.size() != 2) {
+    return usage();
+  }
+  auto suite = dvf::kernels::make_extended_suite();
+  for (auto& kernel : suite) {
+    if (kernel->name() != args.positional[0]) {
+      continue;
+    }
+    dvf::TraceBuffer buffer;
+    kernel->run_buffered(buffer);
+    dvf::write_trace_file(args.positional[1], kernel->registry(),
+                          buffer.records());
+    std::cout << "wrote " << buffer.records().size() << " references ("
+              << kernel->registry().size() << " structures) to "
+              << args.positional[1] << "\n";
+    return 0;
+  }
+  std::cerr << "unknown kernel '" << args.positional[0]
+            << "' (expected VM|CG|NB|MG|FT|MC|CGS)\n";
+  return 1;
+}
+
+int cmd_replay(const Args& args) {
+  if (args.positional.size() != 1) {
+    return usage();
+  }
+  const dvf::TraceFile trace = dvf::read_trace_file(args.positional[0]);
+  const auto assoc =
+      static_cast<std::uint32_t>(std::stoul(args.option("assoc", "4")));
+  const auto sets =
+      static_cast<std::uint32_t>(std::stoul(args.option("sets", "64")));
+  const auto line =
+      static_cast<std::uint32_t>(std::stoul(args.option("line", "32")));
+
+  dvf::CacheSimulator sim(dvf::CacheConfig("replay", assoc, sets, line));
+  for (const dvf::MemoryRecord& record : trace.records) {
+    sim.access(record.address, record.size, record.is_write, record.ds);
+  }
+  sim.flush();
+
+  std::cout << "replayed " << trace.records.size() << " references on "
+            << sim.config().describe() << "\n\n";
+  dvf::Table table({"structure", "accesses", "hits", "misses", "writebacks"});
+  for (std::size_t i = 0; i < trace.structures.size(); ++i) {
+    const dvf::CacheStats st = sim.stats(static_cast<dvf::DsId>(i));
+    table.add_row({trace.structures[i].name,
+                   dvf::num(static_cast<double>(st.accesses)),
+                   dvf::num(static_cast<double>(st.hits)),
+                   dvf::num(static_cast<double>(st.misses)),
+                   dvf::num(static_cast<double>(st.writebacks))});
+  }
+  std::cout << table;
+  return 0;
+}
+
+int cmd_infer(const Args& args) {
+  if (args.positional.size() != 1) {
+    return usage();
+  }
+  const dvf::TraceFile trace = dvf::read_trace_file(args.positional[0]);
+  const auto assoc =
+      static_cast<std::uint32_t>(std::stoul(args.option("assoc", "4")));
+  const auto sets =
+      static_cast<std::uint32_t>(std::stoul(args.option("sets", "64")));
+  const auto line =
+      static_cast<std::uint32_t>(std::stoul(args.option("line", "32")));
+  const dvf::CacheConfig cache("infer", assoc, sets, line);
+
+  const dvf::ModelSpec inferred = dvf::infer_model(trace);
+
+  dvf::CacheSimulator sim(cache);
+  for (const dvf::MemoryRecord& record : trace.records) {
+    sim.access(record.address, record.size, record.is_write, record.ds);
+  }
+  sim.flush();
+
+  std::cout << "inferred model from " << trace.records.size()
+            << " references; validating estimates on " << cache.describe()
+            << "\n\n";
+  dvf::Table table({"structure", "inferred pattern(s)", "sim_misses",
+                    "estimate", "rel_err_%"});
+  for (const auto& ds : inferred.structures) {
+    std::string kinds;
+    for (const auto& pattern : ds.patterns) {
+      if (!kinds.empty()) {
+        kinds += '+';
+      }
+      kinds += dvf::pattern_letter(pattern);
+    }
+    dvf::DsId id = dvf::kNoDs;
+    for (std::size_t i = 0; i < trace.structures.size(); ++i) {
+      if (trace.structures[i].name == ds.name) {
+        id = static_cast<dvf::DsId>(i);
+      }
+    }
+    const double simulated =
+        static_cast<double>(sim.stats(id).misses);
+    const double estimate = dvf::estimate_accesses(
+        std::span<const dvf::PatternSpec>(ds.patterns), cache);
+    table.add_row({ds.name, kinds, dvf::num(simulated), dvf::num(estimate),
+                   dvf::num(100.0 * dvf::math::relative_error(estimate,
+                                                              simulated),
+                            3)});
+  }
+  std::cout << table;
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  try {
+    if (args.command == "check") {
+      return cmd_check(args);
+    }
+    if (args.command == "fmt") {
+      return cmd_fmt(args);
+    }
+    if (args.command == "eval") {
+      return cmd_eval(args);
+    }
+    if (args.command == "caches") {
+      return cmd_caches(args);
+    }
+    if (args.command == "ecc") {
+      return cmd_ecc(args);
+    }
+    if (args.command == "kernels") {
+      return cmd_kernels(args);
+    }
+    if (args.command == "trace") {
+      return cmd_trace(args);
+    }
+    if (args.command == "replay") {
+      return cmd_replay(args);
+    }
+    if (args.command == "infer") {
+      return cmd_infer(args);
+    }
+    return usage();
+  } catch (const dvf::Error& err) {
+    std::cerr << "dvfc: " << err.what() << "\n";
+    return 1;
+  }
+}
