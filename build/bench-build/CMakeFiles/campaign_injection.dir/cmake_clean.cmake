@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/campaign_injection"
+  "../bench/campaign_injection.pdb"
+  "CMakeFiles/campaign_injection.dir/campaign_injection.cpp.o"
+  "CMakeFiles/campaign_injection.dir/campaign_injection.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campaign_injection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

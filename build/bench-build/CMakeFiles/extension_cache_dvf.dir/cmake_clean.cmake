@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/extension_cache_dvf"
+  "../bench/extension_cache_dvf.pdb"
+  "CMakeFiles/extension_cache_dvf.dir/extension_cache_dvf.cpp.o"
+  "CMakeFiles/extension_cache_dvf.dir/extension_cache_dvf.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_cache_dvf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

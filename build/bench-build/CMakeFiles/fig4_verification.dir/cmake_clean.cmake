@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_verification"
+  "../bench/fig4_verification.pdb"
+  "CMakeFiles/fig4_verification.dir/fig4_verification.cpp.o"
+  "CMakeFiles/fig4_verification.dir/fig4_verification.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_verification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_profiling"
+  "../bench/fig5_profiling.pdb"
+  "CMakeFiles/fig5_profiling.dir/fig5_profiling.cpp.o"
+  "CMakeFiles/fig5_profiling.dir/fig5_profiling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

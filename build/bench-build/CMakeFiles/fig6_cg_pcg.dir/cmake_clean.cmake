@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_cg_pcg"
+  "../bench/fig6_cg_pcg.pdb"
+  "CMakeFiles/fig6_cg_pcg.dir/fig6_cg_pcg.cpp.o"
+  "CMakeFiles/fig6_cg_pcg.dir/fig6_cg_pcg.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_cg_pcg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

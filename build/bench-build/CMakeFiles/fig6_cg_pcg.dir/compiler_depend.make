@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig6_cg_pcg.
+# This may be replaced when dependencies are built.

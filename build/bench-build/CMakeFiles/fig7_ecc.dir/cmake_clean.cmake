@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_ecc"
+  "../bench/fig7_ecc.pdb"
+  "CMakeFiles/fig7_ecc.dir/fig7_ecc.cpp.o"
+  "CMakeFiles/fig7_ecc.dir/fig7_ecc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

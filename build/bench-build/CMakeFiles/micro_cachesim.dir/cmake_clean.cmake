@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_cachesim"
+  "../bench/micro_cachesim.pdb"
+  "CMakeFiles/micro_cachesim.dir/micro_cachesim.cpp.o"
+  "CMakeFiles/micro_cachesim.dir/micro_cachesim.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_cachesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

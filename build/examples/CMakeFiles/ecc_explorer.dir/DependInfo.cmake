@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/ecc_explorer.cpp" "examples/CMakeFiles/ecc_explorer.dir/ecc_explorer.cpp.o" "gcc" "examples/CMakeFiles/ecc_explorer.dir/ecc_explorer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernels/CMakeFiles/dvf_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/cachesim/CMakeFiles/dvf_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsl/CMakeFiles/dvf_dsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/dvf/CMakeFiles/dvf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dvf_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/patterns/CMakeFiles/dvf_patterns.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/dvf_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/dvf_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dvf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecc_explorer.dir/ecc_explorer.cpp.o"
+  "CMakeFiles/ecc_explorer.dir/ecc_explorer.cpp.o.d"
+  "ecc_explorer"
+  "ecc_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecc_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protection_planner.dir/protection_planner.cpp.o"
+  "CMakeFiles/protection_planner.dir/protection_planner.cpp.o.d"
+  "protection_planner"
+  "protection_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protection_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvf_cachesim.dir/cache_simulator.cpp.o"
+  "CMakeFiles/dvf_cachesim.dir/cache_simulator.cpp.o.d"
+  "CMakeFiles/dvf_cachesim.dir/hierarchy.cpp.o"
+  "CMakeFiles/dvf_cachesim.dir/hierarchy.cpp.o.d"
+  "libdvf_cachesim.a"
+  "libdvf_cachesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvf_cachesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

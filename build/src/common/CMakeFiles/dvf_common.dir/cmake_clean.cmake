@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvf_common.dir/math.cpp.o"
+  "CMakeFiles/dvf_common.dir/math.cpp.o.d"
+  "CMakeFiles/dvf_common.dir/string_util.cpp.o"
+  "CMakeFiles/dvf_common.dir/string_util.cpp.o.d"
+  "libdvf_common.a"
+  "libdvf_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvf_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsl/analyzer.cpp" "src/dsl/CMakeFiles/dvf_dsl.dir/analyzer.cpp.o" "gcc" "src/dsl/CMakeFiles/dvf_dsl.dir/analyzer.cpp.o.d"
+  "/root/repo/src/dsl/lexer.cpp" "src/dsl/CMakeFiles/dvf_dsl.dir/lexer.cpp.o" "gcc" "src/dsl/CMakeFiles/dvf_dsl.dir/lexer.cpp.o.d"
+  "/root/repo/src/dsl/parser.cpp" "src/dsl/CMakeFiles/dvf_dsl.dir/parser.cpp.o" "gcc" "src/dsl/CMakeFiles/dvf_dsl.dir/parser.cpp.o.d"
+  "/root/repo/src/dsl/printer.cpp" "src/dsl/CMakeFiles/dvf_dsl.dir/printer.cpp.o" "gcc" "src/dsl/CMakeFiles/dvf_dsl.dir/printer.cpp.o.d"
+  "/root/repo/src/dsl/template_expander.cpp" "src/dsl/CMakeFiles/dvf_dsl.dir/template_expander.cpp.o" "gcc" "src/dsl/CMakeFiles/dvf_dsl.dir/template_expander.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dvf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/dvf_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/patterns/CMakeFiles/dvf_patterns.dir/DependInfo.cmake"
+  "/root/repo/build/src/dvf/CMakeFiles/dvf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dvf_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvf_dsl.dir/analyzer.cpp.o"
+  "CMakeFiles/dvf_dsl.dir/analyzer.cpp.o.d"
+  "CMakeFiles/dvf_dsl.dir/lexer.cpp.o"
+  "CMakeFiles/dvf_dsl.dir/lexer.cpp.o.d"
+  "CMakeFiles/dvf_dsl.dir/parser.cpp.o"
+  "CMakeFiles/dvf_dsl.dir/parser.cpp.o.d"
+  "CMakeFiles/dvf_dsl.dir/printer.cpp.o"
+  "CMakeFiles/dvf_dsl.dir/printer.cpp.o.d"
+  "CMakeFiles/dvf_dsl.dir/template_expander.cpp.o"
+  "CMakeFiles/dvf_dsl.dir/template_expander.cpp.o.d"
+  "libdvf_dsl.a"
+  "libdvf_dsl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvf_dsl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dvf/cache_vulnerability.cpp" "src/dvf/CMakeFiles/dvf_core.dir/cache_vulnerability.cpp.o" "gcc" "src/dvf/CMakeFiles/dvf_core.dir/cache_vulnerability.cpp.o.d"
+  "/root/repo/src/dvf/calculator.cpp" "src/dvf/CMakeFiles/dvf_core.dir/calculator.cpp.o" "gcc" "src/dvf/CMakeFiles/dvf_core.dir/calculator.cpp.o.d"
+  "/root/repo/src/dvf/ecc.cpp" "src/dvf/CMakeFiles/dvf_core.dir/ecc.cpp.o" "gcc" "src/dvf/CMakeFiles/dvf_core.dir/ecc.cpp.o.d"
+  "/root/repo/src/dvf/inference.cpp" "src/dvf/CMakeFiles/dvf_core.dir/inference.cpp.o" "gcc" "src/dvf/CMakeFiles/dvf_core.dir/inference.cpp.o.d"
+  "/root/repo/src/dvf/protection.cpp" "src/dvf/CMakeFiles/dvf_core.dir/protection.cpp.o" "gcc" "src/dvf/CMakeFiles/dvf_core.dir/protection.cpp.o.d"
+  "/root/repo/src/dvf/weighted.cpp" "src/dvf/CMakeFiles/dvf_core.dir/weighted.cpp.o" "gcc" "src/dvf/CMakeFiles/dvf_core.dir/weighted.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dvf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/dvf_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/patterns/CMakeFiles/dvf_patterns.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dvf_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvf_core.dir/cache_vulnerability.cpp.o"
+  "CMakeFiles/dvf_core.dir/cache_vulnerability.cpp.o.d"
+  "CMakeFiles/dvf_core.dir/calculator.cpp.o"
+  "CMakeFiles/dvf_core.dir/calculator.cpp.o.d"
+  "CMakeFiles/dvf_core.dir/ecc.cpp.o"
+  "CMakeFiles/dvf_core.dir/ecc.cpp.o.d"
+  "CMakeFiles/dvf_core.dir/inference.cpp.o"
+  "CMakeFiles/dvf_core.dir/inference.cpp.o.d"
+  "CMakeFiles/dvf_core.dir/protection.cpp.o"
+  "CMakeFiles/dvf_core.dir/protection.cpp.o.d"
+  "CMakeFiles/dvf_core.dir/weighted.cpp.o"
+  "CMakeFiles/dvf_core.dir/weighted.cpp.o.d"
+  "libdvf_core.a"
+  "libdvf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/cg.cpp" "src/kernels/CMakeFiles/dvf_kernels.dir/cg.cpp.o" "gcc" "src/kernels/CMakeFiles/dvf_kernels.dir/cg.cpp.o.d"
+  "/root/repo/src/kernels/fft.cpp" "src/kernels/CMakeFiles/dvf_kernels.dir/fft.cpp.o" "gcc" "src/kernels/CMakeFiles/dvf_kernels.dir/fft.cpp.o.d"
+  "/root/repo/src/kernels/injection_campaign.cpp" "src/kernels/CMakeFiles/dvf_kernels.dir/injection_campaign.cpp.o" "gcc" "src/kernels/CMakeFiles/dvf_kernels.dir/injection_campaign.cpp.o.d"
+  "/root/repo/src/kernels/montecarlo.cpp" "src/kernels/CMakeFiles/dvf_kernels.dir/montecarlo.cpp.o" "gcc" "src/kernels/CMakeFiles/dvf_kernels.dir/montecarlo.cpp.o.d"
+  "/root/repo/src/kernels/multigrid.cpp" "src/kernels/CMakeFiles/dvf_kernels.dir/multigrid.cpp.o" "gcc" "src/kernels/CMakeFiles/dvf_kernels.dir/multigrid.cpp.o.d"
+  "/root/repo/src/kernels/nbody.cpp" "src/kernels/CMakeFiles/dvf_kernels.dir/nbody.cpp.o" "gcc" "src/kernels/CMakeFiles/dvf_kernels.dir/nbody.cpp.o.d"
+  "/root/repo/src/kernels/sparse_cg.cpp" "src/kernels/CMakeFiles/dvf_kernels.dir/sparse_cg.cpp.o" "gcc" "src/kernels/CMakeFiles/dvf_kernels.dir/sparse_cg.cpp.o.d"
+  "/root/repo/src/kernels/suite.cpp" "src/kernels/CMakeFiles/dvf_kernels.dir/suite.cpp.o" "gcc" "src/kernels/CMakeFiles/dvf_kernels.dir/suite.cpp.o.d"
+  "/root/repo/src/kernels/vm.cpp" "src/kernels/CMakeFiles/dvf_kernels.dir/vm.cpp.o" "gcc" "src/kernels/CMakeFiles/dvf_kernels.dir/vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dvf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/dvf_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dvf_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/cachesim/CMakeFiles/dvf_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/patterns/CMakeFiles/dvf_patterns.dir/DependInfo.cmake"
+  "/root/repo/build/src/dvf/CMakeFiles/dvf_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

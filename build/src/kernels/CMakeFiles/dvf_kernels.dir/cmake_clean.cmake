@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvf_kernels.dir/cg.cpp.o"
+  "CMakeFiles/dvf_kernels.dir/cg.cpp.o.d"
+  "CMakeFiles/dvf_kernels.dir/fft.cpp.o"
+  "CMakeFiles/dvf_kernels.dir/fft.cpp.o.d"
+  "CMakeFiles/dvf_kernels.dir/injection_campaign.cpp.o"
+  "CMakeFiles/dvf_kernels.dir/injection_campaign.cpp.o.d"
+  "CMakeFiles/dvf_kernels.dir/montecarlo.cpp.o"
+  "CMakeFiles/dvf_kernels.dir/montecarlo.cpp.o.d"
+  "CMakeFiles/dvf_kernels.dir/multigrid.cpp.o"
+  "CMakeFiles/dvf_kernels.dir/multigrid.cpp.o.d"
+  "CMakeFiles/dvf_kernels.dir/nbody.cpp.o"
+  "CMakeFiles/dvf_kernels.dir/nbody.cpp.o.d"
+  "CMakeFiles/dvf_kernels.dir/sparse_cg.cpp.o"
+  "CMakeFiles/dvf_kernels.dir/sparse_cg.cpp.o.d"
+  "CMakeFiles/dvf_kernels.dir/suite.cpp.o"
+  "CMakeFiles/dvf_kernels.dir/suite.cpp.o.d"
+  "CMakeFiles/dvf_kernels.dir/vm.cpp.o"
+  "CMakeFiles/dvf_kernels.dir/vm.cpp.o.d"
+  "libdvf_kernels.a"
+  "libdvf_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvf_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/machine/cache_config.cpp" "src/machine/CMakeFiles/dvf_machine.dir/cache_config.cpp.o" "gcc" "src/machine/CMakeFiles/dvf_machine.dir/cache_config.cpp.o.d"
+  "/root/repo/src/machine/memory_model.cpp" "src/machine/CMakeFiles/dvf_machine.dir/memory_model.cpp.o" "gcc" "src/machine/CMakeFiles/dvf_machine.dir/memory_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dvf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvf_machine.dir/cache_config.cpp.o"
+  "CMakeFiles/dvf_machine.dir/cache_config.cpp.o.d"
+  "CMakeFiles/dvf_machine.dir/memory_model.cpp.o"
+  "CMakeFiles/dvf_machine.dir/memory_model.cpp.o.d"
+  "libdvf_machine.a"
+  "libdvf_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvf_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

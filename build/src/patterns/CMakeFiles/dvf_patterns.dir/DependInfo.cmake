@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/patterns/estimate.cpp" "src/patterns/CMakeFiles/dvf_patterns.dir/estimate.cpp.o" "gcc" "src/patterns/CMakeFiles/dvf_patterns.dir/estimate.cpp.o.d"
+  "/root/repo/src/patterns/random.cpp" "src/patterns/CMakeFiles/dvf_patterns.dir/random.cpp.o" "gcc" "src/patterns/CMakeFiles/dvf_patterns.dir/random.cpp.o.d"
+  "/root/repo/src/patterns/reuse.cpp" "src/patterns/CMakeFiles/dvf_patterns.dir/reuse.cpp.o" "gcc" "src/patterns/CMakeFiles/dvf_patterns.dir/reuse.cpp.o.d"
+  "/root/repo/src/patterns/streaming.cpp" "src/patterns/CMakeFiles/dvf_patterns.dir/streaming.cpp.o" "gcc" "src/patterns/CMakeFiles/dvf_patterns.dir/streaming.cpp.o.d"
+  "/root/repo/src/patterns/template_access.cpp" "src/patterns/CMakeFiles/dvf_patterns.dir/template_access.cpp.o" "gcc" "src/patterns/CMakeFiles/dvf_patterns.dir/template_access.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dvf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/dvf_machine.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvf_patterns.dir/estimate.cpp.o"
+  "CMakeFiles/dvf_patterns.dir/estimate.cpp.o.d"
+  "CMakeFiles/dvf_patterns.dir/random.cpp.o"
+  "CMakeFiles/dvf_patterns.dir/random.cpp.o.d"
+  "CMakeFiles/dvf_patterns.dir/reuse.cpp.o"
+  "CMakeFiles/dvf_patterns.dir/reuse.cpp.o.d"
+  "CMakeFiles/dvf_patterns.dir/streaming.cpp.o"
+  "CMakeFiles/dvf_patterns.dir/streaming.cpp.o.d"
+  "CMakeFiles/dvf_patterns.dir/template_access.cpp.o"
+  "CMakeFiles/dvf_patterns.dir/template_access.cpp.o.d"
+  "libdvf_patterns.a"
+  "libdvf_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvf_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvf_report.dir/table.cpp.o"
+  "CMakeFiles/dvf_report.dir/table.cpp.o.d"
+  "libdvf_report.a"
+  "libdvf_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvf_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

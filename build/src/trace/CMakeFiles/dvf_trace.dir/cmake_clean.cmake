@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvf_trace.dir/registry.cpp.o"
+  "CMakeFiles/dvf_trace.dir/registry.cpp.o.d"
+  "CMakeFiles/dvf_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/dvf_trace.dir/trace_io.cpp.o.d"
+  "libdvf_trace.a"
+  "libdvf_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvf_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,66 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_cache_simulator.cpp" "tests/CMakeFiles/dvf_tests.dir/test_cache_simulator.cpp.o" "gcc" "tests/CMakeFiles/dvf_tests.dir/test_cache_simulator.cpp.o.d"
+  "/root/repo/tests/test_cache_vulnerability.cpp" "tests/CMakeFiles/dvf_tests.dir/test_cache_vulnerability.cpp.o" "gcc" "tests/CMakeFiles/dvf_tests.dir/test_cache_vulnerability.cpp.o.d"
+  "/root/repo/tests/test_calculator.cpp" "tests/CMakeFiles/dvf_tests.dir/test_calculator.cpp.o" "gcc" "tests/CMakeFiles/dvf_tests.dir/test_calculator.cpp.o.d"
+  "/root/repo/tests/test_coverage_gaps.cpp" "tests/CMakeFiles/dvf_tests.dir/test_coverage_gaps.cpp.o" "gcc" "tests/CMakeFiles/dvf_tests.dir/test_coverage_gaps.cpp.o.d"
+  "/root/repo/tests/test_dsl_analyzer.cpp" "tests/CMakeFiles/dvf_tests.dir/test_dsl_analyzer.cpp.o" "gcc" "tests/CMakeFiles/dvf_tests.dir/test_dsl_analyzer.cpp.o.d"
+  "/root/repo/tests/test_dsl_lexer.cpp" "tests/CMakeFiles/dvf_tests.dir/test_dsl_lexer.cpp.o" "gcc" "tests/CMakeFiles/dvf_tests.dir/test_dsl_lexer.cpp.o.d"
+  "/root/repo/tests/test_dsl_parser.cpp" "tests/CMakeFiles/dvf_tests.dir/test_dsl_parser.cpp.o" "gcc" "tests/CMakeFiles/dvf_tests.dir/test_dsl_parser.cpp.o.d"
+  "/root/repo/tests/test_dsl_printer.cpp" "tests/CMakeFiles/dvf_tests.dir/test_dsl_printer.cpp.o" "gcc" "tests/CMakeFiles/dvf_tests.dir/test_dsl_printer.cpp.o.d"
+  "/root/repo/tests/test_dsl_templates.cpp" "tests/CMakeFiles/dvf_tests.dir/test_dsl_templates.cpp.o" "gcc" "tests/CMakeFiles/dvf_tests.dir/test_dsl_templates.cpp.o.d"
+  "/root/repo/tests/test_ecc.cpp" "tests/CMakeFiles/dvf_tests.dir/test_ecc.cpp.o" "gcc" "tests/CMakeFiles/dvf_tests.dir/test_ecc.cpp.o.d"
+  "/root/repo/tests/test_edge_cases.cpp" "tests/CMakeFiles/dvf_tests.dir/test_edge_cases.cpp.o" "gcc" "tests/CMakeFiles/dvf_tests.dir/test_edge_cases.cpp.o.d"
+  "/root/repo/tests/test_fault_injection.cpp" "tests/CMakeFiles/dvf_tests.dir/test_fault_injection.cpp.o" "gcc" "tests/CMakeFiles/dvf_tests.dir/test_fault_injection.cpp.o.d"
+  "/root/repo/tests/test_hierarchy.cpp" "tests/CMakeFiles/dvf_tests.dir/test_hierarchy.cpp.o" "gcc" "tests/CMakeFiles/dvf_tests.dir/test_hierarchy.cpp.o.d"
+  "/root/repo/tests/test_inference.cpp" "tests/CMakeFiles/dvf_tests.dir/test_inference.cpp.o" "gcc" "tests/CMakeFiles/dvf_tests.dir/test_inference.cpp.o.d"
+  "/root/repo/tests/test_integration_dvf.cpp" "tests/CMakeFiles/dvf_tests.dir/test_integration_dvf.cpp.o" "gcc" "tests/CMakeFiles/dvf_tests.dir/test_integration_dvf.cpp.o.d"
+  "/root/repo/tests/test_integration_verification.cpp" "tests/CMakeFiles/dvf_tests.dir/test_integration_verification.cpp.o" "gcc" "tests/CMakeFiles/dvf_tests.dir/test_integration_verification.cpp.o.d"
+  "/root/repo/tests/test_kernels_cg.cpp" "tests/CMakeFiles/dvf_tests.dir/test_kernels_cg.cpp.o" "gcc" "tests/CMakeFiles/dvf_tests.dir/test_kernels_cg.cpp.o.d"
+  "/root/repo/tests/test_kernels_fft.cpp" "tests/CMakeFiles/dvf_tests.dir/test_kernels_fft.cpp.o" "gcc" "tests/CMakeFiles/dvf_tests.dir/test_kernels_fft.cpp.o.d"
+  "/root/repo/tests/test_kernels_montecarlo.cpp" "tests/CMakeFiles/dvf_tests.dir/test_kernels_montecarlo.cpp.o" "gcc" "tests/CMakeFiles/dvf_tests.dir/test_kernels_montecarlo.cpp.o.d"
+  "/root/repo/tests/test_kernels_multigrid.cpp" "tests/CMakeFiles/dvf_tests.dir/test_kernels_multigrid.cpp.o" "gcc" "tests/CMakeFiles/dvf_tests.dir/test_kernels_multigrid.cpp.o.d"
+  "/root/repo/tests/test_kernels_nbody.cpp" "tests/CMakeFiles/dvf_tests.dir/test_kernels_nbody.cpp.o" "gcc" "tests/CMakeFiles/dvf_tests.dir/test_kernels_nbody.cpp.o.d"
+  "/root/repo/tests/test_kernels_sparse_cg.cpp" "tests/CMakeFiles/dvf_tests.dir/test_kernels_sparse_cg.cpp.o" "gcc" "tests/CMakeFiles/dvf_tests.dir/test_kernels_sparse_cg.cpp.o.d"
+  "/root/repo/tests/test_kernels_suite.cpp" "tests/CMakeFiles/dvf_tests.dir/test_kernels_suite.cpp.o" "gcc" "tests/CMakeFiles/dvf_tests.dir/test_kernels_suite.cpp.o.d"
+  "/root/repo/tests/test_kernels_vm.cpp" "tests/CMakeFiles/dvf_tests.dir/test_kernels_vm.cpp.o" "gcc" "tests/CMakeFiles/dvf_tests.dir/test_kernels_vm.cpp.o.d"
+  "/root/repo/tests/test_math.cpp" "tests/CMakeFiles/dvf_tests.dir/test_math.cpp.o" "gcc" "tests/CMakeFiles/dvf_tests.dir/test_math.cpp.o.d"
+  "/root/repo/tests/test_memory_model.cpp" "tests/CMakeFiles/dvf_tests.dir/test_memory_model.cpp.o" "gcc" "tests/CMakeFiles/dvf_tests.dir/test_memory_model.cpp.o.d"
+  "/root/repo/tests/test_model_vs_sim.cpp" "tests/CMakeFiles/dvf_tests.dir/test_model_vs_sim.cpp.o" "gcc" "tests/CMakeFiles/dvf_tests.dir/test_model_vs_sim.cpp.o.d"
+  "/root/repo/tests/test_protection.cpp" "tests/CMakeFiles/dvf_tests.dir/test_protection.cpp.o" "gcc" "tests/CMakeFiles/dvf_tests.dir/test_protection.cpp.o.d"
+  "/root/repo/tests/test_random_pattern.cpp" "tests/CMakeFiles/dvf_tests.dir/test_random_pattern.cpp.o" "gcc" "tests/CMakeFiles/dvf_tests.dir/test_random_pattern.cpp.o.d"
+  "/root/repo/tests/test_report.cpp" "tests/CMakeFiles/dvf_tests.dir/test_report.cpp.o" "gcc" "tests/CMakeFiles/dvf_tests.dir/test_report.cpp.o.d"
+  "/root/repo/tests/test_reuse_pattern.cpp" "tests/CMakeFiles/dvf_tests.dir/test_reuse_pattern.cpp.o" "gcc" "tests/CMakeFiles/dvf_tests.dir/test_reuse_pattern.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/dvf_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/dvf_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_streaming.cpp" "tests/CMakeFiles/dvf_tests.dir/test_streaming.cpp.o" "gcc" "tests/CMakeFiles/dvf_tests.dir/test_streaming.cpp.o.d"
+  "/root/repo/tests/test_string_util.cpp" "tests/CMakeFiles/dvf_tests.dir/test_string_util.cpp.o" "gcc" "tests/CMakeFiles/dvf_tests.dir/test_string_util.cpp.o.d"
+  "/root/repo/tests/test_template_pattern.cpp" "tests/CMakeFiles/dvf_tests.dir/test_template_pattern.cpp.o" "gcc" "tests/CMakeFiles/dvf_tests.dir/test_template_pattern.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/dvf_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/dvf_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_trace_io.cpp" "tests/CMakeFiles/dvf_tests.dir/test_trace_io.cpp.o" "gcc" "tests/CMakeFiles/dvf_tests.dir/test_trace_io.cpp.o.d"
+  "/root/repo/tests/test_units.cpp" "tests/CMakeFiles/dvf_tests.dir/test_units.cpp.o" "gcc" "tests/CMakeFiles/dvf_tests.dir/test_units.cpp.o.d"
+  "/root/repo/tests/test_weighted.cpp" "tests/CMakeFiles/dvf_tests.dir/test_weighted.cpp.o" "gcc" "tests/CMakeFiles/dvf_tests.dir/test_weighted.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernels/CMakeFiles/dvf_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/cachesim/CMakeFiles/dvf_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsl/CMakeFiles/dvf_dsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/dvf/CMakeFiles/dvf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dvf_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/patterns/CMakeFiles/dvf_patterns.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/dvf_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/dvf_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dvf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

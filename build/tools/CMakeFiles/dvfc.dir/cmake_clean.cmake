@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvfc.dir/dvfc.cpp.o"
+  "CMakeFiles/dvfc.dir/dvfc.cpp.o.d"
+  "dvfc"
+  "dvfc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvfc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
