@@ -7,17 +7,116 @@
 // flips per data structure (random site, random time) vs the structures'
 // DVFs, plus the Spearman rank correlation between the two orderings and
 // the wall-clock cost of each methodology.
+#include <algorithm>
+#include <cstdlib>
 #include <iostream>
+#include <vector>
 
+#include "bench_json.hpp"
 #include "dvf/dvf/calculator.hpp"
 #include "dvf/kernels/injection_campaign.hpp"
 #include "dvf/kernels/kernel_common.hpp"
 #include "dvf/kernels/suite.hpp"
 #include "dvf/machine/cache_config.hpp"
 #include "dvf/machine/machine.hpp"
+#include "dvf/parallel/thread_pool.hpp"
 #include "dvf/report/table.hpp"
 
+namespace {
+
+bool identical(const std::vector<dvf::kernels::StructureInjectionStats>& a,
+               const std::vector<dvf::kernels::StructureInjectionStats>& b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].structure != b[i].structure || a[i].trials != b[i].trials ||
+        a[i].injected != b[i].injected || a[i].corrupted != b[i].corrupted) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Thread-scaling study: the same campaign at 1..N threads, verifying the
+/// engine's bit-identical determinism claim while measuring throughput.
+void scaling_study(dvf::bench::JsonRecords& json) {
+  std::cout << dvf::banner(
+      "Campaign thread scaling (trials/sec; results must be bit-identical)");
+
+  const unsigned hw = dvf::parallel::default_thread_count();
+  std::vector<unsigned> thread_counts = {1};
+  for (unsigned t = 2; t <= std::max(4u, hw); t *= 2) {
+    thread_counts.push_back(t);
+  }
+  if (std::find(thread_counts.begin(), thread_counts.end(), hw) ==
+      thread_counts.end()) {
+    thread_counts.push_back(hw);
+  }
+
+  dvf::Table table({"kernel", "threads", "trials", "wall_s", "trials/s",
+                    "speedup", "identical"});
+  auto suite = dvf::kernels::make_verification_suite();
+  for (auto& kernel : suite) {
+    // FT and VM re-run in milliseconds, giving the scaling study enough
+    // trials to matter without dominating the harness.
+    if (kernel->name() != "VM" && kernel->name() != "FT") {
+      continue;
+    }
+    dvf::kernels::CampaignConfig config;
+    config.trials_per_structure = 400;
+
+    // Untimed warm-up so the serial baseline does not absorb one-off costs
+    // (page faults, allocator growth, instruction-cache fill) that would
+    // inflate every later speedup figure.
+    dvf::kernels::run_injection_campaign(*kernel, config);
+
+    std::vector<dvf::kernels::StructureInjectionStats> reference;
+    double serial_seconds = 0.0;
+    for (const unsigned threads : thread_counts) {
+      config.threads = threads;
+      const dvf::kernels::Stopwatch watch;
+      const auto stats = dvf::kernels::run_injection_campaign(*kernel, config);
+      const double seconds = watch.seconds();
+
+      std::uint64_t trials = 0;
+      for (const auto& s : stats) {
+        trials += s.trials;
+      }
+      const bool same = threads == 1 || identical(stats, reference);
+      if (threads == 1) {
+        reference = stats;
+        serial_seconds = seconds;
+      }
+      const double rate = static_cast<double>(trials) / seconds;
+      table.add_row({kernel->name(), std::to_string(threads),
+                     dvf::num(static_cast<double>(trials)),
+                     dvf::num(seconds, 3), dvf::num(rate, 1),
+                     dvf::num(serial_seconds / seconds, 2),
+                     same ? "yes" : "NO"});
+      json.add(dvf::bench::JsonRecords::Record{}
+                   .field("kernel", kernel->name())
+                   .field("threads", threads)
+                   .field("trials", trials)
+                   .field("wall_s", seconds)
+                   .field("trials_per_s", rate)
+                   .field("speedup_vs_serial", serial_seconds / seconds)
+                   .field("bit_identical", same ? "yes" : "no"));
+      if (!same) {
+        std::cerr << "FATAL: campaign results diverged at " << threads
+                  << " threads\n";
+        std::exit(1);
+      }
+    }
+  }
+  std::cout << table << "\n";
+}
+
+}  // namespace
+
 int main() {
+  dvf::bench::JsonRecords json;
+  scaling_study(json);
   std::cout << dvf::banner(
       "Fault injection vs DVF: does the analytical metric rank structures "
       "like ground-truth corruption rates?");
@@ -98,5 +197,6 @@ int main() {
       "structures are the most sensitive per flip but rarely hit). The cost\n"
       "columns show the paper's speed argument: the analytical evaluation\n"
       "vs hundreds of full re-runs per structure.\n";
+  json.write("campaign");
   return 0;
 }

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Tier-1 test run plus the ThreadSanitizer pass over the parallel engine.
+#
+#   scripts/run_tests.sh            # full: tier-1 + TSan parallel tests
+#   SKIP_TSAN=1 scripts/run_tests.sh  # tier-1 only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Tier-1: the seed contract (ROADMAP.md).
+cmake -B build -S .
+cmake --build build -j "$(nproc)"
+ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+if [[ "${SKIP_TSAN:-0}" == "1" ]]; then
+  echo "SKIP_TSAN=1: skipping the ThreadSanitizer pass"
+  exit 0
+fi
+
+# ThreadSanitizer pass: rebuild the test binary under -fsanitize=thread and
+# run every Parallel* suite, so races in the pool, the campaign engine or
+# the parallel calculator fail loudly. Benches/examples are skipped — the
+# test binary exercises all parallel code paths.
+cmake -B build-tsan -S . \
+  -DDVF_SANITIZE=thread \
+  -DDVF_BUILD_BENCH=OFF \
+  -DDVF_BUILD_EXAMPLES=OFF
+cmake --build build-tsan -j "$(nproc)" --target dvf_tests
+./build-tsan/tests/dvf_tests --gtest_filter='Parallel*'
+echo "ThreadSanitizer pass: OK"

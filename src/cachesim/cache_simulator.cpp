@@ -1,22 +1,41 @@
 #include "dvf/cachesim/cache_simulator.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <utility>
 
 #include "dvf/common/error.hpp"
 
 namespace dvf {
 
-CacheSimulator::CacheSimulator(CacheConfig config) : config_(std::move(config)) {
-  lines_.resize(static_cast<std::size_t>(config_.num_sets()) *
-                config_.associativity());
+CacheSimulator::CacheSimulator(CacheConfig config)
+    : config_(std::move(config)),
+      num_sets_(config_.num_sets()),
+      assoc_(config_.associativity()),
+      line_shift_(static_cast<std::uint32_t>(
+          std::countr_zero(config_.line_bytes()))),
+      set_mask_(num_sets_ - 1),
+      sets_pow2_(std::has_single_bit(num_sets_)) {
+  lines_.resize(static_cast<std::size_t>(num_sets_) * assoc_);
+}
+
+CacheSimulator::CacheSimulator(CacheConfig config,
+                               const DataStructureRegistry& registry)
+    : CacheSimulator(std::move(config)) {
+  reserve_structures(registry.size());
+}
+
+void CacheSimulator::reserve_structures(std::size_t count) {
+  if (count > stats_.size()) {
+    stats_.resize(count);
+  }
 }
 
 CacheStats& CacheSimulator::stats_for(DsId ds) {
   if (ds == kNoDs) {
     return unattributed_;
   }
-  if (ds >= stats_.size()) {
+  if (ds >= stats_.size()) [[unlikely]] {
     stats_.resize(ds + 1);
   }
   return stats_[ds];
@@ -25,22 +44,38 @@ CacheStats& CacheSimulator::stats_for(DsId ds) {
 void CacheSimulator::access(std::uint64_t address, std::uint32_t size,
                             bool is_write, DsId ds) {
   DVF_CHECK_MSG(size > 0, "access size must be positive");
-  const std::uint64_t first = config_.block_of(address);
-  const std::uint64_t last = config_.block_of(address + size - 1);
+  const std::uint64_t first = address >> line_shift_;
+  const std::uint64_t last = (address + size - 1) >> line_shift_;
+  CacheStats& st = stats_for(ds);
   for (std::uint64_t block = first; block <= last; ++block) {
-    touch_line(block, is_write, ds);
+    touch_line(block, is_write, ds, st);
   }
 }
 
-bool CacheSimulator::touch_line(std::uint64_t block, bool is_write, DsId ds) {
+void CacheSimulator::replay(std::span<const MemoryRecord> records) {
+  const std::uint32_t line_shift = line_shift_;
+  for (const MemoryRecord& record : records) {
+    if (record.size == 0) [[unlikely]] {
+      continue;
+    }
+    const std::uint64_t first = record.address >> line_shift;
+    const std::uint64_t last =
+        (record.address + record.size - 1) >> line_shift;
+    CacheStats& st = stats_for(record.ds);
+    for (std::uint64_t block = first; block <= last; ++block) {
+      touch_line(block, record.is_write, record.ds, st);
+    }
+  }
+}
+
+bool CacheSimulator::touch_line(std::uint64_t block, bool is_write, DsId ds,
+                                CacheStats& st) {
   ++tick_;
-  CacheStats& st = stats_for(ds);
   ++st.accesses;
 
-  const std::uint64_t set = block % config_.num_sets();
-  Line* const set_begin = lines_.data() +
-      static_cast<std::size_t>(set) * config_.associativity();
-  Line* const set_end = set_begin + config_.associativity();
+  const std::uint64_t set = set_of_block(block);
+  Line* const set_begin = lines_.data() + static_cast<std::size_t>(set) * assoc_;
+  Line* const set_end = set_begin + assoc_;
 
   Line* victim = set_begin;  // least recently used (or first invalid) way
   for (Line* way = set_begin; way != set_end; ++way) {
@@ -63,6 +98,9 @@ bool CacheSimulator::touch_line(std::uint64_t block, bool is_write, DsId ds) {
   ++st.misses;
   if (victim->valid) {
     if (victim->dirty) {
+      // Cannot invalidate `st`: every owner stored in a line went through
+      // stats_for() when it was stored, so this lookup never grows the
+      // table while callers hold references into it.
       ++stats_for(victim->owner).writebacks;
     }
     if (on_evict_) {
@@ -98,7 +136,7 @@ void CacheSimulator::reset() {
   for (Line& line : lines_) {
     line = Line{};
   }
-  stats_.clear();
+  std::fill(stats_.begin(), stats_.end(), CacheStats{});
   unattributed_ = CacheStats{};
   tick_ = 0;
 }

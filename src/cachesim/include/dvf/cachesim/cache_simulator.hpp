@@ -4,14 +4,24 @@
 // per-data-structure reference stream the kernels emit and reports, per
 // structure, how many main-memory accesses (misses and writebacks) the LLC
 // produced. The analytical CGPMAC models are judged against these counts.
+//
+// Hot-path layout: the geometry (set count, associativity, line shift) is
+// cached in members at construction; when the set count is a power of two
+// the set index is a mask (`block & set_mask_`), falling back to modulo
+// otherwise. The per-structure stats table can be pre-sized from a registry
+// so the accounting lookup never grows mid-simulation, and replay() batches
+// a recorded stream through the simulator with per-access dispatch hoisted
+// out of the loop.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "dvf/machine/cache_config.hpp"
 #include "dvf/trace/recorder.hpp"
+#include "dvf/trace/registry.hpp"
 
 namespace dvf {
 
@@ -36,6 +46,12 @@ struct CacheStats {
 class CacheSimulator {
  public:
   explicit CacheSimulator(CacheConfig config);
+  /// As above, pre-sizing the stats table for every id the registry holds.
+  CacheSimulator(CacheConfig config, const DataStructureRegistry& registry);
+
+  /// Pre-sizes the per-structure stats table for ids [0, count), so the hot
+  /// path never reallocates it. Existing tallies are kept.
+  void reserve_structures(std::size_t count);
 
   /// Called when a valid line leaves the cache (replacement or flush), with
   /// its block number, owner and dirtiness. Used by CacheHierarchy to
@@ -50,10 +66,15 @@ class CacheSimulator {
   /// covered line (matching how hardware splits them).
   void access(std::uint64_t address, std::uint32_t size, bool is_write, DsId ds);
 
+  /// Batched replay of a recorded reference stream; equivalent to calling
+  /// access() per record but with the per-record checks and stats dispatch
+  /// hoisted out of the inner loop (zero-sized records are skipped).
+  void replay(std::span<const MemoryRecord> records);
+
   /// Line-granular probe; returns true on hit. The building block the
   /// multi-level hierarchy composes.
   bool access_block(std::uint64_t block, bool is_write, DsId ds) {
-    return touch_line(block, is_write, ds);
+    return touch_line(block, is_write, ds, stats_for(ds));
   }
 
   /// Recorder-concept entry points, so a simulator can be handed straight to
@@ -69,7 +90,8 @@ class CacheSimulator {
   /// end of simulation so write traffic of still-resident lines is counted.
   void flush();
 
-  /// Invalidates everything and zeroes statistics.
+  /// Invalidates everything and zeroes statistics (the stats table keeps its
+  /// reserved size).
   void reset();
 
   [[nodiscard]] const CacheConfig& config() const noexcept { return config_; }
@@ -89,10 +111,21 @@ class CacheSimulator {
     bool dirty = false;
   };
 
-  bool touch_line(std::uint64_t block, bool is_write, DsId ds);
+  bool touch_line(std::uint64_t block, bool is_write, DsId ds, CacheStats& st);
   CacheStats& stats_for(DsId ds);
 
+  [[nodiscard]] std::uint64_t set_of_block(std::uint64_t block) const noexcept {
+    return sets_pow2_ ? (block & set_mask_) : (block % num_sets_);
+  }
+
   CacheConfig config_;
+  // Geometry cached out of config_ so the hot path never re-derives it.
+  std::uint32_t num_sets_;
+  std::uint32_t assoc_;
+  std::uint32_t line_shift_;   ///< log2(line_bytes); lines are power of two
+  std::uint64_t set_mask_;     ///< num_sets - 1 when sets_pow2_
+  bool sets_pow2_;
+
   std::vector<Line> lines_;  ///< num_sets * associativity, set-major
   std::vector<CacheStats> stats_;
   CacheStats unattributed_;

@@ -73,4 +73,25 @@ class Xoshiro256 {
   std::array<std::uint64_t, 4> state_{};
 };
 
+/// Derives a decorrelated seed for the sub-stream (i, j) of a master seed,
+/// by feeding each coordinate through a SplitMix64 round. Used to give every
+/// (structure, trial) pair of an injection campaign its own RNG stream, so
+/// trial outcomes are a pure function of (seed, i, j) — independent of the
+/// order (or the thread) in which trials execute.
+[[nodiscard]] constexpr std::uint64_t stream_seed(std::uint64_t seed,
+                                                  std::uint64_t i,
+                                                  std::uint64_t j) noexcept {
+  std::uint64_t h = SplitMix64(seed).next();
+  h = SplitMix64(h ^ (i + 0x9E3779B97F4A7C15ULL)).next();
+  h = SplitMix64(h ^ (j + 0xBF58476D1CE4E5B9ULL)).next();
+  return h;
+}
+
+/// A Xoshiro256 positioned at sub-stream (i, j) of `seed` (see stream_seed).
+[[nodiscard]] constexpr Xoshiro256 stream_rng(std::uint64_t seed,
+                                              std::uint64_t i,
+                                              std::uint64_t j) noexcept {
+  return Xoshiro256(stream_seed(seed, i, j));
+}
+
 }  // namespace dvf

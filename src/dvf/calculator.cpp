@@ -5,6 +5,7 @@
 #include "dvf/common/error.hpp"
 #include "dvf/common/math.hpp"
 #include "dvf/common/units.hpp"
+#include "dvf/parallel/parallel_for.hpp"
 #include "dvf/patterns/estimate.hpp"
 
 namespace dvf {
@@ -55,10 +56,30 @@ ApplicationDvf DvfCalculator::for_model(const ModelSpec& model,
   app.model_name = model.name;
   app.machine_name = machine_.name;
   app.exec_time_seconds = exec_time_seconds;
+  app.structures.resize(model.structures.size());
+
+  const unsigned threads = parallel::resolve_thread_count(threads_);
+  if (threads > 1 &&
+      model.structures.size() >= kParallelStructureThreshold) {
+    // Per-structure evaluations are independent; fan them out and keep the
+    // Eq. 2 summation in model order below, so the result matches the
+    // serial path bit for bit.
+    parallel::parallel_for(
+        parallel::ThreadPool::global(), model.structures.size(),
+        [&](std::uint64_t i) {
+          app.structures[i] =
+              for_structure(model.structures[i], exec_time_seconds);
+        },
+        /*grain=*/4);
+  } else {
+    for (std::size_t i = 0; i < model.structures.size(); ++i) {
+      app.structures[i] = for_structure(model.structures[i], exec_time_seconds);
+    }
+  }
+
   math::KahanSum total;
-  for (const DataStructureSpec& ds : model.structures) {
-    app.structures.push_back(for_structure(ds, exec_time_seconds));
-    total.add(app.structures.back().dvf);  // Eq. 2
+  for (const StructureDvf& s : app.structures) {
+    total.add(s.dvf);  // Eq. 2
   }
   app.total = total.value();
   return app;

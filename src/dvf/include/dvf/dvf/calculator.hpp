@@ -35,7 +35,18 @@ struct ApplicationDvf {
 /// safe to share across threads.
 class DvfCalculator {
  public:
+  /// Models with at least this many structures are evaluated in parallel
+  /// (per-structure analytics are independent); smaller models stay serial
+  /// so tiny evaluations never pay scheduling overhead.
+  static constexpr std::size_t kParallelStructureThreshold = 32;
+
   explicit DvfCalculator(Machine machine);
+
+  /// Caps the worker threads used for large models (0 = DVF_THREADS env
+  /// var / hardware default, 1 = always serial). Results are bit-identical
+  /// for every setting: structures are evaluated independently and summed
+  /// in model order.
+  void set_threads(unsigned threads) noexcept { threads_ = threads; }
 
   /// N_ha of one data structure on this machine's LLC.
   [[nodiscard]] double main_memory_accesses(const DataStructureSpec& ds) const;
@@ -57,6 +68,7 @@ class DvfCalculator {
 
  private:
   Machine machine_;
+  unsigned threads_ = 0;
 };
 
 }  // namespace dvf

@@ -30,12 +30,25 @@ struct StructureInjectionStats {
 struct CampaignConfig {
   std::uint64_t trials_per_structure = 100;
   std::uint64_t seed = 2014;  ///< the paper's vintage
+  /// Worker threads for the campaign; 0 = DVF_THREADS env var / hardware
+  /// default, 1 = serial. Results are bit-identical for every value.
+  unsigned threads = 0;
 };
 
 /// Runs the campaign over every structure in the kernel's model. Fault
 /// sites are uniform over the structure's bytes and bits; fault times are
 /// uniform over the run's references (the §VI "random fault injection into
 /// application states").
+///
+/// Determinism: trial (s, t) — structure index s in the model spec, trial
+/// index t — draws its trigger reference, byte offset and bit from the
+/// dedicated counter-derived stream `stream_rng(seed, s, t)`, in that
+/// order. The serial reference order is the nested loop `for s { for t }`;
+/// because every trial's randomness is a pure function of (seed, s, t) and
+/// the per-structure tallies are order-independent integer sums, any thread
+/// count reproduces that reference bit for bit. Worker threads run trials
+/// on clones of `kernel` (KernelCase::clone), so the kernel must clone into
+/// an instance with the same reference stream and registry layout.
 [[nodiscard]] std::vector<StructureInjectionStats> run_injection_campaign(
     KernelCase& kernel, const CampaignConfig& config = {});
 

@@ -13,6 +13,7 @@
 
 #include "dvf/cachesim/cache_simulator.hpp"
 #include "dvf/cachesim/hierarchy.hpp"
+#include "dvf/dvf/calculator.hpp"
 #include "dvf/dvf/model_spec.hpp"
 #include "dvf/kernels/kernel_common.hpp"
 #include "dvf/trace/fault_injection.hpp"
@@ -72,6 +73,12 @@ class KernelCase {
       DsId target, std::uint64_t trigger_reference, std::uint64_t byte_offset,
       std::uint8_t bit) = 0;
 
+  /// A fresh instance with the same name, method and kernel configuration
+  /// (and therefore the same reference stream and registry layout, modulo
+  /// base addresses). The parallel campaign clones one kernel per worker so
+  /// trials never share mutable kernel state.
+  [[nodiscard]] virtual std::unique_ptr<KernelCase> clone() const = 0;
+
  protected:
   KernelCase(std::string name, std::string method)
       : name_(std::move(name)), method_(std::move(method)) {}
@@ -87,10 +94,16 @@ class KernelCase {
 template <typename K>
 class KernelCaseAdapter final : public KernelCase {
  public:
-  template <typename... Args>
-  KernelCaseAdapter(std::string name, std::string method, Args&&... args)
+  KernelCaseAdapter(std::string name, std::string method,
+                    typename K::Config config)
       : KernelCase(std::move(name), std::move(method)),
-        kernel_(std::forward<Args>(args)...) {}
+        config_(std::move(config)),
+        kernel_(config_) {}
+
+  [[nodiscard]] std::unique_ptr<KernelCase> clone() const override {
+    return std::make_unique<KernelCaseAdapter<K>>(name(), method_class(),
+                                                  config_);
+  }
 
   void run_traced(CacheSimulator& sim) override {
     kernel_.reset();
@@ -179,6 +192,7 @@ class KernelCaseAdapter final : public KernelCase {
   [[nodiscard]] K& kernel() noexcept { return kernel_; }
 
  private:
+  typename K::Config config_;
   K kernel_;
   std::optional<double> clean_signature_;
   std::uint64_t total_references_ = 0;
@@ -193,5 +207,24 @@ class KernelCaseAdapter final : public KernelCase {
 /// The verification suite plus the beyond-paper kernels (currently CGS, the
 /// CSR sparse CG) — what the interactive tools expose.
 [[nodiscard]] std::vector<std::unique_ptr<KernelCase>> make_extended_suite();
+
+/// One kernel's end-to-end DVF evaluation: measured execution time plus the
+/// analytical model evaluated on a machine.
+struct SuiteEvaluation {
+  std::string kernel;
+  std::string method;
+  double exec_time_seconds = 0.0;
+  ApplicationDvf dvf;
+};
+
+/// Evaluates every kernel of `suite` (timed run, model extraction, DVF on
+/// `calc`), farming independent kernels out across `threads` workers
+/// (0 → DVF_THREADS / hardware default). Results are indexed like `suite`
+/// regardless of thread count. Note that `exec_time_seconds` is wall-clock:
+/// on an oversubscribed machine concurrent timing runs inflate T, so studies
+/// that feed T into DVF comparisons should use threads = 1.
+[[nodiscard]] std::vector<SuiteEvaluation> evaluate_suite(
+    const std::vector<std::unique_ptr<KernelCase>>& suite,
+    const DvfCalculator& calc, unsigned threads = 0);
 
 }  // namespace dvf::kernels

@@ -5,8 +5,31 @@
 
 #include "dvf/common/error.hpp"
 #include "dvf/common/rng.hpp"
+#include "dvf/parallel/parallel_for.hpp"
 
 namespace dvf::kernels {
+
+namespace {
+
+/// A structure that both the model spec and the kernel's registry know:
+/// the campaign's unit of work. `spec_index` feeds the RNG stream, so it is
+/// the structure's position in the model spec, stable even when other
+/// structures are skipped.
+struct CampaignTarget {
+  std::string name;
+  std::uint64_t spec_index = 0;
+  std::uint64_t size_bytes = 0;
+};
+
+/// Integer-only accumulator (the string name lives in CampaignTarget);
+/// per-slot copies are merged with order-independent sums.
+struct Tally {
+  std::uint64_t trials = 0;
+  std::uint64_t injected = 0;
+  std::uint64_t corrupted = 0;
+};
+
+}  // namespace
 
 std::vector<StructureInjectionStats> run_injection_campaign(
     KernelCase& kernel, const CampaignConfig& config) {
@@ -17,29 +40,75 @@ std::vector<StructureInjectionStats> run_injection_campaign(
   const std::uint64_t total_refs = kernel.total_references();
   DVF_CHECK_MSG(total_refs > 0, "kernel issued no references");
 
-  Xoshiro256 rng(config.seed);
-  std::vector<StructureInjectionStats> results;
-  for (const DataStructureSpec& ds : spec.structures) {
+  std::vector<CampaignTarget> targets;
+  for (std::uint64_t s = 0; s < spec.structures.size(); ++s) {
+    const DataStructureSpec& ds = spec.structures[s];
     const auto id = kernel.registry().find(ds.name);
-    if (!id.has_value()) {
-      continue;
+    if (id.has_value()) {
+      // Fault sites span the registered (allocated) footprint, which is the
+      // byte range run_injected accepts; the spec size may differ.
+      targets.push_back({ds.name, s, kernel.registry().info(*id).size_bytes});
     }
-    const DataStructureInfo& info = kernel.registry().info(*id);
+  }
+  const std::uint64_t trials = config.trials_per_structure;
+  const std::uint64_t total_trials = targets.size() * trials;
+  if (total_trials == 0) {
+    return {};
+  }
 
-    StructureInjectionStats stats;
-    stats.structure = ds.name;
-    for (std::uint64_t trial = 0; trial < config.trials_per_structure;
-         ++trial) {
-      const std::uint64_t trigger = 1 + rng.below(total_refs);
-      const std::uint64_t offset = rng.below(info.size_bytes);
-      const auto bit = static_cast<std::uint8_t>(rng.below(8));
-      const InjectionOutcome outcome =
-          kernel.run_injected(*id, trigger, offset, bit);
-      ++stats.trials;
-      stats.injected += outcome.injected ? 1 : 0;
-      stats.corrupted += outcome.corrupted ? 1 : 0;
+  // One kernel instance per execution slot. Slot 0 reuses the caller's
+  // kernel; a pool never gets more slots than there are trials.
+  parallel::ThreadPool pool(static_cast<unsigned>(
+      std::min<std::uint64_t>(parallel::resolve_thread_count(config.threads),
+                              total_trials)));
+  std::vector<std::unique_ptr<KernelCase>> clones;
+  std::vector<KernelCase*> instances(pool.concurrency(), &kernel);
+  for (unsigned slot = 1; slot < pool.concurrency(); ++slot) {
+    clones.push_back(kernel.clone());
+    instances[slot] = clones.back().get();
+  }
+  // Per-instance registry ids (clones register structures in the same order,
+  // but resolve by name to stay robust to future kernels).
+  std::vector<std::vector<DsId>> ids(instances.size());
+  for (std::size_t slot = 0; slot < instances.size(); ++slot) {
+    for (const CampaignTarget& target : targets) {
+      const auto id = instances[slot]->registry().find(target.name);
+      DVF_CHECK_MSG(id.has_value(),
+                    "kernel clone lost structure '" + target.name + "'");
+      ids[slot].push_back(*id);
     }
-    results.push_back(stats);
+  }
+
+  // tallies[slot][target]; merged per target after the parallel region.
+  std::vector<std::vector<Tally>> tallies(
+      instances.size(), std::vector<Tally>(targets.size()));
+  parallel::parallel_for(
+      pool, total_trials,
+      [&](std::uint64_t task, unsigned slot) {
+        const std::size_t t_index = static_cast<std::size_t>(task / trials);
+        const std::uint64_t trial = task % trials;
+        const CampaignTarget& target = targets[t_index];
+        Xoshiro256 rng = stream_rng(config.seed, target.spec_index, trial);
+        const std::uint64_t trigger = 1 + rng.below(total_refs);
+        const std::uint64_t offset = rng.below(target.size_bytes);
+        const auto bit = static_cast<std::uint8_t>(rng.below(8));
+        const InjectionOutcome outcome = instances[slot]->run_injected(
+            ids[slot][t_index], trigger, offset, bit);
+        Tally& tally = tallies[slot][t_index];
+        ++tally.trials;
+        tally.injected += outcome.injected ? 1 : 0;
+        tally.corrupted += outcome.corrupted ? 1 : 0;
+      });
+
+  std::vector<StructureInjectionStats> results(targets.size());
+  for (std::size_t t_index = 0; t_index < targets.size(); ++t_index) {
+    StructureInjectionStats& stats = results[t_index];
+    stats.structure = targets[t_index].name;
+    for (const std::vector<Tally>& slot_tallies : tallies) {
+      stats.trials += slot_tallies[t_index].trials;
+      stats.injected += slot_tallies[t_index].injected;
+      stats.corrupted += slot_tallies[t_index].corrupted;
+    }
   }
   return results;
 }

@@ -7,9 +7,13 @@
 //   dvfc caches <file> --model N              sweep the paper's four
 //                                             profiling caches
 //   dvfc ecc <file> --model N [--machine N]   ECC/performance trade-off
-//   dvfc kernels [--suite verification|profiling]
+//   dvfc kernels [--suite verification|profiling] [--threads N]
 //                                             DVF-profile the built-in
-//                                             kernel suite
+//                                             kernel suite (N workers; 0 =
+//                                             DVF_THREADS env or hardware)
+#include <charconv>
+#include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -67,6 +71,27 @@ Args parse_args(int argc, char** argv) {
   return args;
 }
 
+// Parses a numeric option, exiting with a clear message instead of the
+// uncaught-exception abort std::stoul would produce on e.g. --threads abc.
+// An option given without a value ("dvfc kernels --threads") parses as the
+// fallback.
+std::uint32_t numeric_option(const Args& args, const std::string& name,
+                             std::uint32_t fallback) {
+  const std::string text = args.option(name, "");
+  if (text.empty()) {
+    return fallback;
+  }
+  std::uint32_t value = 0;
+  const auto [end, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || end != text.data() + text.size()) {
+    std::cerr << "dvfc: --" << name << " expects a non-negative integer, got '"
+              << text << "'\n";
+    std::exit(2);
+  }
+  return value;
+}
+
 int usage() {
   std::cerr <<
       "usage: dvfc <command> [args]\n"
@@ -75,7 +100,9 @@ int usage() {
       "  eval <file> [--model N] [--machine N] [--csv]\n"
       "  caches <file> --model N               profiling-cache sweep\n"
       "  ecc <file> --model N [--machine N]    ECC trade-off sweep\n"
-      "  kernels [--suite verification|profiling]\n"
+      "  kernels [--suite verification|profiling] [--threads N]\n"
+      "                                        N=0: DVF_THREADS env var or\n"
+      "                                        hardware default; N=1: serial\n"
       "  trace <kernel> <out.dvft>             record a kernel's references\n"
       "  replay <in.dvft> [--assoc A --sets S --line L]\n"
       "                                        simulate a saved trace\n"
@@ -217,17 +244,19 @@ int cmd_kernels(const Args& args) {
   auto suite = suite_name == "profiling"
                    ? dvf::kernels::make_profiling_suite()
                    : dvf::kernels::make_verification_suite();
+  // Kernels evaluate concurrently; --threads 1 restores fully serial timing
+  // runs (wall-clock T is most faithful without co-runners). Default: the
+  // DVF_THREADS env var, else the hardware thread count.
+  const unsigned threads = numeric_option(args, "threads", 0);
 
   dvf::Table table({"kernel", "method", "T (s)", "DVF_a @8MB"});
   const dvf::DvfCalculator calc(
       dvf::Machine::with_cache(dvf::caches::profiling_8mb()));
-  for (auto& kernel : suite) {
-    const double seconds = kernel->run_timed();
-    dvf::ModelSpec spec = kernel->model_spec();
-    spec.exec_time_seconds = seconds;
-    table.add_row({kernel->name(), kernel->method_class(),
-                   dvf::num(seconds, 3),
-                   dvf::num(calc.for_model(spec).total)});
+  for (const auto& result :
+       dvf::kernels::evaluate_suite(suite, calc, threads)) {
+    table.add_row({result.kernel, result.method,
+                   dvf::num(result.exec_time_seconds, 3),
+                   dvf::num(result.dvf.total)});
   }
   std::cout << table;
   return 0;
@@ -261,17 +290,13 @@ int cmd_replay(const Args& args) {
     return usage();
   }
   const dvf::TraceFile trace = dvf::read_trace_file(args.positional[0]);
-  const auto assoc =
-      static_cast<std::uint32_t>(std::stoul(args.option("assoc", "4")));
-  const auto sets =
-      static_cast<std::uint32_t>(std::stoul(args.option("sets", "64")));
-  const auto line =
-      static_cast<std::uint32_t>(std::stoul(args.option("line", "32")));
+  const auto assoc = numeric_option(args, "assoc", 4);
+  const auto sets = numeric_option(args, "sets", 64);
+  const auto line = numeric_option(args, "line", 32);
 
   dvf::CacheSimulator sim(dvf::CacheConfig("replay", assoc, sets, line));
-  for (const dvf::MemoryRecord& record : trace.records) {
-    sim.access(record.address, record.size, record.is_write, record.ds);
-  }
+  sim.reserve_structures(trace.structures.size());
+  sim.replay(trace.records);
   sim.flush();
 
   std::cout << "replayed " << trace.records.size() << " references on "
@@ -294,20 +319,16 @@ int cmd_infer(const Args& args) {
     return usage();
   }
   const dvf::TraceFile trace = dvf::read_trace_file(args.positional[0]);
-  const auto assoc =
-      static_cast<std::uint32_t>(std::stoul(args.option("assoc", "4")));
-  const auto sets =
-      static_cast<std::uint32_t>(std::stoul(args.option("sets", "64")));
-  const auto line =
-      static_cast<std::uint32_t>(std::stoul(args.option("line", "32")));
+  const auto assoc = numeric_option(args, "assoc", 4);
+  const auto sets = numeric_option(args, "sets", 64);
+  const auto line = numeric_option(args, "line", 32);
   const dvf::CacheConfig cache("infer", assoc, sets, line);
 
   const dvf::ModelSpec inferred = dvf::infer_model(trace);
 
   dvf::CacheSimulator sim(cache);
-  for (const dvf::MemoryRecord& record : trace.records) {
-    sim.access(record.address, record.size, record.is_write, record.ds);
-  }
+  sim.reserve_structures(trace.structures.size());
+  sim.replay(trace.records);
   sim.flush();
 
   std::cout << "inferred model from " << trace.records.size()
