@@ -69,7 +69,7 @@ void scaling_study(dvf::bench::JsonRecords& json) {
     // Untimed warm-up so the serial baseline does not absorb one-off costs
     // (page faults, allocator growth, instruction-cache fill) that would
     // inflate every later speedup figure.
-    dvf::kernels::run_injection_campaign(*kernel, config);
+    (void)dvf::kernels::run_injection_campaign(*kernel, config);
 
     std::vector<dvf::kernels::StructureInjectionStats> reference;
     double serial_seconds = 0.0;

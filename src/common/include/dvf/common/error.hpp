@@ -41,10 +41,21 @@ class ParseError : public Error {
 };
 
 /// The DSL analyzer rejected a structurally valid model (unknown identifier,
-/// pattern/parameter mismatch, duplicate declaration, ...).
+/// pattern/parameter mismatch, duplicate declaration, ...). Optionally
+/// carries the source location of the offending construct (0:0 = unknown,
+/// e.g. for programmatic ModelSpec lookups that have no source text).
 class SemanticError : public Error {
  public:
-  using Error::Error;
+  explicit SemanticError(std::string message) : Error(std::move(message)) {}
+  SemanticError(std::string message, int line, int column)
+      : Error(std::move(message)), line_(line), column_(column) {}
+
+  [[nodiscard]] int line() const noexcept { return line_; }
+  [[nodiscard]] int column() const noexcept { return column_; }
+
+ private:
+  int line_ = 0;
+  int column_ = 0;
 };
 
 namespace detail {

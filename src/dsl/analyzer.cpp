@@ -12,213 +12,393 @@
 
 namespace dvf::dsl {
 
-double evaluate(const Expr& expr, const std::map<std::string, double>& env) {
+namespace {
+
+SourceSpan expr_span(const Expr& expr) { return {expr.line, expr.column, 1}; }
+
+SourceSpan key_span(const KeyValue& kv) {
+  return {kv.line, kv.column, static_cast<int>(kv.key.size())};
+}
+
+SourceSpan tuple_span(const KeyTuple& tuple) {
+  return {tuple.line, tuple.column, static_cast<int>(tuple.key.size())};
+}
+
+/// Shared recursive evaluator. `diags` may be null (probe mode: fail
+/// silently); `poisoned` names parameters whose own definitions already
+/// failed, so uses of them stay quiet instead of cascading E002.
+std::optional<double> eval_expr(const Expr& expr,
+                                const std::map<std::string, double>& env,
+                                const std::set<std::string>* poisoned,
+                                DiagnosticEngine* diags) {
   switch (expr.kind) {
     case Expr::Kind::kNumber:
       return expr.number;
     case Expr::Kind::kIdentifier: {
       const auto it = env.find(expr.identifier);
-      if (it == env.end()) {
-        throw SemanticError("unknown parameter '" + expr.identifier + "' at " +
-                            std::to_string(expr.line) + ":" +
-                            std::to_string(expr.column));
+      if (it != env.end()) {
+        return it->second;
       }
-      return it->second;
+      if (diags != nullptr &&
+          (poisoned == nullptr || poisoned->count(expr.identifier) == 0)) {
+        diags->error(codes::kUnknownIdentifier,
+                     {expr.line, expr.column,
+                      static_cast<int>(expr.identifier.size())},
+                     "unknown parameter '" + expr.identifier + "'",
+                     "declare it first: param " + expr.identifier + " = ...;");
+      }
+      return std::nullopt;
     }
-    case Expr::Kind::kUnary:
-      return -evaluate(*expr.lhs, env);
+    case Expr::Kind::kUnary: {
+      const auto v = eval_expr(*expr.lhs, env, poisoned, diags);
+      return v ? std::optional<double>(-*v) : std::nullopt;
+    }
     case Expr::Kind::kBinary: {
-      const double a = evaluate(*expr.lhs, env);
-      const double b = evaluate(*expr.rhs, env);
+      const auto a = eval_expr(*expr.lhs, env, poisoned, diags);
+      const auto b = eval_expr(*expr.rhs, env, poisoned, diags);
+      if (!a || !b) {
+        return std::nullopt;
+      }
       switch (expr.op) {
-        case '+': return a + b;
-        case '-': return a - b;
-        case '*': return a * b;
+        case '+': return *a + *b;
+        case '-': return *a - *b;
+        case '*': return *a * *b;
         case '/':
-          if (b == 0.0) {
-            throw SemanticError("division by zero at " +
-                                std::to_string(expr.line) + ":" +
-                                std::to_string(expr.column));
-          }
-          return a / b;
         case '%':
-          if (b == 0.0) {
-            throw SemanticError("modulo by zero at " +
-                                std::to_string(expr.line) + ":" +
-                                std::to_string(expr.column));
+          if (*b == 0.0) {
+            if (diags != nullptr) {
+              diags->error(codes::kDivisionByZero, expr_span(expr),
+                           expr.op == '/' ? "division by zero"
+                                          : "modulo by zero");
+            }
+            return std::nullopt;
           }
-          return std::fmod(a, b);
-        case '^': return std::pow(a, b);
+          return expr.op == '/' ? *a / *b : std::fmod(*a, *b);
+        case '^': return std::pow(*a, *b);
         default: break;
       }
       break;
     }
   }
-  throw SemanticError("malformed expression node");
+  if (diags != nullptr) {
+    diags->error(codes::kSyntax, expr_span(expr), "malformed expression node");
+  }
+  return std::nullopt;
 }
 
-namespace {
+class Analyzer;
 
 /// Property bag with required/optional accessors and unknown-key detection.
+/// All values are evaluated up front (reporting expression errors inline);
+/// accessors return nullopt for a property whose expression failed, without
+/// reporting anything further.
 class Properties {
  public:
-  Properties(const std::vector<KeyValue>& kvs,
-             const std::map<std::string, double>& env, std::string context)
-      : context_(std::move(context)) {
-    for (const KeyValue& kv : kvs) {
-      if (!values_.emplace(kv.key, evaluate(*kv.value, env)).second) {
-        throw SemanticError(context_ + ": duplicate property '" + kv.key + "'");
-      }
-    }
-  }
+  Properties(const std::vector<KeyValue>& kvs, Analyzer& analyzer,
+             std::string context);
 
-  [[nodiscard]] double require(const std::string& key) {
-    const auto it = values_.find(key);
-    if (it == values_.end()) {
-      throw SemanticError(context_ + ": missing required property '" + key +
-                          "'");
-    }
-    used_.insert(key);
-    return it->second;
-  }
+  /// Reports E007 when absent; nullopt when absent or failed-to-evaluate.
+  [[nodiscard]] std::optional<double> require(const std::string& key,
+                                              SourceSpan missing_span);
 
-  [[nodiscard]] double get(const std::string& key, double fallback) {
-    const auto it = values_.find(key);
-    if (it == values_.end()) {
-      return fallback;
-    }
-    used_.insert(key);
-    return it->second;
-  }
+  /// `fallback` when absent; nullopt when present but failed to evaluate.
+  [[nodiscard]] std::optional<double> get(const std::string& key,
+                                          double fallback);
 
   [[nodiscard]] bool has(const std::string& key) const {
-    return values_.count(key) != 0;
+    return entries_.count(key) != 0;
   }
 
-  /// Call after all accesses: rejects typos.
-  void reject_unknown() const {
-    for (const auto& [key, value] : values_) {
-      (void)value;
-      if (used_.count(key) == 0) {
-        throw SemanticError(context_ + ": unknown property '" + key + "'");
-      }
-    }
+  /// Span of the property's key, or `fallback` when the key is absent.
+  [[nodiscard]] SourceSpan span(const std::string& key,
+                                SourceSpan fallback) const {
+    const auto it = entries_.find(key);
+    return it == entries_.end() ? fallback : it->second.span;
   }
+
+  /// Call after all accesses: reports E006 for every leftover key (typos).
+  void reject_unknown();
 
  private:
-  std::map<std::string, double> values_;
-  std::set<std::string> used_;
+  struct Entry {
+    std::optional<double> value;
+    SourceSpan span;
+    bool used = false;
+  };
+  std::map<std::string, Entry> entries_;
   std::string context_;
+  DiagnosticEngine& diags_;
 };
 
-std::uint64_t to_count(double v, const std::string& what) {
-  if (v < 0.0 || v != std::floor(v) || v > 9.0e15) {
-    throw SemanticError(what + " must be a non-negative integer (got " +
-                        std::to_string(v) + ")");
-  }
-  return static_cast<std::uint64_t>(v);
-}
+class Analyzer {
+ public:
+  Analyzer(const Program& program, DiagnosticEngine& diags)
+      : program_(program), diags_(diags) {}
 
-Machine lower_machine(const MachineDecl& decl,
-                      const std::map<std::string, double>& env) {
-  Properties cache(decl.cache, env, "machine '" + decl.name + "' cache");
-  const auto assoc = to_count(cache.require("associativity"),
-                              "cache associativity");
-  const auto sets = to_count(cache.require("sets"), "cache sets");
-  const auto line = to_count(cache.require("line"), "cache line");
-  cache.reject_unknown();
-
-  Properties memory(decl.memory, env, "machine '" + decl.name + "' memory");
-  double fit;
-  if (!decl.ecc.empty()) {
-    fit = fit_rate(ecc_from_string(decl.ecc));
-    if (memory.has("fit")) {
-      throw SemanticError("machine '" + decl.name +
-                          "': give either 'fit' or 'ecc', not both");
+  CompiledProgram run() {
+    for (const ParamDecl& param : program_.params) {
+      lower_param(param);
     }
-  } else {
-    fit = memory.get("fit", fit_rate(EccScheme::kNone));
-  }
-  memory.reject_unknown();
-
-  return Machine(decl.name,
-                 CacheConfig(decl.name + "-llc",
-                             static_cast<std::uint32_t>(assoc),
-                             static_cast<std::uint32_t>(sets),
-                             static_cast<std::uint32_t>(line)),
-                 MemoryModel(fit));
-}
-
-ReuseScenario scenario_from(double code) {
-  switch (static_cast<int>(code)) {
-    case 0: return ReuseScenario::kLruProtects;
-    case 1: return ReuseScenario::kUniformEviction;
-    case 2: return ReuseScenario::kBlend;
-    default:
-      throw SemanticError("reuse scenario must be 0 (lru), 1 (uniform) or "
-                          "2 (blend)");
-  }
-}
-
-ModelSpec lower_model(const ModelDecl& decl,
-                      const std::map<std::string, double>& env) {
-  ModelSpec spec;
-  spec.name = decl.name;
-  if (decl.time) {
-    const double t = evaluate(*decl.time, env);
-    if (t < 0.0) {
-      throw SemanticError("model '" + decl.name + "': time must be >= 0");
+    for (const MachineDecl& machine : program_.machines) {
+      lower_machine(machine);
     }
-    spec.exec_time_seconds = t;
+    for (const ModelDecl& model : program_.models) {
+      lower_model(model);
+    }
+    return std::move(out_);
   }
 
-  // Element sizes, needed when lowering patterns.
-  std::map<std::string, std::uint32_t> element_bytes;
-  std::map<std::string, std::uint64_t> element_count;
+  [[nodiscard]] std::optional<double> eval(const Expr& expr) {
+    return eval_expr(expr, out_.params, &poisoned_params_, &diags_);
+  }
 
-  for (const DataDecl& data : decl.data) {
-    if (spec.find(data.name) != nullptr) {
-      throw SemanticError("model '" + decl.name + "': duplicate data '" +
-                          data.name + "'");
+  [[nodiscard]] DiagnosticEngine& diags() { return diags_; }
+
+ private:
+  /// Rejects negative, fractional and absurdly large values (E008).
+  std::optional<std::uint64_t> count_of(std::optional<double> v,
+                                        const std::string& what,
+                                        SourceSpan span) {
+    if (!v) {
+      return std::nullopt;
     }
-    Properties props(data.properties, env,
-                     "data '" + data.name + "' in model '" + decl.name + "'");
-    const std::uint64_t esize = to_count(props.get("element_size", 8.0),
-                                         "element_size");
-    std::uint64_t count = 0;
-    if (props.has("elements")) {
-      count = to_count(props.require("elements"), "elements");
-    } else if (props.has("size")) {
-      const std::uint64_t size = to_count(props.require("size"), "size");
-      if (esize == 0 || size % esize != 0) {
-        throw SemanticError("data '" + data.name +
-                            "': size must be a multiple of element_size");
-      }
-      count = size / esize;
+    if (*v < 0.0 || *v != std::floor(*v) || *v > 9.0e15) {
+      diags_.error(codes::kNotACount, span,
+                   what + " must be a non-negative integer (got " +
+                       std::to_string(*v) + ")");
+      return std::nullopt;
+    }
+    return static_cast<std::uint64_t>(*v);
+  }
+
+  void lower_param(const ParamDecl& decl) {
+    const SourceSpan span{decl.line, decl.column, 5};
+    if (out_.params.count(decl.name) != 0 ||
+        poisoned_params_.count(decl.name) != 0) {
+      diags_.error(codes::kDuplicateDeclaration, span,
+                   "duplicate parameter '" + decl.name + "'");
+      return;
+    }
+    const auto value = eval(*decl.value);
+    if (value) {
+      out_.params[decl.name] = *value;
     } else {
-      throw SemanticError("data '" + data.name +
-                          "': needs 'elements' or 'size'");
+      poisoned_params_.insert(decl.name);
+    }
+  }
+
+  void lower_machine(const MachineDecl& decl) {
+    const SourceSpan decl_span{decl.line, decl.column, 7};
+    for (const Machine& existing : out_.machines) {
+      if (existing.name == decl.name) {
+        diags_.error(codes::kDuplicateDeclaration, decl_span,
+                     "duplicate machine '" + decl.name + "'");
+        return;
+      }
+    }
+
+    Properties cache(decl.cache, *this, "machine '" + decl.name + "' cache");
+    const auto assoc =
+        count_of(cache.require("associativity", decl_span),
+                 "cache associativity", cache.span("associativity", decl_span));
+    const auto sets = count_of(cache.require("sets", decl_span), "cache sets",
+                               cache.span("sets", decl_span));
+    const auto line = count_of(cache.require("line", decl_span), "cache line",
+                               cache.span("line", decl_span));
+    cache.reject_unknown();
+
+    Properties memory(decl.memory, *this, "machine '" + decl.name + "' memory");
+    std::optional<double> fit;
+    if (!decl.ecc.empty()) {
+      const SourceSpan ecc_span{decl.ecc_line, decl.ecc_column, 3};
+      if (memory.has("fit")) {
+        (void)memory.get("fit", 0.0);  // consume: the conflict is the error
+        diags_.error(codes::kConflictingMemorySpec, ecc_span,
+                     "machine '" + decl.name +
+                         "': give either 'fit' or 'ecc', not both");
+      } else {
+        try {
+          fit = fit_rate(ecc_from_string(decl.ecc));
+        } catch (const Error& err) {
+          diags_.error(codes::kConflictingMemorySpec, ecc_span,
+                       "machine '" + decl.name + "': " + err.what(),
+                       "known schemes: none, secded, chipkill");
+        }
+      }
+    } else {
+      fit = memory.get("fit", fit_rate(EccScheme::kNone));
+      if (fit && *fit <= 0.0) {
+        diags_.error(codes::kNegativeQuantity,
+                     memory.span("fit", decl_span),
+                     "machine '" + decl.name +
+                         "': FIT rate must be positive (got " +
+                         std::to_string(*fit) + ")",
+                     "FIT is failures per 10^9 device-hours per Mbit");
+        fit.reset();
+      }
+    }
+    memory.reject_unknown();
+
+    if (!assoc || !sets || !line || !fit) {
+      return;
+    }
+    try {
+      out_.machines.emplace_back(
+          decl.name,
+          CacheConfig(decl.name + "-llc", static_cast<std::uint32_t>(*assoc),
+                      static_cast<std::uint32_t>(*sets),
+                      static_cast<std::uint32_t>(*line)),
+          MemoryModel(*fit));
+    } catch (const Error& err) {
+      // CacheConfig rejects zero fields and non-power-of-two line lengths.
+      diags_.error(codes::kValueOutOfRange, decl_span,
+                   "machine '" + decl.name + "': " + err.what());
+    }
+  }
+
+  std::optional<ReuseScenario> scenario_from(std::optional<double> code,
+                                             SourceSpan span) {
+    if (!code) {
+      return std::nullopt;
+    }
+    switch (static_cast<int>(*code)) {
+      case 0: return ReuseScenario::kLruProtects;
+      case 1: return ReuseScenario::kUniformEviction;
+      case 2: return ReuseScenario::kBlend;
+      default:
+        diags_.error(codes::kValueOutOfRange, span,
+                     "reuse scenario must be 0 (lru), 1 (uniform) or 2 "
+                     "(blend)");
+        return std::nullopt;
+    }
+  }
+
+  void lower_model(const ModelDecl& decl) {
+    const SourceSpan decl_span{decl.line, decl.column, 5};
+    for (const ModelSpec& existing : out_.models) {
+      if (existing.name == decl.name) {
+        diags_.error(codes::kDuplicateDeclaration, decl_span,
+                     "duplicate model '" + decl.name + "'");
+        return;
+      }
+    }
+
+    bool failed = false;
+    ModelSpec spec;
+    spec.name = decl.name;
+    if (decl.time) {
+      const auto t = eval(*decl.time);
+      if (!t) {
+        failed = true;
+      } else if (*t < 0.0) {
+        diags_.error(codes::kNegativeQuantity, expr_span(*decl.time),
+                     "model '" + decl.name + "': time must be >= 0");
+        failed = true;
+      } else {
+        spec.exec_time_seconds = *t;
+      }
+    }
+
+    // Element sizes and counts, needed when lowering patterns.
+    std::map<std::string, std::uint32_t> element_bytes;
+    std::map<std::string, std::uint64_t> element_count;
+
+    for (const DataDecl& data : decl.data) {
+      if (!lower_data(decl, data, spec, element_bytes, element_count)) {
+        failed = true;
+      }
+    }
+
+    AccessOrder order;
+    if (!decl.order.empty()) {
+      try {
+        order = parse_access_order(decl.order);
+      } catch (const Error& err) {
+        diags_.error(codes::kSyntax,
+                     {decl.order_line, decl.order_column,
+                      static_cast<int>(decl.order.size()) + 2},
+                     "model '" + decl.name + "': bad access order: " +
+                         err.what());
+        failed = true;
+      }
+    }
+
+    for (const PatternDecl& pattern : decl.patterns) {
+      if (!lower_pattern(decl, pattern, spec, order, element_bytes,
+                         element_count)) {
+        failed = true;
+      }
+    }
+
+    // A partially lowered model would feed meaningless numbers to the
+    // calculator; only clean models make it into the compiled program.
+    if (!failed) {
+      out_.models.push_back(std::move(spec));
+    }
+  }
+
+  bool lower_data(const ModelDecl& model, const DataDecl& data,
+                  ModelSpec& spec,
+                  std::map<std::string, std::uint32_t>& element_bytes,
+                  std::map<std::string, std::uint64_t>& element_count) {
+    const SourceSpan decl_span{data.line, data.column, 4};
+    if (spec.find(data.name) != nullptr) {
+      diags_.error(codes::kDuplicateDeclaration, decl_span,
+                   "model '" + model.name + "': duplicate data '" + data.name +
+                       "'");
+      return false;
+    }
+    Properties props(data.properties, *this,
+                     "data '" + data.name + "' in model '" + model.name + "'");
+    const auto esize = count_of(props.get("element_size", 8.0), "element_size",
+                                props.span("element_size", decl_span));
+    std::optional<std::uint64_t> count;
+    if (props.has("elements")) {
+      count = count_of(props.require("elements", decl_span), "elements",
+                       props.span("elements", decl_span));
+    } else if (props.has("size")) {
+      const auto size = count_of(props.require("size", decl_span), "size",
+                                 props.span("size", decl_span));
+      if (size && esize) {
+        if (*esize == 0 || *size % *esize != 0) {
+          diags_.error(codes::kInconsistentSize,
+                       props.span("size", decl_span),
+                       "data '" + data.name +
+                           "': size must be a multiple of element_size");
+        } else {
+          count = *size / *esize;
+        }
+      }
+    } else {
+      diags_.error(codes::kMissingProperty, decl_span,
+                   "data '" + data.name + "': needs 'elements' or 'size'",
+                   "give the footprint as elements N; or size N;");
     }
     props.reject_unknown();
-    if (esize == 0 || count == 0) {
-      throw SemanticError("data '" + data.name +
-                          "': element_size and elements must be positive");
+    if (!esize || !count) {
+      return false;
+    }
+    if (*esize == 0 || *count == 0) {
+      diags_.error(codes::kInconsistentSize, decl_span,
+                   "data '" + data.name +
+                       "': element_size and elements must be positive");
+      return false;
     }
 
     DataStructureSpec ds;
     ds.name = data.name;
-    ds.size_bytes = count * esize;
+    ds.size_bytes = *count * *esize;
     spec.structures.push_back(std::move(ds));
-    element_bytes[data.name] = static_cast<std::uint32_t>(esize);
-    element_count[data.name] = count;
+    element_bytes[data.name] = static_cast<std::uint32_t>(*esize);
+    element_count[data.name] = *count;
+    return true;
   }
 
-  AccessOrder order;
-  if (!decl.order.empty()) {
-    order = parse_access_order(decl.order);
-  }
-
-  for (const PatternDecl& pattern : decl.patterns) {
+  bool lower_pattern(const ModelDecl& model, const PatternDecl& pattern,
+                     ModelSpec& spec, const AccessOrder& order,
+                     const std::map<std::string, std::uint32_t>& element_bytes,
+                     const std::map<std::string, std::uint64_t>& element_count) {
+    const SourceSpan decl_span{pattern.line, pattern.column, 7};
     DataStructureSpec* target = nullptr;
     for (auto& ds : spec.structures) {
       if (ds.name == pattern.target) {
@@ -227,144 +407,303 @@ ModelSpec lower_model(const ModelDecl& decl,
       }
     }
     if (target == nullptr) {
-      throw SemanticError("pattern for undeclared data '" + pattern.target +
-                          "' in model '" + decl.name + "'");
+      diags_.error(codes::kUndeclaredData, decl_span,
+                   "pattern for undeclared data '" + pattern.target +
+                       "' in model '" + model.name + "'",
+                   "declare it first: data " + pattern.target + " { ... }");
+      return false;
     }
     const std::string context = "pattern " + pattern.kind + " on '" +
-                                pattern.target + "' in model '" + decl.name +
+                                pattern.target + "' in model '" + model.name +
                                 "'";
-    Properties props(pattern.properties, env, context);
+    Properties props(pattern.properties, *this, context);
+    const auto no_tuples = [&]() {
+      if (pattern.tuples.empty()) {
+        return true;
+      }
+      diags_.error(codes::kBadTuple, tuple_span(pattern.tuples.front()),
+                   context + ": " + pattern.kind + " patterns take no tuples");
+      return false;
+    };
 
     if (pattern.kind == "stream") {
-      if (!pattern.tuples.empty()) {
-        throw SemanticError(context + ": stream patterns take no tuples");
-      }
+      const bool tuples_ok = no_tuples();
       StreamingSpec s;
-      s.element_bytes = element_bytes[pattern.target];
-      s.element_count = element_count[pattern.target];
-      s.stride_elements = to_count(props.get("stride", 1.0), "stride");
-      const std::uint64_t repeats = to_count(props.get("repeat", 1.0), "repeat");
+      s.element_bytes = element_bytes.at(pattern.target);
+      s.element_count = element_count.at(pattern.target);
+      const auto stride = count_of(props.get("stride", 1.0), "stride",
+                                   props.span("stride", decl_span));
+      const auto repeats = count_of(props.get("repeat", 1.0), "repeat",
+                                    props.span("repeat", decl_span));
       props.reject_unknown();
-      for (std::uint64_t i = 0; i < repeats; ++i) {
+      if (!tuples_ok || !stride || !repeats) {
+        return false;
+      }
+      s.stride_elements = *stride;
+      for (std::uint64_t i = 0; i < *repeats; ++i) {
         target->patterns.emplace_back(s);
       }
-    } else if (pattern.kind == "random") {
-      if (!pattern.tuples.empty()) {
-        throw SemanticError(context + ": random patterns take no tuples");
-      }
+      return true;
+    }
+
+    if (pattern.kind == "random") {
+      const bool tuples_ok = no_tuples();
       RandomSpec r;
-      r.element_count = element_count[pattern.target];
-      r.element_bytes = element_bytes[pattern.target];
-      r.visits_per_iteration = props.require("visits");
-      r.iterations = to_count(props.require("iterations"), "iterations");
-      r.cache_ratio = props.get("ratio", 1.0);
+      r.element_count = element_count.at(pattern.target);
+      r.element_bytes = element_bytes.at(pattern.target);
+      const auto visits = props.require("visits", decl_span);
+      const auto iterations =
+          count_of(props.require("iterations", decl_span), "iterations",
+                   props.span("iterations", decl_span));
+      const auto ratio = props.get("ratio", 1.0);
       props.reject_unknown();
+      if (!tuples_ok || !visits || !iterations || !ratio) {
+        return false;
+      }
+      r.visits_per_iteration = *visits;
+      r.iterations = *iterations;
+      r.cache_ratio = *ratio;
       target->patterns.emplace_back(r);
-    } else if (pattern.kind == "template") {
-      std::vector<std::int64_t> start;
-      for (const KeyTuple& tuple : pattern.tuples) {
-        if (tuple.key == "start") {
-          for (const ExprPtr& e : tuple.values) {
-            start.push_back(static_cast<std::int64_t>(
-                std::llround(evaluate(*e, env))));
-          }
-        } else if (tuple.key == "end") {
-          // Validated against count below; the end tuple documents the
-          // boundary (paper's MG template) but count drives expansion.
-        } else {
-          throw SemanticError(context + ": unknown tuple '" + tuple.key + "'");
-        }
-      }
-      if (start.empty()) {
-        throw SemanticError(context + ": template needs a 'start (...)' tuple");
-      }
-      const auto step = static_cast<std::int64_t>(
-          std::llround(props.get("step", 1.0)));
-      std::uint64_t count = 0;
-      if (props.has("count")) {
-        count = to_count(props.require("count"), "count");
-      } else {
-        // Derive the iteration count from the end tuple's first component.
-        const KeyTuple* end_tuple = nullptr;
-        for (const KeyTuple& tuple : pattern.tuples) {
-          if (tuple.key == "end") {
-            end_tuple = &tuple;
-          }
-        }
-        if (end_tuple == nullptr || end_tuple->values.empty() || step == 0) {
-          throw SemanticError(context +
-                              ": template needs 'count' or an 'end (...)' "
-                              "tuple with a nonzero step");
-        }
-        const auto end0 = static_cast<std::int64_t>(
-            std::llround(evaluate(*end_tuple->values[0], env)));
-        const std::int64_t span = end0 - start[0];
-        if (span % step != 0 || span / step < 0) {
-          throw SemanticError(context +
-                              ": end tuple is not reachable from start with "
-                              "the given step");
-        }
-        count = static_cast<std::uint64_t>(span / step) + 1;
-      }
-      TemplateSpec t;
-      t.element_bytes = element_bytes[pattern.target];
-      t.element_indices = expand_progression(start, step, count);
-      t.repetitions = to_count(props.get("repeat", 1.0), "repeat");
-      t.cache_ratio = props.get("ratio", 1.0);
-      props.reject_unknown();
-      target->patterns.emplace_back(std::move(t));
-    } else if (pattern.kind == "reuse") {
-      if (!pattern.tuples.empty()) {
-        throw SemanticError(context + ": reuse patterns take no tuples");
-      }
+      return true;
+    }
+
+    if (pattern.kind == "template") {
+      return lower_template(pattern, props, context, decl_span, target,
+                            element_bytes.at(pattern.target));
+    }
+
+    if (pattern.kind == "reuse") {
+      const bool tuples_ok = no_tuples();
       ReuseSpec u;
       u.self_bytes = target->size_bytes;
+      std::optional<std::uint64_t> other;
       if (props.has("other_bytes")) {
-        u.other_bytes = to_count(props.require("other_bytes"), "other_bytes");
+        other = count_of(props.require("other_bytes", decl_span),
+                         "other_bytes", props.span("other_bytes", decl_span));
       } else {
         // Derive the interferer footprint from the access order: every other
         // structure sharing a phase with the target.
-        std::uint64_t other = 0;
+        std::uint64_t derived = 0;
         for (const std::string& name : order.concurrent_with(pattern.target)) {
           if (const DataStructureSpec* ds = spec.find(name)) {
-            other += ds->size_bytes;
+            derived += ds->size_bytes;
           }
         }
-        u.other_bytes = other;
+        other = derived;
       }
+      std::optional<std::uint64_t> rounds;
       if (props.has("rounds")) {
-        u.reuse_rounds = to_count(props.require("rounds"), "rounds");
+        rounds = count_of(props.require("rounds", decl_span), "rounds",
+                          props.span("rounds", decl_span));
       } else {
         const std::uint64_t appearances = order.appearances(pattern.target);
         if (appearances < 2) {
-          throw SemanticError(context +
-                              ": reuse needs 'rounds' or an access order in "
-                              "which the structure appears at least twice");
+          diags_.error(codes::kMissingProperty, decl_span,
+                       context +
+                           ": reuse needs 'rounds' or an access order in "
+                           "which the structure appears at least twice");
+        } else {
+          rounds = appearances - 1;
         }
-        u.reuse_rounds = appearances - 1;
       }
-      u.scenario = scenario_from(props.get("scenario", 0.0));
+      const auto scenario = scenario_from(props.get("scenario", 0.0),
+                                          props.span("scenario", decl_span));
       // occupancy: 0 = Bernoulli (paper Eq. 8, default), 1 = contiguous.
-      const double occupancy = props.get("occupancy", 0.0);
-      if (occupancy == 1.0) {
-        u.occupancy = ReuseOccupancy::kContiguous;
-      } else if (occupancy != 0.0) {
-        throw SemanticError(context +
-                            ": occupancy must be 0 (bernoulli) or 1 "
-                            "(contiguous)");
+      const auto occupancy = props.get("occupancy", 0.0);
+      bool occupancy_ok = occupancy.has_value();
+      if (occupancy) {
+        if (*occupancy == 1.0) {
+          u.occupancy = ReuseOccupancy::kContiguous;
+        } else if (*occupancy != 0.0) {
+          diags_.error(codes::kValueOutOfRange,
+                       props.span("occupancy", decl_span),
+                       context +
+                           ": occupancy must be 0 (bernoulli) or 1 "
+                           "(contiguous)");
+          occupancy_ok = false;
+        }
       }
       props.reject_unknown();
+      if (!tuples_ok || !other || !rounds || !scenario || !occupancy_ok) {
+        return false;
+      }
+      u.other_bytes = *other;
+      u.reuse_rounds = *rounds;
+      u.scenario = *scenario;
       target->patterns.emplace_back(u);
-    } else {
-      throw SemanticError(context + ": unknown pattern kind '" + pattern.kind +
-                          "' (expected stream|random|template|reuse)");
+      return true;
     }
+
+    diags_.error(codes::kUnknownPatternKind, decl_span,
+                 context + ": unknown pattern kind '" + pattern.kind +
+                     "' (expected stream|random|template|reuse)");
+    return false;
   }
 
-  return spec;
+  bool lower_template(const PatternDecl& pattern, Properties& props,
+                      const std::string& context, SourceSpan decl_span,
+                      DataStructureSpec* target, std::uint32_t esize) {
+    std::vector<std::int64_t> start;
+    const KeyTuple* start_tuple = nullptr;
+    const KeyTuple* end_tuple = nullptr;
+    bool tuples_ok = true;
+    for (const KeyTuple& tuple : pattern.tuples) {
+      if (tuple.key == "start") {
+        start_tuple = &tuple;
+        for (const ExprPtr& e : tuple.values) {
+          const auto v = eval(*e);
+          if (!v) {
+            tuples_ok = false;
+          } else {
+            start.push_back(
+                static_cast<std::int64_t>(std::llround(*v)));
+          }
+        }
+      } else if (tuple.key == "end") {
+        // Validated against count below; the end tuple documents the
+        // boundary (paper's MG template) but count drives expansion.
+        end_tuple = &tuple;
+      } else {
+        diags_.error(codes::kUnknownProperty, tuple_span(tuple),
+                     context + ": unknown tuple '" + tuple.key + "'",
+                     "templates take 'start (...)' and 'end (...)' tuples");
+        tuples_ok = false;
+      }
+    }
+    if (start_tuple == nullptr) {
+      diags_.error(codes::kMissingProperty, decl_span,
+                   context + ": template needs a 'start (...)' tuple");
+      tuples_ok = false;
+    }
+
+    std::optional<std::int64_t> step;
+    if (const auto step_value = props.get("step", 1.0)) {
+      step = static_cast<std::int64_t>(std::llround(*step_value));
+    }
+    std::optional<std::uint64_t> count;
+    if (props.has("count")) {
+      count = count_of(props.require("count", decl_span), "count",
+                       props.span("count", decl_span));
+    } else if (tuples_ok && step) {
+      // Derive the iteration count from the end tuple's first component.
+      if (end_tuple == nullptr || end_tuple->values.empty() || *step == 0) {
+        diags_.error(codes::kBadTuple, decl_span,
+                     context +
+                         ": template needs 'count' or an 'end (...)' "
+                         "tuple with a nonzero step");
+      } else if (const auto end_value = eval(*end_tuple->values[0])) {
+        const auto end0 =
+            static_cast<std::int64_t>(std::llround(*end_value));
+        const std::int64_t span = end0 - start[0];
+        if (span % *step != 0 || span / *step < 0) {
+          diags_.error(codes::kBadTuple, tuple_span(*end_tuple),
+                       context +
+                           ": end tuple is not reachable from start with "
+                           "the given step");
+        } else {
+          count = static_cast<std::uint64_t>(span / *step) + 1;
+        }
+      }
+    }
+
+    const auto repeats = count_of(props.get("repeat", 1.0), "repeat",
+                                  props.span("repeat", decl_span));
+    const auto ratio = props.get("ratio", 1.0);
+    props.reject_unknown();
+    if (!tuples_ok || !step || !count || !repeats || !ratio) {
+      return false;
+    }
+
+    TemplateSpec t;
+    t.element_bytes = esize;
+    try {
+      t.element_indices = expand_progression(start, *step, *count);
+    } catch (const Error& err) {
+      // expand_progression rejects progressions that underflow element 0.
+      diags_.error(codes::kTemplateOutOfBounds, tuple_span(*start_tuple),
+                   context + ": " + err.what());
+      return false;
+    }
+    t.repetitions = *repeats;
+    t.cache_ratio = *ratio;
+    target->patterns.emplace_back(std::move(t));
+    return true;
+  }
+
+  const Program& program_;
+  DiagnosticEngine& diags_;
+  CompiledProgram out_;
+  std::set<std::string> poisoned_params_;
+};
+
+Properties::Properties(const std::vector<KeyValue>& kvs, Analyzer& analyzer,
+                       std::string context)
+    : context_(std::move(context)), diags_(analyzer.diags()) {
+  for (const KeyValue& kv : kvs) {
+    Entry entry{analyzer.eval(*kv.value), key_span(kv), false};
+    const auto [it, inserted] = entries_.emplace(kv.key, std::move(entry));
+    if (!inserted) {
+      diags_.error(codes::kDuplicateProperty, key_span(kv),
+                   context_ + ": duplicate property '" + kv.key + "'",
+                   "first given at " + std::to_string(it->second.span.line) +
+                       ":" + std::to_string(it->second.span.column));
+    }
+  }
+}
+
+std::optional<double> Properties::require(const std::string& key,
+                                          SourceSpan missing_span) {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    diags_.error(codes::kMissingProperty, missing_span,
+                 context_ + ": missing required property '" + key + "'");
+    return std::nullopt;
+  }
+  it->second.used = true;
+  return it->second.value;
+}
+
+std::optional<double> Properties::get(const std::string& key,
+                                      double fallback) {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return fallback;
+  }
+  it->second.used = true;
+  return it->second.value;
+}
+
+void Properties::reject_unknown() {
+  for (const auto& [key, entry] : entries_) {
+    if (!entry.used) {
+      diags_.error(codes::kUnknownProperty, entry.span,
+                   context_ + ": unknown property '" + key + "'");
+    }
+  }
 }
 
 }  // namespace
+
+double evaluate(const Expr& expr, const std::map<std::string, double>& env) {
+  DiagnosticEngine diags;
+  const auto value = eval_expr(expr, env, nullptr, &diags);
+  if (value) {
+    return *value;
+  }
+  const Diagnostic* first = diags.first_error();
+  if (first == nullptr) {
+    throw SemanticError("malformed expression node");
+  }
+  throw SemanticError(first->message + " at " +
+                          std::to_string(first->span.line) + ":" +
+                          std::to_string(first->span.column),
+                      first->span.line, first->span.column);
+}
+
+std::optional<double> try_evaluate(
+    const Expr& expr, const std::map<std::string, double>& env) noexcept {
+  return eval_expr(expr, env, nullptr, nullptr);
+}
 
 const Machine& CompiledProgram::machine(std::string_view name) const {
   for (const Machine& m : machines) {
@@ -384,34 +723,22 @@ const ModelSpec& CompiledProgram::model(std::string_view name) const {
   throw SemanticError("no model named '" + std::string(name) + "'");
 }
 
+CompiledProgram analyze(const Program& program, DiagnosticEngine& diags) {
+  return Analyzer(program, diags).run();
+}
+
 CompiledProgram analyze(const Program& program) {
-  CompiledProgram out;
-
-  for (const ParamDecl& param : program.params) {
-    if (out.params.count(param.name) != 0) {
-      throw SemanticError("duplicate parameter '" + param.name + "'");
+  DiagnosticEngine diags;
+  CompiledProgram out = analyze(program, diags);
+  if (const Diagnostic* first = diags.first_error()) {
+    std::string message = first->message + " [" + first->code + "]";
+    if (first->span.line > 0) {
+      message += " at " + std::to_string(first->span.line) + ":" +
+                 std::to_string(first->span.column);
     }
-    out.params[param.name] = evaluate(*param.value, out.params);
+    throw SemanticError(std::move(message), first->span.line,
+                        first->span.column);
   }
-
-  for (const MachineDecl& machine : program.machines) {
-    for (const Machine& existing : out.machines) {
-      if (existing.name == machine.name) {
-        throw SemanticError("duplicate machine '" + machine.name + "'");
-      }
-    }
-    out.machines.push_back(lower_machine(machine, out.params));
-  }
-
-  for (const ModelDecl& model : program.models) {
-    for (const ModelSpec& existing : out.models) {
-      if (existing.name == model.name) {
-        throw SemanticError("duplicate model '" + model.name + "'");
-      }
-    }
-    out.models.push_back(lower_model(model, out.params));
-  }
-
   return out;
 }
 

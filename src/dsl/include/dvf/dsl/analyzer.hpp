@@ -2,11 +2,13 @@
 #pragma once
 
 #include <map>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "dvf/dsl/ast.hpp"
+#include "dvf/dsl/diagnostics.hpp"
 #include "dvf/dvf/model_spec.hpp"
 #include "dvf/machine/machine.hpp"
 
@@ -29,8 +31,22 @@ struct CompiledProgram {
 [[nodiscard]] double evaluate(const Expr& expr,
                               const std::map<std::string, double>& env);
 
-/// Analyzes a parsed program. Throws SemanticError on duplicate names,
-/// unknown properties, missing required properties, or invalid values.
+/// Non-throwing evaluation: nullopt on unknown identifier / division by
+/// zero, with no diagnostic reported. Used by lint rules to probe values
+/// whose errors the analyzer already reported.
+[[nodiscard]] std::optional<double> try_evaluate(
+    const Expr& expr, const std::map<std::string, double>& env) noexcept;
+
+/// Multi-error analysis: reports every problem into `diags` and returns the
+/// declarations that lowered cleanly (a declaration with an error-severity
+/// diagnostic is skipped, the rest of the program still lowers). Never
+/// throws on model mistakes.
+[[nodiscard]] CompiledProgram analyze(const Program& program,
+                                      DiagnosticEngine& diags);
+
+/// Throwing wrapper over the diagnostic pass: raises SemanticError (with
+/// the source location) on the first error-severity diagnostic. Kept for
+/// the many callers that want fail-fast validation (dvfc check, tests).
 [[nodiscard]] CompiledProgram analyze(const Program& program);
 
 /// Convenience: parse + analyze.

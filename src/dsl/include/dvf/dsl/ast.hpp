@@ -57,6 +57,7 @@ struct ParamDecl {
   std::string name;
   ExprPtr value;
   int line = 0;
+  int column = 0;
 };
 
 struct MachineDecl {
@@ -64,13 +65,17 @@ struct MachineDecl {
   std::vector<KeyValue> cache;   ///< associativity / sets / line
   std::vector<KeyValue> memory;  ///< fit (or ecc via fit value)
   std::string ecc;               ///< optional: 'ecc "secded";' in memory block
+  int ecc_line = 0;              ///< location of the 'ecc' property, if any
+  int ecc_column = 0;
   int line = 0;
+  int column = 0;
 };
 
 struct DataDecl {
   std::string name;
   std::vector<KeyValue> properties;  ///< elements, element_size
   int line = 0;
+  int column = 0;
 };
 
 struct PatternDecl {
@@ -79,15 +84,19 @@ struct PatternDecl {
   std::vector<KeyValue> properties;
   std::vector<KeyTuple> tuples;  ///< template start/end tuples
   int line = 0;
+  int column = 0;
 };
 
 struct ModelDecl {
   std::string name;
   ExprPtr time;  ///< optional execution time (seconds)
   std::string order;  ///< optional access-order string, e.g. "r(Ap)p(xp)"
+  int order_line = 0;  ///< location of the order string literal, if any
+  int order_column = 0;
   std::vector<DataDecl> data;
   std::vector<PatternDecl> patterns;
   int line = 0;
+  int column = 0;
 };
 
 struct Program {

@@ -33,8 +33,9 @@ struct Token {
   TokenKind kind = TokenKind::kEndOfFile;
   std::string text;     ///< identifier / string contents / literal spelling
   double number = 0.0;  ///< for kNumber
-  int line = 0;
-  int column = 0;
+  int line = 0;         ///< 1-based; the token's first character
+  int column = 0;       ///< 1-based; tabs count as one column
+  int length = 0;       ///< source characters covered (0 for end-of-file)
 
   [[nodiscard]] bool is_word(const char* word) const {
     return kind == TokenKind::kIdentifier && text == word;

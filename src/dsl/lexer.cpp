@@ -54,6 +54,7 @@ class Cursor {
   }
   [[nodiscard]] int line() const noexcept { return line_; }
   [[nodiscard]] int column() const noexcept { return column_; }
+  [[nodiscard]] std::size_t offset() const noexcept { return pos_; }
 
  private:
   std::string_view source_;
@@ -80,12 +81,14 @@ std::vector<Token> tokenize(std::string_view source) {
     t.kind = kind;
     t.line = line;
     t.column = column;
+    t.length = 1;
     tokens.push_back(std::move(t));
   };
 
   while (!cur.done()) {
     const int line = cur.line();
     const int column = cur.column();
+    const std::size_t start = cur.offset();
     const char ch = cur.peek();
 
     if (std::isspace(static_cast<unsigned char>(ch))) {
@@ -130,6 +133,7 @@ std::vector<Token> tokenize(std::string_view source) {
       t.text = std::move(word);
       t.line = line;
       t.column = column;
+      t.length = static_cast<int>(cur.offset() - start);
       tokens.push_back(std::move(t));
       continue;
     }
@@ -188,6 +192,7 @@ std::vector<Token> tokenize(std::string_view source) {
       t.number = value * scale;
       t.line = line;
       t.column = column;
+      t.length = static_cast<int>(cur.offset() - start);
       tokens.push_back(std::move(t));
       continue;
     }
@@ -217,6 +222,7 @@ std::vector<Token> tokenize(std::string_view source) {
       t.text = std::move(contents);
       t.line = line;
       t.column = column;
+      t.length = static_cast<int>(cur.offset() - start);
       tokens.push_back(std::move(t));
       continue;
     }

@@ -1,0 +1,629 @@
+#include "dvf/dsl/lint.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "dvf/common/error.hpp"
+#include "dvf/dsl/parser.hpp"
+
+namespace dvf::dsl {
+
+namespace {
+
+SourceSpan key_span(const KeyValue& kv) {
+  return {kv.line, kv.column, static_cast<int>(kv.key.size())};
+}
+
+SourceSpan tuple_span(const KeyTuple& tuple) {
+  return {tuple.line, tuple.column, static_cast<int>(tuple.key.size())};
+}
+
+std::string num_str(double value) {
+  std::ostringstream out;
+  out << value;
+  return out.str();
+}
+
+std::string bytes_str(double bytes) {
+  std::ostringstream out;
+  if (bytes >= 1024.0 * 1024.0) {
+    out << bytes / (1024.0 * 1024.0) << " MB";
+  } else if (bytes >= 1024.0) {
+    out << bytes / 1024.0 << " KB";
+  } else {
+    out << bytes << " bytes";
+  }
+  return out.str();
+}
+
+/// What the rules know about one declared data structure.
+struct DataInfo {
+  const DataDecl* decl = nullptr;
+  std::optional<std::uint64_t> elements;
+  std::optional<std::uint64_t> element_bytes;
+  int pattern_count = 0;
+};
+
+struct LintContext {
+  const Program& ast;
+  const CompiledProgram& program;
+  DiagnosticEngine& diags;
+  /// Per model declaration: data name -> info. Values the analyzer already
+  /// rejected stay nullopt and the rules skip them quietly.
+  std::map<const ModelDecl*, std::map<std::string, DataInfo>> data;
+
+  [[nodiscard]] std::optional<double> eval(const Expr& expr) const {
+    return try_evaluate(expr, program.params);
+  }
+
+  /// First occurrence of a property key, or nullptr.
+  [[nodiscard]] static const KeyValue* find(const std::vector<KeyValue>& kvs,
+                                            std::string_view key) {
+    for (const KeyValue& kv : kvs) {
+      if (kv.key == key) {
+        return &kv;
+      }
+    }
+    return nullptr;
+  }
+
+  /// Property value: the default when absent, nullopt when unevaluable.
+  [[nodiscard]] std::optional<double> prop(const std::vector<KeyValue>& kvs,
+                                           std::string_view key,
+                                           double fallback) const {
+    const KeyValue* kv = find(kvs, key);
+    return kv == nullptr ? std::optional<double>(fallback) : eval(*kv->value);
+  }
+
+  /// Like prop() but coerced to a count; nullopt when absent-by-default is
+  /// impossible (negative / fractional values the analyzer already flagged).
+  [[nodiscard]] std::optional<std::uint64_t> count_prop(
+      const std::vector<KeyValue>& kvs, std::string_view key,
+      double fallback) const {
+    const auto v = prop(kvs, key, fallback);
+    if (!v || *v < 0.0 || *v != std::floor(*v) || *v > 9.0e15) {
+      return std::nullopt;
+    }
+    return static_cast<std::uint64_t>(*v);
+  }
+
+  /// Span of a property key, or the pattern/data declaration when absent.
+  [[nodiscard]] static SourceSpan prop_span(const std::vector<KeyValue>& kvs,
+                                            std::string_view key,
+                                            SourceSpan fallback) {
+    const KeyValue* kv = find(kvs, key);
+    return kv == nullptr ? fallback : key_span(*kv);
+  }
+};
+
+void collect_data_info(LintContext& ctx) {
+  for (const ModelDecl& model : ctx.ast.models) {
+    auto& table = ctx.data[&model];
+    for (const DataDecl& data : model.data) {
+      DataInfo info;
+      info.decl = &data;
+      info.element_bytes =
+          ctx.count_prop(data.properties, "element_size", 8.0);
+      if (LintContext::find(data.properties, "elements") != nullptr) {
+        info.elements = ctx.count_prop(data.properties, "elements", 0.0);
+      } else if (LintContext::find(data.properties, "size") != nullptr) {
+        const auto size = ctx.count_prop(data.properties, "size", 0.0);
+        if (size && info.element_bytes && *info.element_bytes != 0 &&
+            *size % *info.element_bytes == 0) {
+          info.elements = *size / *info.element_bytes;
+        }
+      }
+      table.emplace(data.name, info);
+    }
+    for (const PatternDecl& pattern : model.patterns) {
+      const auto it = table.find(pattern.target);
+      if (it != table.end()) {
+        ++it->second.pattern_count;
+      }
+    }
+  }
+}
+
+// ---- hygiene rules -------------------------------------------------------
+
+void rule_unused_param(LintContext& ctx) {
+  std::set<std::string> used;
+  const std::function<void(const Expr&)> walk = [&](const Expr& expr) {
+    if (expr.kind == Expr::Kind::kIdentifier) {
+      used.insert(expr.identifier);
+    }
+    if (expr.lhs) walk(*expr.lhs);
+    if (expr.rhs) walk(*expr.rhs);
+  };
+  const auto walk_kvs = [&](const std::vector<KeyValue>& kvs) {
+    for (const KeyValue& kv : kvs) {
+      walk(*kv.value);
+    }
+  };
+  for (const ParamDecl& param : ctx.ast.params) {
+    walk(*param.value);
+  }
+  for (const MachineDecl& machine : ctx.ast.machines) {
+    walk_kvs(machine.cache);
+    walk_kvs(machine.memory);
+  }
+  for (const ModelDecl& model : ctx.ast.models) {
+    if (model.time) walk(*model.time);
+    for (const DataDecl& data : model.data) {
+      walk_kvs(data.properties);
+    }
+    for (const PatternDecl& pattern : model.patterns) {
+      walk_kvs(pattern.properties);
+      for (const KeyTuple& tuple : pattern.tuples) {
+        for (const ExprPtr& e : tuple.values) {
+          walk(*e);
+        }
+      }
+    }
+  }
+
+  std::set<std::string> reported;
+  for (const ParamDecl& param : ctx.ast.params) {
+    if (used.count(param.name) == 0 && reported.insert(param.name).second) {
+      ctx.diags.warning(codes::kUnusedParam,
+                        {param.line, param.column, 5},
+                        "parameter '" + param.name + "' is never used",
+                        "remove it, or reference it in an expression");
+    }
+  }
+}
+
+void rule_data_never_accessed(LintContext& ctx) {
+  for (const ModelDecl& model : ctx.ast.models) {
+    for (const auto& [name, info] : ctx.data[&model]) {
+      if (info.pattern_count == 0) {
+        ctx.diags.warning(
+            codes::kDataNeverAccessed,
+            {info.decl->line, info.decl->column, 4},
+            "data '" + name + "' in model '" + model.name +
+                "' has no access pattern; it contributes footprint S_d but "
+                "zero N_ha",
+            "attach a 'pattern " + name +
+                " <stream|random|template|reuse> { ... }' or drop it");
+      }
+    }
+  }
+}
+
+void rule_machine_coverage(LintContext& ctx) {
+  if (ctx.ast.models.empty() || !ctx.ast.machines.empty()) {
+    return;
+  }
+  const ModelDecl& first = ctx.ast.models.front();
+  ctx.diags.warning(codes::kNoMachine, {first.line, first.column, 5},
+                    "program declares model(s) but no machine; there is "
+                    "nothing to evaluate DVF against",
+                    "add: machine \"name\" { cache { associativity ...; "
+                    "sets ...; line ...; } memory { fit ...; } }");
+}
+
+void rule_empty_model(LintContext& ctx) {
+  for (const ModelDecl& model : ctx.ast.models) {
+    if (model.data.empty()) {
+      ctx.diags.warning(codes::kEmptyModel, {model.line, model.column, 5},
+                        "model '" + model.name +
+                            "' declares no data structures; its DVF is "
+                            "trivially zero");
+    }
+  }
+}
+
+// ---- model-sanity rules --------------------------------------------------
+
+void rule_streaming_geometry(LintContext& ctx) {
+  for (const ModelDecl& model : ctx.ast.models) {
+    for (const PatternDecl& pattern : model.patterns) {
+      if (pattern.kind != "stream") {
+        continue;
+      }
+      const auto it = ctx.data[&model].find(pattern.target);
+      if (it == ctx.data[&model].end()) {
+        continue;
+      }
+      const DataInfo& info = it->second;
+      const SourceSpan fallback{pattern.line, pattern.column, 7};
+      const auto stride =
+          ctx.count_prop(pattern.properties, "stride", 1.0);
+      if (!stride || !info.element_bytes) {
+        continue;
+      }
+      if (info.elements && *info.elements > 1 && *stride >= *info.elements) {
+        ctx.diags.warning(
+            codes::kStrideExceedsExtent,
+            LintContext::prop_span(pattern.properties, "stride", fallback),
+            "stream over '" + pattern.target + "' strides " +
+                std::to_string(*stride) + " elements but the structure has "
+                "only " + std::to_string(*info.elements) +
+                "; only the first element is ever touched",
+            "stride is measured in elements, not bytes");
+      }
+      const std::uint64_t stride_bytes = *stride * *info.element_bytes;
+      for (const Machine& machine : ctx.program.machines) {
+        const std::uint32_t line = machine.llc.line_bytes();
+        if (*info.element_bytes > line) {
+          ctx.diags.warning(
+              codes::kElementSpansLines,
+              LintContext::prop_span(pattern.properties, "stride", fallback),
+              "element size " + std::to_string(*info.element_bytes) +
+                  " of '" + pattern.target + "' exceeds machine '" +
+                  machine.name + "' cache line (" + std::to_string(line) +
+                  " bytes); Eqs. 3-4 assume an element fits in one line");
+        } else if (stride_bytes > line) {
+          ctx.diags.warning(
+              codes::kStrideSkipsLines,
+              LintContext::prop_span(pattern.properties, "stride", fallback),
+              "stream stride of " + std::to_string(stride_bytes) +
+                  " bytes skips whole cache lines on machine '" +
+                  machine.name + "' (line = " + std::to_string(line) +
+                  " bytes); every reference misses and Eqs. 3-4 lose all "
+                  "spatial reuse");
+        }
+      }
+    }
+  }
+}
+
+void rule_random_feasibility(LintContext& ctx) {
+  for (const ModelDecl& model : ctx.ast.models) {
+    for (const PatternDecl& pattern : model.patterns) {
+      if (pattern.kind != "random") {
+        continue;
+      }
+      const auto it = ctx.data[&model].find(pattern.target);
+      if (it == ctx.data[&model].end()) {
+        continue;
+      }
+      const DataInfo& info = it->second;
+      const SourceSpan fallback{pattern.line, pattern.column, 7};
+      const KeyValue* visits_kv =
+          LintContext::find(pattern.properties, "visits");
+      const auto visits = visits_kv ? ctx.eval(*visits_kv->value)
+                                    : std::optional<double>();
+      if (visits && info.elements &&
+          *visits > static_cast<double>(*info.elements)) {
+        ctx.diags.error(
+            codes::kRandomInfeasible, key_span(*visits_kv),
+            "random pattern visits " + num_str(*visits) +
+                " distinct elements per iteration but '" + pattern.target +
+                "' declares only " + std::to_string(*info.elements),
+            "Eqs. 5-7 sample k of N elements without replacement: k <= N");
+      }
+      const auto ratio = ctx.prop(pattern.properties, "ratio", 1.0);
+      if (!ratio || !info.element_bytes || *ratio <= 0.0 || *ratio > 1.0) {
+        continue;  // out-of-range ratio is reported by cache-share-range
+      }
+      for (const Machine& machine : ctx.program.machines) {
+        const double share =
+            *ratio * static_cast<double>(machine.llc.capacity_bytes());
+        if (share < static_cast<double>(*info.element_bytes)) {
+          ctx.diags.warning(
+              codes::kCacheShareBelowElement,
+              LintContext::prop_span(pattern.properties, "ratio", fallback),
+              "the cache share of '" + pattern.target + "' on machine '" +
+                  machine.name + "' (r*C = " + bytes_str(share) +
+                  ") holds no complete element; Eq. 6's hit probability "
+                  "collapses to zero",
+              "raise 'ratio' or model a larger cache");
+        }
+      }
+    }
+  }
+}
+
+void rule_cache_share_range(LintContext& ctx) {
+  for (const ModelDecl& model : ctx.ast.models) {
+    for (const PatternDecl& pattern : model.patterns) {
+      if (pattern.kind != "random" && pattern.kind != "template") {
+        continue;
+      }
+      const KeyValue* ratio_kv =
+          LintContext::find(pattern.properties, "ratio");
+      if (ratio_kv == nullptr) {
+        continue;
+      }
+      const auto ratio = ctx.eval(*ratio_kv->value);
+      if (ratio && (*ratio <= 0.0 || *ratio > 1.0)) {
+        ctx.diags.error(codes::kValueOutOfRange, key_span(*ratio_kv),
+                        "cache-share ratio must be in (0, 1], got " +
+                            num_str(*ratio),
+                        "r is the structure's fraction of the LLC "
+                        "(size-proportional for concurrent structures)");
+      }
+    }
+  }
+}
+
+void rule_template_bounds(LintContext& ctx) {
+  for (const ModelDecl& model : ctx.ast.models) {
+    for (const PatternDecl& pattern : model.patterns) {
+      if (pattern.kind != "template") {
+        continue;
+      }
+      const auto it = ctx.data[&model].find(pattern.target);
+      if (it == ctx.data[&model].end()) {
+        continue;
+      }
+      const DataInfo& info = it->second;
+      const SourceSpan fallback{pattern.line, pattern.column, 7};
+
+      const KeyTuple* start_tuple = nullptr;
+      const KeyTuple* end_tuple = nullptr;
+      for (const KeyTuple& tuple : pattern.tuples) {
+        if (tuple.key == "start") start_tuple = &tuple;
+        if (tuple.key == "end") end_tuple = &tuple;
+      }
+      if (start_tuple == nullptr) {
+        continue;  // analyzer already reported E007
+      }
+      std::vector<std::int64_t> start;
+      for (const ExprPtr& e : start_tuple->values) {
+        if (const auto v = ctx.eval(*e)) {
+          start.push_back(static_cast<std::int64_t>(std::llround(*v)));
+        }
+      }
+      if (start.size() != start_tuple->values.size() || start.empty()) {
+        continue;
+      }
+      const auto step_value = ctx.prop(pattern.properties, "step", 1.0);
+      if (!step_value) {
+        continue;
+      }
+      const auto step =
+          static_cast<std::int64_t>(std::llround(*step_value));
+
+      std::optional<std::uint64_t> count;
+      if (LintContext::find(pattern.properties, "count") != nullptr) {
+        count = ctx.count_prop(pattern.properties, "count", 0.0);
+      } else if (end_tuple != nullptr && !end_tuple->values.empty() &&
+                 step != 0) {
+        if (const auto end_value = ctx.eval(*end_tuple->values[0])) {
+          const auto end0 =
+              static_cast<std::int64_t>(std::llround(*end_value));
+          const std::int64_t span = end0 - start[0];
+          if (span % step == 0 && span / step >= 0) {
+            count = static_cast<std::uint64_t>(span / step) + 1;
+          }
+        }
+      }
+      if (!count || *count == 0) {
+        continue;
+      }
+
+      const std::int64_t lo = *std::min_element(start.begin(), start.end());
+      const std::int64_t hi = *std::max_element(start.begin(), start.end());
+      const std::int64_t advance =
+          step * static_cast<std::int64_t>(*count - 1);
+      const std::int64_t max_index = step > 0 ? hi + advance : hi;
+      const std::int64_t min_index = step > 0 ? lo : lo + advance;
+
+      if (info.elements &&
+          max_index >= static_cast<std::int64_t>(*info.elements)) {
+        ctx.diags.error(
+            codes::kTemplateOutOfBounds, tuple_span(*start_tuple),
+            "template reaches element " + std::to_string(max_index) +
+                " but '" + pattern.target + "' declares only " +
+                std::to_string(*info.elements) + " elements",
+            "shrink 'count'/'end' or grow the data declaration");
+      }
+
+      // Reuse distance vs. capacity: repeated sweeps can only hit when the
+      // whole template working set fits the structure's cache share.
+      const auto repeat = ctx.count_prop(pattern.properties, "repeat", 1.0);
+      const auto ratio = ctx.prop(pattern.properties, "ratio", 1.0);
+      if (!repeat || *repeat < 2 || !ratio || !info.element_bytes ||
+          *ratio <= 0.0 || *ratio > 1.0 || min_index < 0) {
+        continue;
+      }
+      const double footprint =
+          static_cast<double>(max_index - min_index + 1) *
+          static_cast<double>(*info.element_bytes);
+      for (const Machine& machine : ctx.program.machines) {
+        const double share =
+            *ratio * static_cast<double>(machine.llc.capacity_bytes());
+        if (footprint > share) {
+          ctx.diags.note(
+              codes::kTemplateExceedsShare,
+              LintContext::prop_span(pattern.properties, "repeat", fallback),
+              "the template working set over '" + pattern.target + "' (" +
+                  bytes_str(footprint) + ") exceeds its cache share on "
+                  "machine '" + machine.name + "' (" + bytes_str(share) +
+                  "); repeated sweeps mostly miss (reuse distance beyond "
+                  "capacity)");
+        }
+      }
+    }
+  }
+}
+
+void rule_reuse_footprint(LintContext& ctx) {
+  for (const ModelDecl& model : ctx.ast.models) {
+    for (const PatternDecl& pattern : model.patterns) {
+      if (pattern.kind != "reuse") {
+        continue;
+      }
+      const auto it = ctx.data[&model].find(pattern.target);
+      if (it == ctx.data[&model].end()) {
+        continue;
+      }
+      const DataInfo& info = it->second;
+      const SourceSpan fallback{pattern.line, pattern.column, 7};
+      if (info.elements && info.element_bytes) {
+        const double self = static_cast<double>(*info.elements) *
+                            static_cast<double>(*info.element_bytes);
+        for (const Machine& machine : ctx.program.machines) {
+          const auto capacity =
+              static_cast<double>(machine.llc.capacity_bytes());
+          if (self > capacity) {
+            ctx.diags.warning(
+                codes::kReuseOverflowsCache, fallback,
+                "'" + pattern.target + "' alone (" + bytes_str(self) +
+                    ") overflows machine '" + machine.name + "' (" +
+                    bytes_str(capacity) + "); Eq. 8's occupancy saturates "
+                    "and every reuse round misses",
+                "a streaming pattern models this traversal more faithfully");
+          }
+        }
+      }
+      const KeyValue* other_kv =
+          LintContext::find(pattern.properties, "other_bytes");
+      if (other_kv != nullptr) {
+        const auto other = ctx.eval(*other_kv->value);
+        if (other && *other == 0.0) {
+          ctx.diags.note(
+              codes::kReuseNoInterference, key_span(*other_kv),
+              "reuse over '" + pattern.target + "' declares zero interferer "
+              "bytes: every reuse round hits and N_ha is just the initial "
+              "load (Eqs. 9-15 degenerate)");
+        }
+      }
+    }
+  }
+}
+
+void rule_zero_work(LintContext& ctx) {
+  const auto check = [&](const PatternDecl& pattern, const char* key,
+                         const char* meaning) {
+    const KeyValue* kv = LintContext::find(pattern.properties, key);
+    if (kv == nullptr) {
+      return;
+    }
+    const auto v = ctx.eval(*kv->value);
+    if (v && *v == 0.0) {
+      ctx.diags.warning(codes::kZeroWorkPattern, key_span(*kv),
+                        "pattern " + pattern.kind + " on '" + pattern.target +
+                            "' has " + key + " 0; " + meaning);
+    }
+  };
+  for (const ModelDecl& model : ctx.ast.models) {
+    for (const PatternDecl& pattern : model.patterns) {
+      if (pattern.kind == "stream") {
+        check(pattern, "repeat", "it emits no phases at all");
+      } else if (pattern.kind == "random") {
+        check(pattern, "iterations", "it performs no accesses");
+        check(pattern, "visits", "it performs no accesses");
+      } else if (pattern.kind == "template") {
+        check(pattern, "count", "the reference string is empty");
+        check(pattern, "repeat", "the template is never replayed");
+      } else if (pattern.kind == "reuse") {
+        check(pattern, "rounds", "nothing is ever re-read");
+      }
+    }
+  }
+}
+
+void rule_unit_sanity(LintContext& ctx) {
+  // Non-positive FIT rates are analyzer errors (DVF-E017); here only the
+  // subtler degeneracy is left: a zero execution time.
+  for (const ModelDecl& model : ctx.ast.models) {
+    if (!model.time) {
+      continue;
+    }
+    const auto t = ctx.eval(*model.time);
+    if (t && *t == 0.0) {
+      ctx.diags.warning(codes::kTriviallyZeroDvf,
+                        {model.time->line, model.time->column, 1},
+                        "model '" + model.name +
+                            "': execution time 0 makes N_error and DVF "
+                            "trivially zero");
+    }
+  }
+}
+
+struct LintRule {
+  LintRuleInfo info;
+  void (*run)(LintContext&);
+};
+
+// The registry. Order is presentation-neutral (diagnostics are sorted by
+// source position afterwards) but kept hygiene-first for readability.
+constexpr LintRule kRules[] = {
+    {{"unused-param", "DVF-W101"}, rule_unused_param},
+    {{"data-never-accessed", "DVF-W102"}, rule_data_never_accessed},
+    {{"machine-coverage", "DVF-W103"}, rule_machine_coverage},
+    {{"empty-model", "DVF-W111"}, rule_empty_model},
+    {{"streaming-geometry", "DVF-W104,DVF-W105,DVF-W106"},
+     rule_streaming_geometry},
+    {{"random-feasibility", "DVF-E012,DVF-W108"}, rule_random_feasibility},
+    {{"cache-share-range", "DVF-E014"}, rule_cache_share_range},
+    {{"template-bounds", "DVF-E013,DVF-N202"}, rule_template_bounds},
+    {{"reuse-footprint", "DVF-W109,DVF-N201"}, rule_reuse_footprint},
+    {{"zero-work", "DVF-W107"}, rule_zero_work},
+    {{"unit-sanity", "DVF-W110"}, rule_unit_sanity},
+};
+
+}  // namespace
+
+std::span<const LintRuleInfo> lint_rule_catalog() {
+  static const std::vector<LintRuleInfo> catalog = [] {
+    std::vector<LintRuleInfo> out;
+    for (const LintRule& rule : kRules) {
+      out.push_back(rule.info);
+    }
+    return out;
+  }();
+  return catalog;
+}
+
+LintResult lint(std::string_view source) {
+  LintResult result;
+  result.source.assign(source);
+
+  DiagnosticEngine diags;
+  Program ast;
+  bool parsed = true;
+  try {
+    ast = parse(source);
+  } catch (const ParseError& err) {
+    // Strip the "parse error at L:C: " prefix; the span carries the
+    // location already.
+    const std::string prefix = "parse error at " +
+                               std::to_string(err.line()) + ":" +
+                               std::to_string(err.column()) + ": ";
+    std::string message = err.what();
+    if (message.rfind(prefix, 0) == 0) {
+      message = message.substr(prefix.size());
+    }
+    diags.error(codes::kSyntax, {err.line(), err.column(), 1},
+                std::move(message));
+    parsed = false;
+  }
+
+  if (parsed) {
+    result.program = analyze(ast, diags);
+    LintContext ctx{ast, result.program, diags, {}};
+    collect_data_info(ctx);
+    for (const LintRule& rule : kRules) {
+      rule.run(ctx);
+    }
+  }
+
+  result.diagnostics = diags.sorted();
+  result.errors = diags.error_count();
+  result.warnings = diags.warning_count();
+  return result;
+}
+
+LintResult lint_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw Error("cannot open model file: " + path);
+  }
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  return lint(contents.str());
+}
+
+}  // namespace dvf::dsl

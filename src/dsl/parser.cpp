@@ -178,6 +178,7 @@ class Parser {
     const Token& kw = expect_word("param");
     ParamDecl decl;
     decl.line = kw.line;
+    decl.column = kw.column;
     decl.name = expect(TokenKind::kIdentifier, "a parameter name").text;
     expect(TokenKind::kEquals, "'='");
     decl.value = parse_expr();
@@ -189,6 +190,7 @@ class Parser {
     const Token& kw = expect_word("machine");
     MachineDecl decl;
     decl.line = kw.line;
+    decl.column = kw.column;
     decl.name = expect(TokenKind::kString, "a machine name string").text;
     expect(TokenKind::kLBrace, "'{'");
     while (!at(TokenKind::kRBrace)) {
@@ -204,7 +206,9 @@ class Parser {
         expect(TokenKind::kLBrace, "'{'");
         while (!at(TokenKind::kRBrace)) {
           if (peek().is_word("ecc") && peek(1).kind == TokenKind::kString) {
-            advance();
+            const Token& ecc_kw = advance();
+            decl.ecc_line = ecc_kw.line;
+            decl.ecc_column = ecc_kw.column;
             decl.ecc = advance().text;
             expect_semicolon();
           } else {
@@ -224,6 +228,7 @@ class Parser {
     const Token& kw = expect_word("data");
     DataDecl decl;
     decl.line = kw.line;
+    decl.column = kw.column;
     decl.name = expect(TokenKind::kIdentifier, "a data structure name").text;
     expect(TokenKind::kLBrace, "'{'");
     while (!at(TokenKind::kRBrace)) {
@@ -237,6 +242,7 @@ class Parser {
     const Token& kw = expect_word("pattern");
     PatternDecl decl;
     decl.line = kw.line;
+    decl.column = kw.column;
     decl.target = expect(TokenKind::kIdentifier, "a data structure name").text;
     decl.kind = expect(TokenKind::kIdentifier,
                        "a pattern kind (stream|random|template|reuse)")
@@ -271,6 +277,7 @@ class Parser {
     const Token& kw = expect_word("model");
     ModelDecl decl;
     decl.line = kw.line;
+    decl.column = kw.column;
     decl.name = expect(TokenKind::kString, "a model name string").text;
     expect(TokenKind::kLBrace, "'{'");
     while (!at(TokenKind::kRBrace)) {
@@ -283,7 +290,10 @@ class Parser {
         expect_semicolon();
       } else if (peek().is_word("order")) {
         advance();
-        decl.order = expect(TokenKind::kString, "an access-order string").text;
+        const Token& text = expect(TokenKind::kString, "an access-order string");
+        decl.order = text.text;
+        decl.order_line = text.line;
+        decl.order_column = text.column;
         expect_semicolon();
       } else if (peek().is_word("data")) {
         decl.data.push_back(parse_data());

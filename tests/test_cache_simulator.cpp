@@ -278,8 +278,8 @@ INSTANTIATE_TEST_SUITE_P(
         CacheConfig("mod-60set", 4, 60, 32),     // modulo fallback
         CacheConfig("pow2-1set", 2, 1, 16),      // degenerate mask (sets=1)
         CacheConfig("mod-3set", 2, 3, 16)),      // tiny non-pow2
-    [](const ::testing::TestParamInfo<CacheConfig>& info) {
-      std::string name = info.param.name();
+    [](const ::testing::TestParamInfo<CacheConfig>& param_info) {
+      std::string name = param_info.param.name();
       std::replace(name.begin(), name.end(), '-', '_');
       return name;
     });

@@ -82,5 +82,73 @@ TEST(Lexer, EmptyInputYieldsOnlyEof) {
   EXPECT_EQ(tokens[0].kind, TokenKind::kEndOfFile);
 }
 
+// ---- source-span pinning -------------------------------------------------
+// The diagnostics engine renders carets from token line/column/length, so
+// the exact values are contract, not implementation detail.
+
+TEST(LexerSpans, TabsCountAsOneColumn) {
+  // "\ta\t\tbb" — a tab advances the column by exactly one, whatever the
+  // terminal renders; render_human re-emits source tabs to stay aligned.
+  const auto tokens = tokenize("\ta\t\tbb");
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[0].column, 2);
+  EXPECT_EQ(tokens[1].column, 5);
+  EXPECT_EQ(tokens[1].length, 2);
+}
+
+TEST(LexerSpans, CrLfCountsAsOneLineBreak) {
+  const auto tokens = tokenize("a\r\nb\nc\r\n\r\nd");
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[1].line, 2);
+  EXPECT_EQ(tokens[1].column, 1);
+  EXPECT_EQ(tokens[2].line, 3);
+  EXPECT_EQ(tokens[3].line, 5);  // the blank CRLF line still counts
+  EXPECT_EQ(tokens[3].column, 1);
+}
+
+TEST(LexerSpans, MultiLineBlockCommentAdvancesLines) {
+  const auto tokens = tokenize("a /* one\n two\n three */ b");
+  EXPECT_EQ(tokens[1].line, 3);
+  EXPECT_EQ(tokens[1].column, 11);  // " three */ b"
+}
+
+TEST(LexerSpans, StringSpanCoversQuotesAndEscapes) {
+  // Span measures source characters, not the unescaped value.
+  const auto tokens = tokenize(R"(  "a\"b")");
+  EXPECT_EQ(tokens[0].column, 3);
+  EXPECT_EQ(tokens[0].length, 6);  // "a\"b" incl. both quotes
+  EXPECT_EQ(tokens[0].text, "a\"b");
+}
+
+TEST(LexerSpans, NumberAndSuffixLengths) {
+  const auto tokens = tokenize("42 2.5e-2 4KB");
+  EXPECT_EQ(tokens[0].length, 2);
+  EXPECT_EQ(tokens[1].column, 4);
+  EXPECT_EQ(tokens[1].length, 6);
+  EXPECT_EQ(tokens[2].column, 11);
+  EXPECT_EQ(tokens[2].length, 3);  // suffix belongs to the token
+}
+
+TEST(LexerSpans, PunctuationHasLengthOne) {
+  const auto tokens = tokenize("{;}");
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(tokens[i].length, 1);
+    EXPECT_EQ(tokens[i].column, static_cast<int>(i) + 1);
+  }
+}
+
+TEST(LexerSpans, EofSitsJustPastTheLastToken) {
+  const auto tokens = tokenize("ab\ncd");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kEndOfFile);
+  EXPECT_EQ(tokens[2].line, 2);
+  EXPECT_EQ(tokens[2].column, 3);
+  EXPECT_EQ(tokens[2].length, 0);  // EOF covers no source characters
+
+  const auto trailing = tokenize("ab\n");
+  EXPECT_EQ(trailing[1].line, 2);
+  EXPECT_EQ(trailing[1].column, 1);
+}
+
 }  // namespace
 }  // namespace dvf::dsl

@@ -1,6 +1,9 @@
 // dvfc — command-line front end for the DVF library.
 //
-//   dvfc check <file>...                      validate model files
+//   dvfc check <file>... [--json]             validate model files
+//                                             (fail-fast: first error each)
+//   dvfc lint <file>... [--json] [--werror]   collect ALL diagnostics plus
+//                                             model-sanity lint rules
 //   dvfc fmt <file>                           print canonical formatting
 //   dvfc eval <file> [--model N] [--machine N] [--csv]
 //                                             evaluate models on machines
@@ -24,6 +27,8 @@
 #include "dvf/common/error.hpp"
 #include "dvf/common/math.hpp"
 #include "dvf/dsl/analyzer.hpp"
+#include "dvf/dsl/diagnostics.hpp"
+#include "dvf/dsl/lint.hpp"
 #include "dvf/dsl/parser.hpp"
 #include "dvf/dsl/printer.hpp"
 #include "dvf/dvf/calculator.hpp"
@@ -95,7 +100,13 @@ std::uint32_t numeric_option(const Args& args, const std::string& name,
 int usage() {
   std::cerr <<
       "usage: dvfc <command> [args]\n"
-      "  check <file>...                       validate model files\n"
+      "  check <file>... [--json]              validate model files\n"
+      "                                        (fail-fast: reports the first\n"
+      "                                        error per file)\n"
+      "  lint <file>... [--json] [--werror]    report ALL diagnostics in one\n"
+      "                                        pass, plus model-sanity lint\n"
+      "                                        rules; --werror promotes\n"
+      "                                        warnings to failures\n"
       "  fmt <file>                            canonical formatting\n"
       "  eval <file> [--model N] [--machine N] [--csv]\n"
       "  caches <file> --model N               profiling-cache sweep\n"
@@ -109,16 +120,54 @@ int usage() {
       "  infer <in.dvft> [--assoc A --sets S --line L]\n"
       "                                        derive pattern specs from a\n"
       "                                        trace and compare estimates\n"
-      "                                        against its replay\n";
+      "                                        against its replay\n"
+      "exit codes: 0 success; 1 model errors (for lint --werror: errors or\n"
+      "warnings); 2 bad usage or unreadable input\n";
   return 2;
+}
+
+// Prints the combined diagnostics of several files as one JSON array.
+void print_json_array(const std::vector<std::string>& objects) {
+  std::cout << "[";
+  for (std::size_t i = 0; i < objects.size(); ++i) {
+    std::cout << (i == 0 ? "\n" : ",\n") << "  " << objects[i];
+  }
+  std::cout << (objects.empty() ? "]\n" : "\n]\n");
 }
 
 int cmd_check(const Args& args) {
   if (args.positional.empty()) {
     return usage();
   }
+  const bool json = args.flag("json");
   int failures = 0;
+  std::vector<std::string> objects;
   for (const std::string& file : args.positional) {
+    if (json) {
+      // Same accept set as compile_file (analyzer errors only, no lint
+      // rules), machine-readable: report the first error-severity
+      // diagnostic — exactly what compile would throw.
+      std::ifstream in(file);
+      if (!in) {
+        std::cerr << "dvfc: cannot open model file: " << file << "\n";
+        return 2;
+      }
+      std::ostringstream contents;
+      contents << in.rdbuf();
+      dvf::dsl::DiagnosticEngine diags;
+      try {
+        const auto ast = dvf::dsl::parse(contents.str());
+        (void)dvf::dsl::analyze(ast, diags);
+      } catch (const dvf::ParseError& err) {
+        diags.error(dvf::dsl::codes::kSyntax, {err.line(), err.column(), 1},
+                    err.what());
+      }
+      if (const dvf::dsl::Diagnostic* first = diags.first_error()) {
+        objects.push_back(dvf::dsl::render_json_object(*first, file));
+        ++failures;
+      }
+      continue;
+    }
     try {
       const auto program = dvf::dsl::compile_file(file);
       std::cout << file << ": OK (" << program.models.size() << " model(s), "
@@ -128,7 +177,46 @@ int cmd_check(const Args& args) {
       ++failures;
     }
   }
+  if (json) {
+    print_json_array(objects);
+  }
   return failures == 0 ? 0 : 1;
+}
+
+int cmd_lint(const Args& args) {
+  if (args.positional.empty()) {
+    return usage();
+  }
+  const bool json = args.flag("json");
+  const bool werror = args.flag("werror");
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  std::vector<std::string> objects;
+  for (const std::string& file : args.positional) {
+    dvf::dsl::LintResult result;
+    try {
+      result = dvf::dsl::lint_file(file);
+    } catch (const dvf::Error& err) {
+      std::cerr << "dvfc: " << err.what() << "\n";
+      return 2;
+    }
+    errors += result.errors;
+    warnings += result.warnings;
+    if (json) {
+      for (const dvf::dsl::Diagnostic& d : result.diagnostics) {
+        objects.push_back(dvf::dsl::render_json_object(d, file));
+      }
+    } else {
+      std::cout << dvf::dsl::render_human(result.diagnostics, result.source,
+                                          file);
+      std::cout << file << ": " << result.errors << " error(s), "
+                << result.warnings << " warning(s)\n";
+    }
+  }
+  if (json) {
+    print_json_array(objects);
+  }
+  return errors > 0 || (werror && warnings > 0) ? 1 : 0;
 }
 
 int cmd_fmt(const Args& args) {
@@ -370,6 +458,9 @@ int main(int argc, char** argv) {
   try {
     if (args.command == "check") {
       return cmd_check(args);
+    }
+    if (args.command == "lint") {
+      return cmd_lint(args);
     }
     if (args.command == "fmt") {
       return cmd_fmt(args);
