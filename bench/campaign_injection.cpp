@@ -8,8 +8,10 @@
 // DVFs, plus the Spearman rank correlation between the two orderings and
 // the wall-clock cost of each methodology.
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "bench_json.hpp"
@@ -31,11 +33,91 @@ bool identical(const std::vector<dvf::kernels::StructureInjectionStats>& a,
   }
   for (std::size_t i = 0; i < a.size(); ++i) {
     if (a[i].structure != b[i].structure || a[i].trials != b[i].trials ||
-        a[i].injected != b[i].injected || a[i].corrupted != b[i].corrupted) {
+        a[i].injected != b[i].injected || a[i].masked != b[i].masked ||
+        a[i].sdc != b[i].sdc || a[i].due_exception != b[i].due_exception ||
+        a[i].due_hang != b[i].due_hang ||
+        a[i].due_invalid != b[i].due_invalid ||
+        a[i].corrupted != b[i].corrupted ||
+        a[i].early_stopped != b[i].early_stopped) {
       return false;
     }
   }
   return true;
+}
+
+/// Resilience-machinery overhead: the same campaign with the fault-
+/// tolerance features individually enabled, against a bare baseline
+/// (no hang budget, no journal). Classification itself is free — the
+/// taxonomy falls out of state the trial already has — so the measurable
+/// costs are the budget check in the recorder hot path and the journal
+/// write per trial.
+void overhead_study(dvf::bench::JsonRecords& json) {
+  std::cout << dvf::banner(
+      "Resilience overhead: hang budget + journaling vs bare campaign");
+
+  auto suite = dvf::kernels::make_verification_suite();
+  dvf::Table table(
+      {"kernel", "mode", "trials", "wall_s", "trials/s", "overhead_%"});
+  for (auto& kernel : suite) {
+    if (kernel->name() != "VM" && kernel->name() != "FT") {
+      continue;
+    }
+    dvf::kernels::CampaignConfig base;
+    base.trials_per_structure = 400;
+    (void)dvf::kernels::run_injection_campaign(*kernel, base);  // warm-up
+
+    const std::string journal_path =
+        "BENCH_campaign_overhead_" + kernel->name() + ".journal";
+    struct Mode {
+      const char* name;
+      double hang_factor;
+      bool journal;
+    };
+    const Mode modes[] = {{"bare", 0.0, false},
+                          {"budget", 8.0, false},
+                          {"budget+journal", 8.0, true}};
+    double bare_seconds = 0.0;
+    for (const Mode& mode : modes) {
+      dvf::kernels::CampaignConfig config = base;
+      config.hang_factor = mode.hang_factor;
+      config.journal_path = mode.journal ? journal_path : "";
+
+      const dvf::kernels::Stopwatch watch;
+      const auto stats = dvf::kernels::run_injection_campaign(*kernel, config);
+      const double seconds = watch.seconds();
+      if (mode.hang_factor == 0.0 && !mode.journal) {
+        bare_seconds = seconds;
+      }
+
+      std::uint64_t trials = 0;
+      std::uint64_t sdc = 0;
+      std::uint64_t due = 0;
+      for (const auto& s : stats) {
+        trials += s.trials;
+        sdc += s.sdc;
+        due += s.due_exception + s.due_hang + s.due_invalid;
+      }
+      const double overhead = 100.0 * (seconds / bare_seconds - 1.0);
+      table.add_row({kernel->name(), mode.name,
+                     dvf::num(static_cast<double>(trials)),
+                     dvf::num(seconds, 3),
+                     dvf::num(static_cast<double>(trials) / seconds, 1),
+                     dvf::num(overhead, 1)});
+      json.add(dvf::bench::JsonRecords::Record{}
+                   .field("study", "overhead")
+                   .field("kernel", kernel->name())
+                   .field("mode", mode.name)
+                   .field("trials", trials)
+                   .field("sdc", sdc)
+                   .field("due", due)
+                   .field("wall_s", seconds)
+                   .field("overhead_pct", overhead));
+      if (mode.journal) {
+        std::remove(journal_path.c_str());
+      }
+    }
+  }
+  std::cout << table << "\n";
 }
 
 /// Thread-scaling study: the same campaign at 1..N threads, verifying the
@@ -117,6 +199,7 @@ void scaling_study(dvf::bench::JsonRecords& json) {
 int main() {
   dvf::bench::JsonRecords json;
   scaling_study(json);
+  overhead_study(json);
   std::cout << dvf::banner(
       "Fault injection vs DVF: does the analytical metric rank structures "
       "like ground-truth corruption rates?");
@@ -124,8 +207,9 @@ int main() {
   const dvf::DvfCalculator calc(
       dvf::Machine::with_cache(dvf::caches::small_verification()));
 
-  dvf::Table table({"kernel", "structure", "trials", "corrupted_%",
-                    "risk (rate*S_d)", "DVF", "DVF_rank", "risk_rank"});
+  dvf::Table table({"kernel", "structure", "trials", "corrupted|inj_%",
+                    "sdc", "due", "risk (rate*S_d)", "DVF", "DVF_rank",
+                    "risk_rank"});
   dvf::Table summary({"kernel", "corr(DVF, rate)", "corr(DVF, risk)",
                       "injection_cost_s", "dvf_cost_s"});
 
@@ -151,17 +235,21 @@ int main() {
     // Paired series: the raw per-flip corruption PROBABILITY (sensitivity),
     // and the incidence-weighted corruption RISK rate * S_d — faults strike
     // in proportion to footprint, which is the quantity DVF's N_error term
-    // encodes. The risk series is the apples-to-apples ground truth.
+    // encodes. The risk series is the apples-to-apples ground truth. Both
+    // use the rate CONDITIONED on the fault landing — the unconditional
+    // corrupted/trials rate is diluted by trials whose trigger fired after
+    // the structure's last use, which would handicap late-read structures
+    // in the ranking for no physical reason.
     std::vector<double> corruption;
     std::vector<double> risk;
     std::vector<double> dvfs;
     for (const auto& s : stats) {
-      corruption.push_back(s.corruption_rate());
+      corruption.push_back(s.corruption_rate_injected());
       const auto* result = app.find(s.structure);
       dvfs.push_back(result != nullptr ? result->dvf : 0.0);
       const double size =
           result != nullptr ? result->size_bytes : 0.0;
-      risk.push_back(s.corruption_rate() * size);
+      risk.push_back(s.corruption_rate_injected() * size);
     }
     const auto rank_of = [](const std::vector<double>& xs, std::size_t i) {
       std::size_t rank = 1;
@@ -173,9 +261,13 @@ int main() {
       return rank;
     };
     for (std::size_t i = 0; i < stats.size(); ++i) {
-      table.add_row({kernel->name(), stats[i].structure,
-                     dvf::num(static_cast<double>(stats[i].trials)),
-                     dvf::num(100.0 * stats[i].corruption_rate(), 3),
+      const auto& s = stats[i];
+      table.add_row({kernel->name(), s.structure,
+                     dvf::num(static_cast<double>(s.trials)),
+                     dvf::num(100.0 * s.corruption_rate_injected(), 3),
+                     dvf::num(static_cast<double>(s.sdc)),
+                     dvf::num(static_cast<double>(
+                         s.due_exception + s.due_hang + s.due_invalid)),
                      dvf::num(risk[i]), dvf::num(dvfs[i]),
                      std::to_string(rank_of(dvfs, i)),
                      std::to_string(rank_of(risk, i))});

@@ -17,13 +17,15 @@ if [[ "${SKIP_TSAN:-0}" == "1" ]]; then
 fi
 
 # ThreadSanitizer pass: rebuild the test binary under -fsanitize=thread and
-# run every Parallel* suite, so races in the pool, the campaign engine or
-# the parallel calculator fail loudly. Benches/examples are skipped — the
-# test binary exercises all parallel code paths.
+# run every Parallel* suite plus the campaign-resilience suites (journal
+# writer, adaptive stopper, per-slot kernel clones), so races in the pool,
+# the campaign engine or the parallel calculator fail loudly.
+# Benches/examples are skipped — the test binary exercises all parallel
+# code paths.
 cmake -B build-tsan -S . \
   -DDVF_SANITIZE=thread \
   -DDVF_BUILD_BENCH=OFF \
   -DDVF_BUILD_EXAMPLES=OFF
 cmake --build build-tsan -j "$(nproc)" --target dvf_tests
-./build-tsan/tests/dvf_tests --gtest_filter='Parallel*'
+./build-tsan/tests/dvf_tests --gtest_filter='Parallel*:Campaign*:TrialClassification*'
 echo "ThreadSanitizer pass: OK"

@@ -54,6 +54,16 @@ class KahanSum {
   return (a + b - 1) / b;
 }
 
+/// Half-width of the Wilson score confidence interval for a binomial
+/// proportion with `successes` out of `n` observations at critical value
+/// `z` (default: two-sided 95%). Returns 1.0 (maximal uncertainty) when
+/// n == 0, so adaptive-stopping loops can call it unconditionally. Unlike
+/// the Wald interval, the width is well-behaved at p̂ = 0 or 1 — exactly
+/// the regime of rare SDC outcomes in injection campaigns.
+[[nodiscard]] double wilson_half_width(std::uint64_t successes,
+                                       std::uint64_t n,
+                                       double z = 1.959963984540054);
+
 /// True when |a - b| <= tol * max(1, |a|, |b|).
 [[nodiscard]] bool approx_equal(double a, double b, double tol = 1e-9);
 

@@ -79,6 +79,17 @@ double stable_sum(std::span<const double> xs) {
   return s.value();
 }
 
+double wilson_half_width(std::uint64_t successes, std::uint64_t n, double z) {
+  if (n == 0) {
+    return 1.0;
+  }
+  const double nn = static_cast<double>(n);
+  const double p = static_cast<double>(successes) / nn;
+  const double z2 = z * z;
+  return z * std::sqrt(p * (1.0 - p) / nn + z2 / (4.0 * nn * nn)) /
+         (1.0 + z2 / nn);
+}
+
 bool approx_equal(double a, double b, double tol) {
   const double scale = std::max({1.0, std::fabs(a), std::fabs(b)});
   return std::fabs(a - b) <= tol * scale;

@@ -1,0 +1,187 @@
+#include "dvf/kernels/campaign_journal.hpp"
+
+#include <filesystem>
+#include <sstream>
+#include <system_error>
+
+#include "dvf/common/error.hpp"
+
+namespace dvf::kernels {
+
+namespace {
+
+constexpr const char* kMagic = "dvf-campaign-journal v1";
+
+/// Doubles are journaled with 17 significant digits so the header a resume
+/// reads back compares bit-equal to the one the original run wrote.
+std::string format_double(double value) {
+  std::ostringstream out;
+  out.precision(17);
+  out << value;
+  return out.str();
+}
+
+std::string header_line(std::istream& in, const std::string& want) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw Error("campaign journal: truncated header (missing '" + want + "')");
+  }
+  std::istringstream fields(line);
+  std::string key;
+  fields >> key;
+  if (key != want) {
+    throw Error("campaign journal: expected header key '" + want +
+                "', found '" + key + "'");
+  }
+  std::string rest;
+  std::getline(fields, rest);
+  if (!rest.empty() && rest.front() == ' ') {
+    rest.erase(rest.begin());
+  }
+  return rest;
+}
+
+std::uint64_t parse_u64(const std::string& text, const std::string& what) {
+  std::istringstream in(text);
+  std::uint64_t value = 0;
+  if (!(in >> value) || !(in >> std::ws).eof()) {
+    throw Error("campaign journal: bad " + what + " value '" + text + "'");
+  }
+  return value;
+}
+
+double parse_double(const std::string& text, const std::string& what) {
+  std::istringstream in(text);
+  double value = 0.0;
+  if (!(in >> value) || !(in >> std::ws).eof()) {
+    throw Error("campaign journal: bad " + what + " value '" + text + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+CampaignJournalContents read_campaign_journal(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw Error("campaign journal: cannot open '" + path + "'");
+  }
+
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) {
+    throw Error("campaign journal: '" + path +
+                "' is not a v1 campaign journal");
+  }
+
+  CampaignJournalContents contents;
+  CampaignJournalHeader& header = contents.header;
+  header.kernel = header_line(in, "kernel");
+  header.seed = parse_u64(header_line(in, "seed"), "seed");
+  header.trials_per_structure =
+      parse_u64(header_line(in, "trials"), "trials");
+  header.hang_factor =
+      parse_double(header_line(in, "hang_factor"), "hang_factor");
+  header.ci_width = parse_double(header_line(in, "ci_width"), "ci_width");
+  header.batch_trials = parse_u64(header_line(in, "batch"), "batch");
+
+  // Target list, terminated by "end-header".
+  while (true) {
+    if (!std::getline(in, line)) {
+      throw Error("campaign journal: truncated header (missing end-header)");
+    }
+    if (line == "end-header") {
+      break;
+    }
+    std::istringstream fields(line);
+    std::string key;
+    JournalTarget target;
+    if (!(fields >> key >> target.spec_index >> target.name) ||
+        key != "target") {
+      throw Error("campaign journal: malformed target line '" + line + "'");
+    }
+    header.targets.push_back(std::move(target));
+  }
+
+  // Trial lines. A line that fails to parse — the torn tail a mid-write
+  // kill leaves behind — ends replay; the trials it would have covered
+  // simply re-run. A final line missing its newline (killed between the
+  // line and the flush) is likewise dropped even if it parses, so
+  // valid_bytes always ends on a newline and appending stays safe.
+  contents.valid_bytes = static_cast<std::uint64_t>(in.tellg());
+  while (std::getline(in, line)) {
+    const bool complete_line = !in.eof();
+    std::istringstream fields(line);
+    std::string key;
+    std::string label;
+    int injected = 0;
+    CampaignJournalEntry entry;
+    if (!complete_line ||
+        !(fields >> key >> entry.target >> entry.trial >> label >> injected) ||
+        key != "trial" || !(fields >> std::ws).eof() ||
+        (injected != 0 && injected != 1) ||
+        entry.target >= header.targets.size() ||
+        entry.trial >= header.trials_per_structure) {
+      contents.torn_tail = true;
+      break;
+    }
+    const auto outcome = trial_outcome_from_string(label);
+    if (!outcome.has_value()) {
+      contents.torn_tail = true;
+      break;
+    }
+    entry.outcome = *outcome;
+    entry.injected = injected == 1;
+    contents.entries.push_back(entry);
+    contents.valid_bytes = static_cast<std::uint64_t>(in.tellg());
+  }
+  return contents;
+}
+
+CampaignJournalWriter::CampaignJournalWriter(
+    const std::string& path, const CampaignJournalHeader& header) {
+  out_.open(path, std::ios::trunc);
+  if (!out_) {
+    throw Error("campaign journal: cannot create '" + path + "'");
+  }
+  out_ << kMagic << "\n"
+       << "kernel " << header.kernel << "\n"
+       << "seed " << header.seed << "\n"
+       << "trials " << header.trials_per_structure << "\n"
+       << "hang_factor " << format_double(header.hang_factor) << "\n"
+       << "ci_width " << format_double(header.ci_width) << "\n"
+       << "batch " << header.batch_trials << "\n";
+  for (const JournalTarget& target : header.targets) {
+    out_ << "target " << target.spec_index << " " << target.name << "\n";
+  }
+  out_ << "end-header\n";
+  out_.flush();
+  if (!out_) {
+    throw Error("campaign journal: write failed on '" + path + "'");
+  }
+}
+
+CampaignJournalWriter::CampaignJournalWriter(const std::string& path,
+                                             std::uint64_t valid_bytes) {
+  std::error_code ec;
+  std::filesystem::resize_file(path, valid_bytes, ec);
+  if (ec) {
+    throw Error("campaign journal: cannot truncate torn tail of '" + path +
+                "': " + ec.message());
+  }
+  out_.open(path, std::ios::app);
+  if (!out_) {
+    throw Error("campaign journal: cannot append to '" + path + "'");
+  }
+}
+
+void CampaignJournalWriter::record(const CampaignJournalEntry& entry) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  out_ << "trial " << entry.target << " " << entry.trial << " "
+       << to_string(entry.outcome) << " " << (entry.injected ? 1 : 0) << "\n";
+  // Flush per trial: a trial is a full kernel re-run (milliseconds), so the
+  // flush is noise (quantified in bench/campaign_injection), and it bounds
+  // journal loss on a kill to the line being written.
+  out_.flush();
+}
+
+}  // namespace dvf::kernels

@@ -1,0 +1,100 @@
+// Crash-safe checkpointing for injection campaigns.
+//
+// A campaign journal is an append-only text file: a header that binds the
+// run's identity (kernel, seed, trials, hang factor, CI target, batch size
+// and the exact target-structure list), then one line per completed trial
+// recording its (structure, trial) coordinates and classified outcome.
+// Because every trial's randomness is a pure function of (seed, s, t), a
+// journal line is all the state a trial ever produces — replaying the
+// journal and running only the missing trials reconstructs an interrupted
+// campaign bit for bit (docs/resilience.md, "Resume semantics").
+//
+// The reader tolerates a torn tail: a process killed mid-write leaves at
+// most one partial last line, which is dropped (that trial simply re-runs
+// on resume). Any malformed line earlier in the file stops replay at that
+// point, for the same effect.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "dvf/kernels/suite.hpp"
+
+namespace dvf::kernels {
+
+/// Identity of one campaign target as journaled: the structure's index in
+/// the kernel's model spec (the RNG-stream coordinate) plus its name.
+struct JournalTarget {
+  std::uint64_t spec_index = 0;
+  std::string name;
+  friend bool operator==(const JournalTarget&, const JournalTarget&) = default;
+};
+
+/// The header every journal starts with. Resume refuses a journal whose
+/// header does not match the resumed campaign exactly — mixing
+/// configurations would silently corrupt the statistics.
+struct CampaignJournalHeader {
+  std::string kernel;
+  std::uint64_t seed = 0;
+  std::uint64_t trials_per_structure = 0;
+  double hang_factor = 0.0;
+  double ci_width = 0.0;
+  std::uint64_t batch_trials = 0;
+  std::vector<JournalTarget> targets;
+  friend bool operator==(const CampaignJournalHeader&,
+                         const CampaignJournalHeader&) = default;
+};
+
+/// One completed trial: target index (position in the header's target
+/// list), trial index, and what happened.
+struct CampaignJournalEntry {
+  std::uint64_t target = 0;
+  std::uint64_t trial = 0;
+  TrialOutcome outcome = TrialOutcome::kMasked;
+  bool injected = false;
+};
+
+/// Parse result of an existing journal.
+struct CampaignJournalContents {
+  CampaignJournalHeader header;
+  std::vector<CampaignJournalEntry> entries;
+  /// True when the file ended in a partial/garbled line (dropped).
+  bool torn_tail = false;
+  /// Byte offset just past the last complete, valid line — the truncation
+  /// point a resume uses so appended lines never concatenate onto a torn
+  /// tail.
+  std::uint64_t valid_bytes = 0;
+};
+
+/// Reads and parses `path`. Throws dvf::Error when the file cannot be
+/// opened or its header is malformed; trailing damage is reported via
+/// `torn_tail` instead of throwing (that is the crash-recovery case).
+[[nodiscard]] CampaignJournalContents read_campaign_journal(
+    const std::string& path);
+
+/// Append-only journal writer. `record` is thread-safe (campaign workers
+/// call it concurrently) and flushes after every line so a kill loses at
+/// most the line being written.
+class CampaignJournalWriter {
+ public:
+  /// Creates/truncates `path` and writes the header.
+  CampaignJournalWriter(const std::string& path,
+                        const CampaignJournalHeader& header);
+  /// Reopens `path` for appending after the trials already journaled
+  /// (resume), first truncating the file to `valid_bytes` (from
+  /// read_campaign_journal) so a torn tail from the interrupted run can
+  /// never merge with the first appended line. The caller is responsible
+  /// for header validation before appending.
+  CampaignJournalWriter(const std::string& path, std::uint64_t valid_bytes);
+
+  void record(const CampaignJournalEntry& entry);
+
+ private:
+  std::mutex mutex_;
+  std::ofstream out_;
+};
+
+}  // namespace dvf::kernels

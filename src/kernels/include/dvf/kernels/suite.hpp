@@ -22,11 +22,34 @@
 
 namespace dvf::kernels {
 
+/// Taxonomy of fault-injection trial outcomes, following the
+/// masked / SDC / interruption classification of application-level
+/// resilience studies (Guo et al., arXiv:1705.00267) with the DUE
+/// (detected-unrecoverable) interruptions split by detection mechanism
+/// (Jaulmes et al., arXiv:1810.06472 argue the DUE/SDC distinction changes
+/// vulnerability conclusions).
+enum class TrialOutcome : std::uint8_t {
+  kMasked = 0,        ///< output matched the golden run (or no flip landed)
+  kSdc = 1,           ///< silent data corruption: finite output, deviates
+  kDueException = 2,  ///< the kernel threw; contained per-trial
+  kDueHang = 3,       ///< reference budget exceeded (runaway control flow)
+  kDueInvalid = 4,    ///< NaN/Inf detected in the output signature
+};
+
+/// Short stable label ("masked", "sdc", "due_exception", ...) used by the
+/// journal format, the CLI and the benches.
+[[nodiscard]] const char* to_string(TrialOutcome outcome) noexcept;
+
+/// Inverse of to_string; std::nullopt for an unknown label.
+[[nodiscard]] std::optional<TrialOutcome> trial_outcome_from_string(
+    const std::string& label) noexcept;
+
 /// Outcome of one injected-fault trial.
 struct InjectionOutcome {
   bool injected = false;   ///< the trigger fired before the run ended
-  bool corrupted = false;  ///< output signature deviated (or went non-finite)
+  bool corrupted = false;  ///< any non-masked classification
   double deviation = 0.0;  ///< |signature - clean| / max(1, |clean|)
+  TrialOutcome classification = TrialOutcome::kMasked;
 };
 
 /// Type-erased kernel handle used by the verification and profiling drivers:
@@ -69,9 +92,16 @@ class KernelCase {
   /// One fault-injection trial: flip `bit` of byte `byte_offset` within the
   /// structure `target` when the run reaches `trigger_reference`. The
   /// flipped byte is restored afterwards, so trials are independent.
+  ///
+  /// Fault containment: the run is sandboxed per trial. A kernel exception
+  /// is caught and classified kDueException; a non-zero `reference_budget`
+  /// bounds runaway control flow (classified kDueHang past the budget); a
+  /// non-finite output signature classifies kDueInvalid. None of these
+  /// escape to the caller — only precondition violations (bad target/offset)
+  /// still throw.
   [[nodiscard]] virtual InjectionOutcome run_injected(
       DsId target, std::uint64_t trigger_reference, std::uint64_t byte_offset,
-      std::uint8_t bit) = 0;
+      std::uint8_t bit, std::uint64_t reference_budget = 0) = 0;
 
   /// A fresh instance with the same name, method and kernel configuration
   /// (and therefore the same reference stream and registry layout, modulo
@@ -155,10 +185,9 @@ class KernelCaseAdapter final : public KernelCase {
     return total_references_;
   }
 
-  [[nodiscard]] InjectionOutcome run_injected(DsId target,
-                                              std::uint64_t trigger_reference,
-                                              std::uint64_t byte_offset,
-                                              std::uint8_t bit) override {
+  [[nodiscard]] InjectionOutcome run_injected(
+      DsId target, std::uint64_t trigger_reference, std::uint64_t byte_offset,
+      std::uint8_t bit, std::uint64_t reference_budget = 0) override {
     const DataStructureInfo& info = kernel_.registry().info(target);
     DVF_CHECK_MSG(byte_offset < info.size_bytes,
                   "fault byte offset outside the target structure");
@@ -169,22 +198,45 @@ class KernelCaseAdapter final : public KernelCase {
     fault.target_byte =
         reinterpret_cast<std::uint8_t*>(info.base_address + byte_offset);
     fault.bit = bit;
+    fault.reference_budget = reference_budget;
 
     kernel_.reset();
     FaultInjectingRecorder injector(fault);
-    kernel_.run(injector);
+    InjectionOutcome outcome;
+    try {
+      kernel_.run(injector);
+    } catch (const ReferenceBudgetExceeded&) {
+      injector.restore();
+      outcome.injected = injector.injected();
+      outcome.corrupted = true;
+      outcome.deviation = std::numeric_limits<double>::infinity();
+      outcome.classification = TrialOutcome::kDueHang;
+      return outcome;
+    } catch (const std::exception&) {
+      // The flip drove the kernel into a throwing path (bad index,
+      // violated invariant, ...). Contained: the trial is a DUE, the
+      // campaign goes on. The next trial's reset() rebuilds kernel state.
+      injector.restore();
+      outcome.injected = injector.injected();
+      outcome.corrupted = true;
+      outcome.deviation = std::numeric_limits<double>::infinity();
+      outcome.classification = TrialOutcome::kDueException;
+      return outcome;
+    }
     const double signature = kernel_.output_signature();
     injector.restore();
 
-    InjectionOutcome outcome;
     outcome.injected = injector.injected();
     const double scale = std::max(1.0, std::fabs(clean));
     if (!std::isfinite(signature)) {
       outcome.corrupted = true;
       outcome.deviation = std::numeric_limits<double>::infinity();
+      outcome.classification = TrialOutcome::kDueInvalid;
     } else {
       outcome.deviation = std::fabs(signature - clean) / scale;
       outcome.corrupted = outcome.deviation > 1e-9;
+      outcome.classification =
+          outcome.corrupted ? TrialOutcome::kSdc : TrialOutcome::kMasked;
     }
     return outcome;
   }

@@ -1,10 +1,15 @@
 #include "dvf/kernels/injection_campaign.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
+#include <optional>
+#include <unordered_map>
 
 #include "dvf/common/error.hpp"
+#include "dvf/common/math.hpp"
 #include "dvf/common/rng.hpp"
+#include "dvf/kernels/campaign_journal.hpp"
 #include "dvf/parallel/parallel_for.hpp"
 
 namespace dvf::kernels {
@@ -26,19 +31,99 @@ struct CampaignTarget {
 struct Tally {
   std::uint64_t trials = 0;
   std::uint64_t injected = 0;
-  std::uint64_t corrupted = 0;
+  std::uint64_t masked = 0;
+  std::uint64_t sdc = 0;
+  std::uint64_t due_exception = 0;
+  std::uint64_t due_hang = 0;
+  std::uint64_t due_invalid = 0;
+
+  void count(TrialOutcome outcome, bool was_injected) noexcept {
+    ++trials;
+    injected += was_injected ? 1 : 0;
+    switch (outcome) {
+      case TrialOutcome::kMasked:
+        ++masked;
+        break;
+      case TrialOutcome::kSdc:
+        ++sdc;
+        break;
+      case TrialOutcome::kDueException:
+        ++due_exception;
+        break;
+      case TrialOutcome::kDueHang:
+        ++due_hang;
+        break;
+      case TrialOutcome::kDueInvalid:
+        ++due_invalid;
+        break;
+    }
+  }
+
+  void merge(const Tally& other) noexcept {
+    trials += other.trials;
+    injected += other.injected;
+    masked += other.masked;
+    sdc += other.sdc;
+    due_exception += other.due_exception;
+    due_hang += other.due_hang;
+    due_invalid += other.due_invalid;
+  }
 };
 
+/// One scheduled (structure, trial) pair of the current batch.
+struct WorkItem {
+  std::uint64_t target = 0;
+  std::uint64_t trial = 0;
+};
+
+CampaignJournalHeader make_header(const std::string& kernel_name,
+                                  const CampaignConfig& config,
+                                  const std::vector<CampaignTarget>& targets) {
+  CampaignJournalHeader header;
+  header.kernel = kernel_name;
+  header.seed = config.seed;
+  header.trials_per_structure = config.trials_per_structure;
+  header.hang_factor = config.hang_factor;
+  header.ci_width = config.ci_width;
+  header.batch_trials = config.batch_trials;
+  for (const CampaignTarget& target : targets) {
+    header.targets.push_back({target.spec_index, target.name});
+  }
+  return header;
+}
+
 }  // namespace
+
+double StructureInjectionStats::sdc_ci_half_width() const noexcept {
+  return math::wilson_half_width(sdc, injected);
+}
 
 std::vector<StructureInjectionStats> run_injection_campaign(
     KernelCase& kernel, const CampaignConfig& config) {
   DVF_CHECK_MSG(config.trials_per_structure >= 1,
                 "campaign needs at least one trial per structure");
+  DVF_CHECK_MSG(config.hang_factor >= 0.0 &&
+                    std::isfinite(config.hang_factor),
+                "hang factor must be finite and non-negative");
+  DVF_CHECK_MSG(config.ci_width >= 0.0 && config.ci_width < 1.0,
+                "CI half-width target must be in [0, 1)");
+  DVF_CHECK_MSG(config.journal_path.empty() ? !config.resume : true,
+                "resume needs a journal path");
 
   const ModelSpec spec = kernel.model_spec();
   const std::uint64_t total_refs = kernel.total_references();
   DVF_CHECK_MSG(total_refs > 0, "kernel issued no references");
+
+  // Hang budget: a trial may issue at most hang_factor × the golden run's
+  // references (never less than the golden count itself, so the trigger —
+  // drawn in [1, total_refs] — always fits inside the budget).
+  const std::uint64_t budget =
+      config.hang_factor == 0.0
+          ? 0
+          : std::max(total_refs,
+                     static_cast<std::uint64_t>(std::ceil(
+                         config.hang_factor *
+                         static_cast<double>(total_refs))));
 
   std::vector<CampaignTarget> targets;
   for (std::uint64_t s = 0; s < spec.structures.size(); ++s) {
@@ -54,6 +139,33 @@ std::vector<StructureInjectionStats> run_injection_campaign(
   const std::uint64_t total_trials = targets.size() * trials;
   if (total_trials == 0) {
     return {};
+  }
+
+  // Journal: replay map for resume, writer for new lines. Journaled trials
+  // are spent tally-only; missing trials run and are appended.
+  std::unordered_map<std::uint64_t, CampaignJournalEntry> replay;
+  std::optional<CampaignJournalWriter> journal;
+  const CampaignJournalHeader header =
+      make_header(kernel.name(), config, targets);
+  if (!config.journal_path.empty()) {
+    if (config.resume) {
+      CampaignJournalContents contents =
+          read_campaign_journal(config.journal_path);
+      if (!(contents.header == header)) {
+        throw Error(
+            "campaign journal '" + config.journal_path +
+            "' was written by a different campaign (kernel/seed/trials/"
+            "hang_factor/ci_width/batch/targets mismatch); refusing to "
+            "resume");
+      }
+      replay.reserve(contents.entries.size());
+      for (const CampaignJournalEntry& entry : contents.entries) {
+        replay[entry.target * trials + entry.trial] = entry;
+      }
+      journal.emplace(config.journal_path, contents.valid_bytes);
+    } else {
+      journal.emplace(config.journal_path, header);
+    }
   }
 
   // One kernel instance per execution slot. Slot 0 reuses the caller's
@@ -79,36 +191,107 @@ std::vector<StructureInjectionStats> run_injection_campaign(
     }
   }
 
-  // tallies[slot][target]; merged per target after the parallel region.
-  std::vector<std::vector<Tally>> tallies(
-      instances.size(), std::vector<Tally>(targets.size()));
-  parallel::parallel_for(
-      pool, total_trials,
-      [&](std::uint64_t task, unsigned slot) {
-        const std::size_t t_index = static_cast<std::size_t>(task / trials);
-        const std::uint64_t trial = task % trials;
-        const CampaignTarget& target = targets[t_index];
-        Xoshiro256 rng = stream_rng(config.seed, target.spec_index, trial);
-        const std::uint64_t trigger = 1 + rng.below(total_refs);
-        const std::uint64_t offset = rng.below(target.size_bytes);
-        const auto bit = static_cast<std::uint8_t>(rng.below(8));
-        const InjectionOutcome outcome = instances[slot]->run_injected(
-            ids[slot][t_index], trigger, offset, bit);
-        Tally& tally = tallies[slot][t_index];
-        ++tally.trials;
-        tally.injected += outcome.injected ? 1 : 0;
-        tally.corrupted += outcome.corrupted ? 1 : 0;
-      });
+  // Batched schedule. With adaptive stopping off the whole campaign is one
+  // batch; with it on, `batch_trials` trials per structure run between
+  // stopping decisions. Decisions read only merged tallies at batch
+  // boundaries — deterministic state — so the scheduled trial set (and
+  // therefore every statistic) is identical for every thread count, and for
+  // resumed vs uninterrupted runs.
+  const std::uint64_t batch =
+      config.ci_width == 0.0 ? trials
+                             : std::max<std::uint64_t>(1, config.batch_trials);
+  std::vector<std::uint64_t> done(targets.size(), 0);
+  std::vector<bool> stopped(targets.size(), false);
+  std::vector<bool> early(targets.size(), false);
+  std::vector<Tally> totals(targets.size());
+
+  while (true) {
+    std::vector<WorkItem> work;
+    for (std::uint64_t t_index = 0; t_index < targets.size(); ++t_index) {
+      if (stopped[t_index]) {
+        continue;
+      }
+      const std::uint64_t end =
+          std::min(done[t_index] + batch, trials);
+      for (std::uint64_t trial = done[t_index]; trial < end; ++trial) {
+        work.push_back({t_index, trial});
+      }
+    }
+    if (work.empty()) {
+      break;
+    }
+
+    // tallies[slot][target]; merged per target after the parallel region.
+    std::vector<std::vector<Tally>> tallies(
+        instances.size(), std::vector<Tally>(targets.size()));
+    parallel::parallel_for(
+        pool, work.size(),
+        [&](std::uint64_t task, unsigned slot) {
+          const WorkItem& item = work[static_cast<std::size_t>(task)];
+          const CampaignTarget& target =
+              targets[static_cast<std::size_t>(item.target)];
+
+          TrialOutcome classification = TrialOutcome::kMasked;
+          bool injected = false;
+          const auto journaled = replay.find(item.target * trials + item.trial);
+          if (journaled != replay.end()) {
+            classification = journaled->second.outcome;
+            injected = journaled->second.injected;
+          } else {
+            Xoshiro256 rng =
+                stream_rng(config.seed, target.spec_index, item.trial);
+            const std::uint64_t trigger = 1 + rng.below(total_refs);
+            const std::uint64_t offset = rng.below(target.size_bytes);
+            const auto bit = static_cast<std::uint8_t>(rng.below(8));
+            const InjectionOutcome outcome = instances[slot]->run_injected(
+                ids[slot][static_cast<std::size_t>(item.target)], trigger,
+                offset, bit, budget);
+            classification = outcome.classification;
+            injected = outcome.injected;
+            if (journal.has_value()) {
+              journal->record(
+                  {item.target, item.trial, classification, injected});
+            }
+          }
+          tallies[slot][static_cast<std::size_t>(item.target)].count(
+              classification, injected);
+        });
+
+    for (std::size_t t_index = 0; t_index < targets.size(); ++t_index) {
+      if (stopped[t_index]) {
+        continue;
+      }
+      for (const std::vector<Tally>& slot_tallies : tallies) {
+        totals[t_index].merge(slot_tallies[t_index]);
+      }
+      done[t_index] = std::min(done[t_index] + batch, trials);
+      if (done[t_index] >= trials) {
+        stopped[t_index] = true;
+      } else if (config.ci_width > 0.0 &&
+                 math::wilson_half_width(totals[t_index].sdc,
+                                         totals[t_index].injected) <
+                     config.ci_width) {
+        stopped[t_index] = true;
+        early[t_index] = true;
+      }
+    }
+  }
 
   std::vector<StructureInjectionStats> results(targets.size());
   for (std::size_t t_index = 0; t_index < targets.size(); ++t_index) {
     StructureInjectionStats& stats = results[t_index];
+    const Tally& tally = totals[t_index];
     stats.structure = targets[t_index].name;
-    for (const std::vector<Tally>& slot_tallies : tallies) {
-      stats.trials += slot_tallies[t_index].trials;
-      stats.injected += slot_tallies[t_index].injected;
-      stats.corrupted += slot_tallies[t_index].corrupted;
-    }
+    stats.trials = tally.trials;
+    stats.injected = tally.injected;
+    stats.masked = tally.masked;
+    stats.sdc = tally.sdc;
+    stats.due_exception = tally.due_exception;
+    stats.due_hang = tally.due_hang;
+    stats.due_invalid = tally.due_invalid;
+    stats.corrupted =
+        tally.sdc + tally.due_exception + tally.due_hang + tally.due_invalid;
+    stats.early_stopped = early[t_index];
   }
   return results;
 }

@@ -11,6 +11,34 @@
 
 namespace dvf::kernels {
 
+const char* to_string(TrialOutcome outcome) noexcept {
+  switch (outcome) {
+    case TrialOutcome::kMasked:
+      return "masked";
+    case TrialOutcome::kSdc:
+      return "sdc";
+    case TrialOutcome::kDueException:
+      return "due_exception";
+    case TrialOutcome::kDueHang:
+      return "due_hang";
+    case TrialOutcome::kDueInvalid:
+      return "due_invalid";
+  }
+  return "unknown";
+}
+
+std::optional<TrialOutcome> trial_outcome_from_string(
+    const std::string& label) noexcept {
+  for (const TrialOutcome outcome :
+       {TrialOutcome::kMasked, TrialOutcome::kSdc, TrialOutcome::kDueException,
+        TrialOutcome::kDueHang, TrialOutcome::kDueInvalid}) {
+    if (label == to_string(outcome)) {
+      return outcome;
+    }
+  }
+  return std::nullopt;
+}
+
 namespace {
 
 template <typename K, typename Config>

@@ -18,13 +18,29 @@
 
 namespace dvf {
 
+/// Thrown by FaultInjectingRecorder when a run exceeds its reference
+/// budget — the "hang" detector for campaigns over kernels whose control
+/// flow (iteration counts, convergence loops) depends on the flipped data.
+/// The campaign driver catches it per trial and classifies the trial as a
+/// hang-class interruption instead of letting one runaway run stall the
+/// whole campaign.
+class ReferenceBudgetExceeded : public Error {
+ public:
+  explicit ReferenceBudgetExceeded(std::uint64_t budget)
+      : Error("fault-injection run exceeded its reference budget of " +
+              std::to_string(budget)) {}
+};
+
 /// One fault to inject: flip `bit` of the byte at `target_byte` once the
 /// run's `trigger_reference`-th reference (1-based, loads and stores both
-/// count) has been issued.
+/// count) has been issued. A non-zero `reference_budget` bounds the run:
+/// the recorder throws ReferenceBudgetExceeded at the first reference past
+/// the budget (0 = unlimited).
 struct FaultSpec {
   std::uint64_t trigger_reference = 1;
   std::uint8_t* target_byte = nullptr;
   std::uint8_t bit = 0;
+  std::uint64_t reference_budget = 0;
 };
 
 /// Recorder that injects the fault and otherwise observes silently.
@@ -35,6 +51,9 @@ class FaultInjectingRecorder {
     DVF_CHECK_MSG(fault.bit < 8, "bit index must be 0..7");
     DVF_CHECK_MSG(fault.trigger_reference >= 1,
                   "trigger reference is 1-based");
+    DVF_CHECK_MSG(fault.reference_budget == 0 ||
+                      fault.reference_budget >= fault.trigger_reference,
+                  "reference budget would expire before the trigger");
   }
 
   void on_load(DsId, std::uint64_t, std::uint32_t) { tick(); }
@@ -65,6 +84,11 @@ class FaultInjectingRecorder {
       *fault_.target_byte =
           static_cast<std::uint8_t>(original_ ^ (1u << fault_.bit));
       injected_ = true;
+    }
+    if (fault_.reference_budget != 0 && count_ > fault_.reference_budget) {
+      // The caller unwinds mid-run; restore() stays valid because the
+      // flip (if any) already happened and original_ is recorded.
+      throw ReferenceBudgetExceeded(fault_.reference_budget);
     }
   }
 

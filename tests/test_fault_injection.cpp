@@ -2,6 +2,9 @@
 #include "dvf/kernels/injection_campaign.hpp"
 #include "dvf/trace/fault_injection.hpp"
 
+#include <cmath>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "dvf/common/error.hpp"
@@ -140,6 +143,38 @@ TEST(RankCorrelation, KnownValues) {
   EXPECT_DOUBLE_EQ(rank_correlation({1, 1, 1}, {1, 2, 3}), 0.0);
   EXPECT_NEAR(rank_correlation({1, 2, 3, 4}, {1, 2, 4, 3}), 0.8, 1e-12);
   EXPECT_THROW((void)rank_correlation({1}, {1, 2}), InvalidArgumentError);
+}
+
+TEST(RankCorrelation, TieHeavyVectors) {
+  using kernels::rank_correlation;
+  // One tie in a: ranks {1, 2.5, 2.5, 4} vs {1, 2, 3, 4} — the Pearson
+  // correlation of the rank vectors is sqrt(0.9).
+  EXPECT_NEAR(rank_correlation({1, 2, 2, 4}, {1, 2, 3, 4}),
+              std::sqrt(0.9), 1e-12);
+  // Ties in both, same pattern: perfectly concordant.
+  EXPECT_NEAR(rank_correlation({5, 5, 5, 1}, {7, 7, 7, 0}), 1.0, 1e-12);
+  // Symmetric in its arguments.
+  EXPECT_NEAR(rank_correlation({1, 2, 2, 4}, {1, 2, 3, 4}),
+              rank_correlation({1, 2, 3, 4}, {1, 2, 2, 4}), 1e-12);
+}
+
+TEST(RankCorrelation, DegenerateInputs) {
+  using kernels::rank_correlation;
+  // A constant vector carries no ranking information on either side.
+  EXPECT_DOUBLE_EQ(rank_correlation({2, 2, 2}, {1, 5, 9}), 0.0);
+  EXPECT_DOUBLE_EQ(rank_correlation({3, 3}, {4, 4}), 0.0);
+  // Fewer than two points: trivially concordant.
+  EXPECT_DOUBLE_EQ(rank_correlation({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(rank_correlation({5}, {9}), 1.0);
+}
+
+TEST(RankCorrelation, PinnedSpearmanExample) {
+  using kernels::rank_correlation;
+  // Classic distinct-rank example (d² sum = 194, n = 10):
+  // rho = 1 - 6*194/990 = -29/165.
+  const std::vector<double> x = {86, 97, 99, 100, 101, 103, 106, 110, 112, 113};
+  const std::vector<double> y = {0, 20, 28, 27, 50, 29, 7, 17, 6, 12};
+  EXPECT_NEAR(rank_correlation(x, y), -29.0 / 165.0, 1e-12);
 }
 
 }  // namespace

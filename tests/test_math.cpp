@@ -140,5 +140,39 @@ TEST(ApproxEqual, ScalesWithMagnitude) {
   EXPECT_FALSE(approx_equal(1.0, 1.1, 1e-9));
 }
 
+TEST(WilsonHalfWidth, NoDataMeansMaximalUncertainty) {
+  EXPECT_EQ(wilson_half_width(0, 0), 1.0);
+}
+
+TEST(WilsonHalfWidth, PinnedValue) {
+  // p̂ = 0.5, n = 10, z = 1.959964: the 95% Wilson interval is
+  // 0.5 ± 0.26340 (0.2366, 0.7634).
+  EXPECT_NEAR(wilson_half_width(5, 10), 0.26340, 1e-4);
+}
+
+TEST(WilsonHalfWidth, SymmetricInSuccessesAndFailures) {
+  for (std::uint64_t n : {1u, 7u, 100u}) {
+    for (std::uint64_t k = 0; k <= n; ++k) {
+      EXPECT_NEAR(wilson_half_width(k, n), wilson_half_width(n - k, n), 1e-12)
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(WilsonHalfWidth, ShrinksWithSampleSizeAndStaysProper) {
+  double previous = 1.0;
+  for (std::uint64_t n = 10; n <= 100'000; n *= 10) {
+    const double half = wilson_half_width(n / 2, n);
+    EXPECT_GT(half, 0.0) << "n=" << n;
+    EXPECT_LT(half, previous) << "n=" << n;
+    previous = half;
+  }
+  // Unlike the Wald interval, the Wilson half-width is non-degenerate at
+  // the boundaries p̂ = 0 and p̂ = 1.
+  EXPECT_GT(wilson_half_width(0, 50), 0.0);
+  EXPECT_LT(wilson_half_width(0, 50), 0.1);
+  EXPECT_GT(wilson_half_width(50, 50), 0.0);
+}
+
 }  // namespace
 }  // namespace dvf::math

@@ -14,6 +14,7 @@
 //                                             DVF-profile the built-in
 //                                             kernel suite (N workers; 0 =
 //                                             DVF_THREADS env or hardware)
+#include <algorithm>
 #include <charconv>
 #include <cstdint>
 #include <cstdlib>
@@ -35,6 +36,7 @@
 #include "dvf/dvf/ecc.hpp"
 #include "dvf/cachesim/cache_simulator.hpp"
 #include "dvf/dvf/inference.hpp"
+#include "dvf/kernels/injection_campaign.hpp"
 #include "dvf/kernels/suite.hpp"
 #include "dvf/patterns/estimate.hpp"
 #include "dvf/machine/cache_config.hpp"
@@ -55,6 +57,13 @@ struct Args {
   }
 };
 
+/// Boolean flags never consume a following value, so `dvfc campaign --json
+/// VM` keeps VM as the positional kernel name.
+bool is_boolean_flag(const std::string& name) {
+  return name == "json" || name == "werror" || name == "csv" ||
+         name == "resume";
+}
+
 Args parse_args(int argc, char** argv) {
   Args args;
   if (argc > 1) {
@@ -64,7 +73,8 @@ Args parse_args(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg.rfind("--", 0) == 0) {
       const std::string name = arg.substr(2);
-      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      if (!is_boolean_flag(name) && i + 1 < argc &&
+          std::string(argv[i + 1]).rfind("--", 0) != 0) {
         args.options[name] = argv[++i];
       } else {
         args.options[name] = "";
@@ -74,6 +84,41 @@ Args parse_args(int argc, char** argv) {
     }
   }
   return args;
+}
+
+/// Per-command flag audit: an unrecognized --option is bad usage (exit 2),
+/// not a silent no-op.
+bool options_recognized(const Args& args) {
+  static const std::map<std::string, std::vector<std::string>> kAllowed = {
+      {"check", {"json"}},
+      {"lint", {"json", "werror"}},
+      {"fmt", {}},
+      {"eval", {"model", "machine", "csv"}},
+      {"caches", {"model"}},
+      {"ecc", {"model", "machine"}},
+      {"kernels", {"suite", "threads"}},
+      {"trace", {}},
+      {"replay", {"assoc", "sets", "line"}},
+      {"infer", {"assoc", "sets", "line"}},
+      {"campaign",
+       {"trials", "seed", "threads", "journal", "resume", "ci-width",
+        "hang-factor", "batch", "json"}},
+  };
+  const auto it = kAllowed.find(args.command);
+  if (it == kAllowed.end()) {
+    return true;  // unknown command: the dispatcher reports usage
+  }
+  bool ok = true;
+  for (const auto& [name, value] : args.options) {
+    (void)value;
+    if (std::find(it->second.begin(), it->second.end(), name) ==
+        it->second.end()) {
+      std::cerr << "dvfc: unknown option --" << name << " for '"
+                << args.command << "'\n";
+      ok = false;
+    }
+  }
+  return ok;
 }
 
 // Parses a numeric option, exiting with a clear message instead of the
@@ -97,6 +142,25 @@ std::uint32_t numeric_option(const Args& args, const std::string& name,
   return value;
 }
 
+// As numeric_option, for non-negative real-valued options (--ci-width,
+// --hang-factor).
+double real_option(const Args& args, const std::string& name,
+                   double fallback) {
+  const std::string text = args.option(name, "");
+  if (text.empty()) {
+    return fallback;
+  }
+  double value = 0.0;
+  const auto [end, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || end != text.data() + text.size() || value < 0.0) {
+    std::cerr << "dvfc: --" << name << " expects a non-negative number, got '"
+              << text << "'\n";
+    std::exit(2);
+  }
+  return value;
+}
+
 int usage() {
   std::cerr <<
       "usage: dvfc <command> [args]\n"
@@ -114,6 +178,16 @@ int usage() {
       "  kernels [--suite verification|profiling] [--threads N]\n"
       "                                        N=0: DVF_THREADS env var or\n"
       "                                        hardware default; N=1: serial\n"
+      "  campaign <kernel> [--trials N] [--seed N] [--threads N]\n"
+      "           [--journal FILE] [--resume] [--ci-width X]\n"
+      "           [--hang-factor X] [--batch N] [--json]\n"
+      "                                        fault-injection campaign with\n"
+      "                                        classified outcomes (masked/\n"
+      "                                        sdc/due_*); --journal makes it\n"
+      "                                        crash-resumable (--resume runs\n"
+      "                                        only missing trials), --ci-width\n"
+      "                                        stops structures whose Wilson\n"
+      "                                        95% SDC CI converged\n"
       "  trace <kernel> <out.dvft>             record a kernel's references\n"
       "  replay <in.dvft> [--assoc A --sets S --line L]\n"
       "                                        simulate a saved trace\n"
@@ -121,8 +195,9 @@ int usage() {
       "                                        derive pattern specs from a\n"
       "                                        trace and compare estimates\n"
       "                                        against its replay\n"
-      "exit codes: 0 success; 1 model errors (for lint --werror: errors or\n"
-      "warnings); 2 bad usage or unreadable input\n";
+      "exit codes: 0 success; 1 model/campaign errors (for lint --werror:\n"
+      "errors or warnings); 2 bad usage, unknown flags or unreadable input;\n"
+      "3 internal error\n";
   return 2;
 }
 
@@ -225,8 +300,8 @@ int cmd_fmt(const Args& args) {
   }
   std::ifstream in(args.positional[0]);
   if (!in) {
-    std::cerr << "cannot open " << args.positional[0] << "\n";
-    return 1;
+    std::cerr << "dvfc: cannot open " << args.positional[0] << "\n";
+    return 2;  // unreadable input, per the documented exit codes
   }
   std::ostringstream contents;
   contents << in.rdbuf();
@@ -350,6 +425,83 @@ int cmd_kernels(const Args& args) {
   return 0;
 }
 
+int cmd_campaign(const Args& args) {
+  if (args.positional.size() != 1) {
+    return usage();
+  }
+  if (args.flag("resume") && args.option("journal").empty()) {
+    std::cerr << "dvfc: --resume needs --journal FILE\n";
+    return usage();
+  }
+  auto suite = dvf::kernels::make_extended_suite();
+  dvf::kernels::KernelCase* kernel = nullptr;
+  for (auto& candidate : suite) {
+    if (candidate->name() == args.positional[0]) {
+      kernel = candidate.get();
+      break;
+    }
+  }
+  if (kernel == nullptr) {
+    std::cerr << "unknown kernel '" << args.positional[0]
+              << "' (expected VM|CG|NB|MG|FT|MC|CGS)\n";
+    return 1;
+  }
+
+  dvf::kernels::CampaignConfig config;
+  config.trials_per_structure = numeric_option(args, "trials", 100);
+  config.seed = numeric_option(args, "seed", 2014);
+  config.threads = numeric_option(args, "threads", 0);
+  config.hang_factor = real_option(args, "hang-factor", 8.0);
+  config.ci_width = real_option(args, "ci-width", 0.0);
+  config.batch_trials = numeric_option(args, "batch", 50);
+  config.journal_path = args.option("journal");
+  config.resume = args.flag("resume");
+
+  const auto stats = dvf::kernels::run_injection_campaign(*kernel, config);
+
+  if (args.flag("json")) {
+    std::vector<std::string> objects;
+    for (const auto& s : stats) {
+      std::ostringstream out;
+      out.precision(12);
+      out << "{\"kernel\": \"" << kernel->name() << "\", \"structure\": \""
+          << s.structure << "\", \"trials\": " << s.trials
+          << ", \"injected\": " << s.injected << ", \"masked\": " << s.masked
+          << ", \"sdc\": " << s.sdc
+          << ", \"due_exception\": " << s.due_exception
+          << ", \"due_hang\": " << s.due_hang
+          << ", \"due_invalid\": " << s.due_invalid
+          << ", \"corrupted\": " << s.corrupted
+          << ", \"corruption_rate_injected\": " << s.corruption_rate_injected()
+          << ", \"sdc_rate_injected\": " << s.sdc_rate_injected()
+          << ", \"sdc_ci_half_width\": " << s.sdc_ci_half_width()
+          << ", \"early_stopped\": " << (s.early_stopped ? "true" : "false")
+          << "}";
+      objects.push_back(out.str());
+    }
+    print_json_array(objects);
+    return 0;
+  }
+
+  dvf::Table table({"structure", "trials", "injected", "masked", "sdc",
+                    "due_exc", "due_hang", "due_inv", "sdc_rate|inj",
+                    "ci95_half", "early"});
+  for (const auto& s : stats) {
+    table.add_row({s.structure, dvf::num(static_cast<double>(s.trials)),
+                   dvf::num(static_cast<double>(s.injected)),
+                   dvf::num(static_cast<double>(s.masked)),
+                   dvf::num(static_cast<double>(s.sdc)),
+                   dvf::num(static_cast<double>(s.due_exception)),
+                   dvf::num(static_cast<double>(s.due_hang)),
+                   dvf::num(static_cast<double>(s.due_invalid)),
+                   dvf::num(s.sdc_rate_injected(), 4),
+                   dvf::num(s.sdc_ci_half_width(), 4),
+                   s.early_stopped ? "yes" : "no"});
+  }
+  std::cout << table;
+  return 0;
+}
+
 int cmd_trace(const Args& args) {
   if (args.positional.size() != 2) {
     return usage();
@@ -456,6 +608,9 @@ int cmd_infer(const Args& args) {
 int main(int argc, char** argv) {
   const Args args = parse_args(argc, argv);
   try {
+    if (!options_recognized(args)) {
+      return usage();
+    }
     if (args.command == "check") {
       return cmd_check(args);
     }
@@ -477,6 +632,9 @@ int main(int argc, char** argv) {
     if (args.command == "kernels") {
       return cmd_kernels(args);
     }
+    if (args.command == "campaign") {
+      return cmd_campaign(args);
+    }
     if (args.command == "trace") {
       return cmd_trace(args);
     }
@@ -490,5 +648,10 @@ int main(int argc, char** argv) {
   } catch (const dvf::Error& err) {
     std::cerr << "dvfc: " << err.what() << "\n";
     return 1;
+  } catch (const std::exception& err) {
+    // Anything that is not a documented dvf::Error is an internal defect:
+    // report it in one line and exit 3 instead of std::terminate.
+    std::cerr << "dvfc: internal error: " << err.what() << "\n";
+    return 3;
   }
 }
