@@ -50,7 +50,14 @@ class JsonRecords {
 
   void add(const Record& record) { records_.push_back(record.str()); }
 
-  /// Writes {"benchmark": <name>, "records": [...]} to BENCH_<name>.json.
+  /// Attaches an observability metrics object (one line of JSON, as
+  /// dvf::obs::render_metrics_json produces) to the output.
+  void set_metrics(std::string metrics_json) {
+    metrics_json_ = std::move(metrics_json);
+  }
+
+  /// Writes {"benchmark": <name>, "records": [...]} to BENCH_<name>.json,
+  /// plus a "metrics" block when one was attached.
   void write(const std::string& name) const {
     const std::string path = "BENCH_" + name + ".json";
     std::ofstream out(path);
@@ -59,13 +66,18 @@ class JsonRecords {
       out << "    " << records_[i] << (i + 1 < records_.size() ? "," : "")
           << "\n";
     }
-    out << "  ]\n}\n";
+    out << "  ]";
+    if (!metrics_json_.empty()) {
+      out << ",\n  \"metrics\": " << metrics_json_;
+    }
+    out << "\n}\n";
     std::cout << "wrote " << path << " (" << records_.size()
               << " record(s))\n";
   }
 
  private:
   std::vector<std::string> records_;
+  std::string metrics_json_;
 };
 
 }  // namespace dvf::bench

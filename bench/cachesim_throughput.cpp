@@ -16,6 +16,7 @@
 #include "dvf/common/rng.hpp"
 #include "dvf/kernels/kernel_common.hpp"
 #include "dvf/machine/cache_config.hpp"
+#include "dvf/obs/obs.hpp"
 #include "dvf/report/table.hpp"
 
 namespace {
@@ -100,6 +101,28 @@ int main() {
                  .field("wall_s", seconds)
                  .field("accesses_per_s", rate));
   }
+
+  // The same hot path with the observability layer recording, so the cost
+  // of the enabled path is tracked next to the disabled numbers above
+  // (which pin the ≤2% disabled-path budget; see bench/obs_overhead.cpp).
+  dvf::obs::set_enabled(true);
+  {
+    const Scenario observed = {"rand_replay_pow2_obs", pow2, true, true};
+    const double seconds = run(observed, random);
+    const double rate = static_cast<double>(kAccesses) / seconds;
+    table.add_row({observed.name, observed.cache.name(),
+                   dvf::num(static_cast<double>(kAccesses)),
+                   dvf::num(seconds, 3), dvf::num(rate / 1e6, 2)});
+    json.add(dvf::bench::JsonRecords::Record{}
+                 .field("scenario", std::string(observed.name))
+                 .field("cache", observed.cache.name())
+                 .field("accesses", kAccesses)
+                 .field("wall_s", seconds)
+                 .field("accesses_per_s", rate));
+  }
+  dvf::obs::set_enabled(false);
+  json.set_metrics(dvf::obs::render_metrics_json(dvf::obs::snapshot_metrics()));
+
   std::cout << table << "\n";
   json.write("cachesim");
   return 0;

@@ -21,6 +21,7 @@
 #include "dvf/kernels/suite.hpp"
 #include "dvf/machine/cache_config.hpp"
 #include "dvf/machine/machine.hpp"
+#include "dvf/obs/obs.hpp"
 #include "dvf/parallel/thread_pool.hpp"
 #include "dvf/report/table.hpp"
 
@@ -197,6 +198,9 @@ void scaling_study(dvf::bench::JsonRecords& json) {
 }  // namespace
 
 int main() {
+  // Record the whole harness, so BENCH_campaign.json carries the outcome
+  // counters and journal-flush timings next to the wall-clock records.
+  dvf::obs::set_enabled(true);
   dvf::bench::JsonRecords json;
   scaling_study(json);
   overhead_study(json);
@@ -289,6 +293,7 @@ int main() {
       "structures are the most sensitive per flip but rarely hit). The cost\n"
       "columns show the paper's speed argument: the analytical evaluation\n"
       "vs hundreds of full re-runs per structure.\n";
+  json.set_metrics(dvf::obs::render_metrics_json(dvf::obs::snapshot_metrics()));
   json.write("campaign");
   return 0;
 }

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Documentation consistency checker (wired into CI).
+
+Two passes over every tracked ``*.md`` file:
+
+1. **Links** — every relative markdown link ``[text](target)`` must point
+   at a file (or directory) that exists, anchors stripped. Absolute URLs
+   (``http(s):``, ``mailto:``) and pure in-page anchors are skipped, as
+   are links inside fenced code blocks.
+
+2. **dvfc flags** — every ``--flag`` token that appears after the word
+   ``dvfc`` inside inline code or a fenced code block must be reported by
+   ``dvfc help`` (the usage text; flag set passed via --dvfc). Docs
+   drifting ahead of (or behind) the CLI fail the build.
+
+Usage:
+    scripts/check_docs.py [--dvfc PATH_TO_DVFC] [FILES...]
+
+With no FILES, checks every .md file known to git. Exits nonzero on any
+broken link or undocumented flag, listing file:line for each.
+"""
+
+import argparse
+import pathlib
+import re
+import subprocess
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+FLAG_RE = re.compile(r"--([A-Za-z][A-Za-z0-9-]*)")
+# Inline code spans; fenced blocks are tracked line-wise below.
+CODE_SPAN_RE = re.compile(r"`([^`]+)`")
+
+
+def git_markdown_files(root: pathlib.Path) -> list[pathlib.Path]:
+    out = subprocess.run(
+        ["git", "ls-files", "*.md", "**/*.md"],
+        cwd=root, capture_output=True, text=True, check=True)
+    return [root / line for line in out.stdout.splitlines() if line]
+
+
+def dvfc_reported_flags(dvfc: pathlib.Path) -> set[str]:
+    """Flags the CLI itself reports: everything in `dvfc help` usage text."""
+    out = subprocess.run([str(dvfc), "help"], capture_output=True, text=True)
+    usage = out.stdout + out.stderr
+    if "usage:" not in usage:
+        sys.exit(f"check_docs: {dvfc} help did not print a usage text")
+    return set(FLAG_RE.findall(usage))
+
+
+def check_file(path: pathlib.Path, root: pathlib.Path,
+               known_flags: set[str] | None) -> list[str]:
+    errors = []
+    in_fence = False
+    for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1):
+        stripped = line.lstrip()
+        if stripped.startswith("```") or stripped.startswith("~~~"):
+            in_fence = not in_fence
+            continue
+
+        # Pass 1: relative links (outside fenced code only).
+        if not in_fence:
+            for target in LINK_RE.findall(line):
+                if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # URL scheme
+                    continue
+                if target.startswith("#"):  # in-page anchor
+                    continue
+                resolved = (path.parent / target.split("#")[0]).resolve()
+                if not resolved.exists():
+                    errors.append(
+                        f"{path.relative_to(root)}:{lineno}: broken link: "
+                        f"{target}")
+
+        # Pass 2: dvfc flags in code (fenced lines and inline spans).
+        if known_flags is None:
+            continue
+        snippets = [line] if in_fence else CODE_SPAN_RE.findall(line)
+        # Table rows: flags live in a different cell than the `dvfc cmd`
+        # span, so widen to the whole line when any span mentions dvfc.
+        if not in_fence and any("dvfc" in s for s in snippets):
+            snippets = [" ".join(snippets)]
+        for snippet in snippets:
+            before, sep, after = snippet.partition("dvfc")
+            if not sep:
+                continue
+            for flag in FLAG_RE.findall(after):
+                if flag not in known_flags:
+                    errors.append(
+                        f"{path.relative_to(root)}:{lineno}: flag --{flag} "
+                        f"is not reported by `dvfc help`")
+    return errors
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dvfc", type=pathlib.Path, default=None,
+                        help="dvfc binary for the flag check; omitting it "
+                             "skips that pass")
+    parser.add_argument("files", nargs="*", type=pathlib.Path)
+    args = parser.parse_args()
+
+    root = pathlib.Path(
+        subprocess.run(["git", "rev-parse", "--show-toplevel"],
+                       capture_output=True, text=True,
+                       check=True).stdout.strip())
+    files = ([f.resolve() for f in args.files] if args.files
+             else git_markdown_files(root))
+    known_flags = (dvfc_reported_flags(args.dvfc)
+                   if args.dvfc is not None else None)
+
+    errors = []
+    for path in files:
+        errors.extend(check_file(path, root, known_flags))
+    for error in errors:
+        print(error, file=sys.stderr)
+    checked = "links+flags" if known_flags is not None else "links"
+    print(f"check_docs: {len(files)} file(s), {checked}: "
+          f"{'FAIL' if errors else 'OK'} ({len(errors)} error(s))")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Acceptance smoke for the observability layer (wired into CI).
+
+    check_trace_smoke.py TRACE.json METRICS.json CAMPAIGN.json
+
+Validates that
+  - TRACE.json is a Chrome trace-event file loadable by
+    chrome://tracing / Perfetto: a JSON object whose ``traceEvents``
+    entries each satisfy the event schema (``ph``/``pid``/``tid``,
+    ``X`` events with ``ts``/``dur`` and span ``args``, ``M`` metadata
+    with names, ``C`` counters with values), and the span tree is
+    consistent (every non-root parent id exists, child depth = parent
+    depth + 1);
+  - METRICS.json (the ``--metrics=json`` stderr line) parses and its
+    ``campaign.*`` outcome counters equal the taxonomy counts of the
+    campaign's own ``--json`` report in CAMPAIGN.json, per class.
+"""
+
+import json
+import sys
+
+
+def fail(message: str) -> None:
+    sys.exit(f"check_trace_smoke: FAIL: {message}")
+
+
+def require(condition: bool, message: str) -> None:
+    if not condition:
+        fail(message)
+
+
+def check_trace(path: str) -> None:
+    with open(path, encoding="utf-8") as handle:
+        trace = json.load(handle)
+    require(isinstance(trace, dict), "trace root must be a JSON object")
+    events = trace.get("traceEvents")
+    require(isinstance(events, list) and events, "traceEvents must be a "
+            "non-empty array")
+
+    spans = {}
+    for event in events:
+        require(isinstance(event, dict), "every event must be an object")
+        for key in ("ph", "pid", "tid", "name"):
+            require(key in event, f"event missing '{key}': {event}")
+        ph = event["ph"]
+        require(ph in {"X", "M", "C"}, f"unexpected event phase: {ph}")
+        if ph == "X":
+            for key in ("ts", "dur", "args"):
+                require(key in event, f"X event missing '{key}': {event}")
+            require(event["dur"] >= 0, "negative span duration")
+            args = event["args"]
+            for key in ("id", "parent", "depth"):
+                require(key in args, f"span args missing '{key}': {event}")
+            spans[args["id"]] = args
+        elif ph == "M":
+            require(event["name"] in {"process_name", "thread_name"},
+                    f"unknown metadata record: {event['name']}")
+            require("name" in event.get("args", {}),
+                    "metadata without args.name")
+        else:  # C
+            require("value" in event.get("args", {}),
+                    "counter event without args.value")
+
+    require(spans, "trace contains no spans")
+    for args in spans.values():
+        if args["parent"] == 0:
+            require(args["depth"] == 1, "root span must have depth 1")
+        else:
+            parent = spans.get(args["parent"])
+            require(parent is not None,
+                    f"span {args['id']} has unknown parent {args['parent']}")
+            require(args["depth"] == parent["depth"] + 1,
+                    f"span {args['id']} depth {args['depth']} != parent "
+                    f"depth {parent['depth']} + 1")
+    names = {event["name"] for event in events if event["ph"] == "X"}
+    require("campaign.run" in names, "campaign.run span missing from trace")
+
+
+def check_metrics(metrics_path: str, campaign_path: str) -> None:
+    with open(metrics_path, encoding="utf-8") as handle:
+        # stderr may carry other diagnostics; the metrics object is the
+        # last non-empty line.
+        lines = [line for line in handle.read().splitlines() if line.strip()]
+    require(bool(lines), "metrics stderr is empty")
+    metrics = json.loads(lines[-1])
+    counters = metrics.get("counters")
+    require(isinstance(counters, dict), "metrics.counters missing")
+
+    with open(campaign_path, encoding="utf-8") as handle:
+        report = json.load(handle)
+    require(isinstance(report, list) and report, "campaign report is empty")
+
+    for key in ("trials", "injected", "masked", "sdc", "due_exception",
+                "due_hang", "due_invalid"):
+        reported = sum(entry[key] for entry in report)
+        counted = counters.get(f"campaign.{key}")
+        require(counted == reported,
+                f"campaign.{key}: metrics counter {counted} != taxonomy "
+                f"total {reported}")
+
+
+def main() -> None:
+    if len(sys.argv) != 4:
+        sys.exit(__doc__)
+    check_trace(sys.argv[1])
+    check_metrics(sys.argv[2], sys.argv[3])
+    print("check_trace_smoke: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -3,13 +3,31 @@
 #
 #   scripts/run_tests.sh            # full: tier-1 + TSan parallel tests
 #   SKIP_TSAN=1 scripts/run_tests.sh  # tier-1 only
-set -euo pipefail
+#
+# Every flavor's exit status is checked explicitly — never only via the
+# shell's -e — so a failure propagates as this script's exit code AND
+# names the flavor that failed. (A bare `set -e` is not enough: it is
+# disabled inside `if`/`&&`/`||` contexts, which is exactly how callers
+# tend to wrap this script.)
+set -uo pipefail
 cd "$(dirname "$0")/.."
 
+# Runs one step of a named flavor; on failure, reports the flavor and
+# propagates the step's exit status.
+step() {
+  local flavor=$1
+  shift
+  if ! "$@"; then
+    local status=$?
+    echo "run_tests.sh: FAILED in flavor '${flavor}' (exit ${status}): $*" >&2
+    exit "${status}"
+  fi
+}
+
 # Tier-1: the seed contract (ROADMAP.md).
-cmake -B build -S .
-cmake --build build -j "$(nproc)"
-ctest --test-dir build --output-on-failure -j "$(nproc)"
+step tier-1 cmake -B build -S .
+step tier-1 cmake --build build -j "$(nproc)"
+step tier-1 ctest --test-dir build --output-on-failure -j "$(nproc)"
 
 if [[ "${SKIP_TSAN:-0}" == "1" ]]; then
   echo "SKIP_TSAN=1: skipping the ThreadSanitizer pass"
@@ -17,15 +35,18 @@ if [[ "${SKIP_TSAN:-0}" == "1" ]]; then
 fi
 
 # ThreadSanitizer pass: rebuild the test binary under -fsanitize=thread and
-# run every Parallel* suite plus the campaign-resilience suites (journal
-# writer, adaptive stopper, per-slot kernel clones), so races in the pool,
-# the campaign engine or the parallel calculator fail loudly.
+# run every Parallel* suite plus the campaign-resilience and observability
+# suites (journal writer, adaptive stopper, per-slot kernel clones, sharded
+# metrics), so races in the pool, the campaign engine, the obs registry or
+# the parallel calculator fail loudly.
 # Benches/examples are skipped — the test binary exercises all parallel
 # code paths.
-cmake -B build-tsan -S . \
+step tsan cmake -B build-tsan -S . \
   -DDVF_SANITIZE=thread \
   -DDVF_BUILD_BENCH=OFF \
   -DDVF_BUILD_EXAMPLES=OFF
-cmake --build build-tsan -j "$(nproc)" --target dvf_tests
-./build-tsan/tests/dvf_tests --gtest_filter='Parallel*:Campaign*:TrialClassification*'
+step tsan cmake --build build-tsan -j "$(nproc)" --target dvf_tests
+step tsan ./build-tsan/tests/dvf_tests \
+  --gtest_filter='Parallel*:Campaign*:TrialClassification*:Obs*'
 echo "ThreadSanitizer pass: OK"
+echo "run_tests.sh: all flavors passed"

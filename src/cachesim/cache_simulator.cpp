@@ -5,8 +5,23 @@
 #include <utility>
 
 #include "dvf/common/error.hpp"
+#include "dvf/obs/obs.hpp"
 
 namespace dvf {
+
+namespace {
+
+/// One-time registered counters for the replay hot path. Registered lazily
+/// so pure library users never pay the registration lock.
+struct ReplayCounters {
+  obs::Counter accesses = obs::counter("cachesim.accesses");
+  obs::Counter hits = obs::counter("cachesim.hits");
+  obs::Counter misses = obs::counter("cachesim.misses");
+  obs::Counter writebacks = obs::counter("cachesim.writebacks");
+  obs::Counter evictions = obs::counter("cachesim.evictions");
+};
+
+}  // namespace
 
 CacheSimulator::CacheSimulator(CacheConfig config)
     : config_(std::move(config)),
@@ -53,6 +68,15 @@ void CacheSimulator::access(std::uint64_t address, std::uint32_t size,
 }
 
 void CacheSimulator::replay(std::span<const MemoryRecord> records) {
+  if (obs::enabled()) [[unlikely]] {
+    replay_instrumented(records);
+    return;
+  }
+  replay_uninstrumented(records);
+}
+
+void CacheSimulator::replay_uninstrumented(
+    std::span<const MemoryRecord> records) {
   const std::uint32_t line_shift = line_shift_;
   for (const MemoryRecord& record : records) {
     if (record.size == 0) [[unlikely]] {
@@ -66,6 +90,21 @@ void CacheSimulator::replay(std::span<const MemoryRecord> records) {
       touch_line(block, record.is_write, record.ds, st);
     }
   }
+}
+
+void CacheSimulator::replay_instrumented(
+    std::span<const MemoryRecord> records) {
+  static const ReplayCounters counters;
+  const obs::ScopedSpan span("cachesim.replay");
+  const CacheStats before = total_stats();
+  const std::uint64_t evictions_before = evictions_;
+  replay_uninstrumented(records);
+  const CacheStats after = total_stats();
+  counters.accesses.add(after.accesses - before.accesses);
+  counters.hits.add(after.hits - before.hits);
+  counters.misses.add(after.misses - before.misses);
+  counters.writebacks.add(after.writebacks - before.writebacks);
+  counters.evictions.add(evictions_ - evictions_before);
 }
 
 bool CacheSimulator::touch_line(std::uint64_t block, bool is_write, DsId ds,
@@ -97,6 +136,7 @@ bool CacheSimulator::touch_line(std::uint64_t block, bool is_write, DsId ds,
 
   ++st.misses;
   if (victim->valid) {
+    ++evictions_;
     if (victim->dirty) {
       // Cannot invalidate `st`: every owner stored in a line went through
       // stats_for() when it was stored, so this lookup never grows the
@@ -139,6 +179,7 @@ void CacheSimulator::reset() {
   std::fill(stats_.begin(), stats_.end(), CacheStats{});
   unattributed_ = CacheStats{};
   tick_ = 0;
+  evictions_ = 0;
 }
 
 CacheStats CacheSimulator::stats(DsId ds) const {

@@ -101,6 +101,9 @@ class CacheSimulator {
   [[nodiscard]] CacheStats total_stats() const;
   /// Number of currently valid lines (for tests).
   [[nodiscard]] std::uint64_t resident_lines() const noexcept;
+  /// Valid lines displaced by replacement since construction/reset (flush()
+  /// does not count; it reports writebacks instead).
+  [[nodiscard]] std::uint64_t evictions() const noexcept { return evictions_; }
 
  private:
   struct Line {
@@ -113,6 +116,10 @@ class CacheSimulator {
 
   bool touch_line(std::uint64_t block, bool is_write, DsId ds, CacheStats& st);
   CacheStats& stats_for(DsId ds);
+  void replay_uninstrumented(std::span<const MemoryRecord> records);
+  /// Cold path: wraps the plain replay in an obs span and publishes the
+  /// stats deltas as counters. Never entered while obs is disabled.
+  void replay_instrumented(std::span<const MemoryRecord> records);
 
   [[nodiscard]] std::uint64_t set_of_block(std::uint64_t block) const noexcept {
     return sets_pow2_ ? (block & set_mask_) : (block % num_sets_);
@@ -130,6 +137,7 @@ class CacheSimulator {
   std::vector<CacheStats> stats_;
   CacheStats unattributed_;
   std::uint64_t tick_ = 0;
+  std::uint64_t evictions_ = 0;
   EvictionHandler on_evict_;
 };
 static_assert(RecorderLike<CacheSimulator>);

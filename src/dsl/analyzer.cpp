@@ -8,6 +8,7 @@
 
 #include "dvf/common/error.hpp"
 #include "dvf/dsl/parser.hpp"
+#include "dvf/obs/obs.hpp"
 #include "dvf/dsl/template_expander.hpp"
 
 namespace dvf::dsl {
@@ -724,6 +725,7 @@ const ModelSpec& CompiledProgram::model(std::string_view name) const {
 }
 
 CompiledProgram analyze(const Program& program, DiagnosticEngine& diags) {
+  const obs::ScopedSpan span("dsl.analyze");
   return Analyzer(program, diags).run();
 }
 

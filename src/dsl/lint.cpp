@@ -13,6 +13,7 @@
 
 #include "dvf/common/error.hpp"
 #include "dvf/dsl/parser.hpp"
+#include "dvf/obs/obs.hpp"
 
 namespace dvf::dsl {
 
@@ -605,6 +606,7 @@ LintResult lint(std::string_view source) {
     result.program = analyze(ast, diags);
     LintContext ctx{ast, result.program, diags, {}};
     collect_data_info(ctx);
+    const obs::ScopedSpan span("dsl.lint_rules");
     for (const LintRule& rule : kRules) {
       rule.run(ctx);
     }

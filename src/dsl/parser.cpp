@@ -4,6 +4,7 @@
 
 #include "dvf/common/error.hpp"
 #include "dvf/dsl/lexer.hpp"
+#include "dvf/obs/obs.hpp"
 
 namespace dvf::dsl {
 
@@ -314,7 +315,13 @@ class Parser {
 }  // namespace
 
 Program parse(std::string_view source) {
-  Parser parser(tokenize(source));
+  std::vector<Token> tokens;
+  {
+    const obs::ScopedSpan span("dsl.lex");
+    tokens = tokenize(source);
+  }
+  const obs::ScopedSpan span("dsl.parse");
+  Parser parser(std::move(tokens));
   return parser.parse_program();
 }
 

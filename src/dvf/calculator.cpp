@@ -5,6 +5,7 @@
 #include "dvf/common/error.hpp"
 #include "dvf/common/math.hpp"
 #include "dvf/common/units.hpp"
+#include "dvf/obs/obs.hpp"
 #include "dvf/parallel/parallel_for.hpp"
 #include "dvf/patterns/estimate.hpp"
 
@@ -52,6 +53,14 @@ ApplicationDvf DvfCalculator::for_model(const ModelSpec& model) const {
 
 ApplicationDvf DvfCalculator::for_model(const ModelSpec& model,
                                         double exec_time_seconds) const {
+  const obs::ScopedSpan span("dvf.for_model");
+  if (obs::enabled()) {
+    static const obs::Counter models = obs::counter("dvf.models_evaluated");
+    static const obs::Counter structures =
+        obs::counter("dvf.structures_evaluated");
+    models.add();
+    structures.add(model.structures.size());
+  }
   ApplicationDvf app;
   app.model_name = model.name;
   app.machine_name = machine_.name;

@@ -10,6 +10,7 @@
 #include "dvf/common/math.hpp"
 #include "dvf/common/rng.hpp"
 #include "dvf/kernels/campaign_journal.hpp"
+#include "dvf/obs/obs.hpp"
 #include "dvf/parallel/parallel_for.hpp"
 
 namespace dvf::kernels {
@@ -74,6 +75,45 @@ struct Tally {
 struct WorkItem {
   std::uint64_t target = 0;
   std::uint64_t trial = 0;
+};
+
+/// Campaign outcome-class counters, named after the taxonomy columns so the
+/// metrics block of a run equals its reported taxonomy counts exactly.
+/// Journal-replayed trials count too: the tallies include them.
+struct CampaignCounters {
+  obs::Counter trials = obs::counter("campaign.trials");
+  obs::Counter injected = obs::counter("campaign.injected");
+  obs::Counter masked = obs::counter("campaign.masked");
+  obs::Counter sdc = obs::counter("campaign.sdc");
+  obs::Counter due_exception = obs::counter("campaign.due_exception");
+  obs::Counter due_hang = obs::counter("campaign.due_hang");
+  obs::Counter due_invalid = obs::counter("campaign.due_invalid");
+  obs::Counter replayed = obs::counter("campaign.journal_replayed");
+  obs::Histogram flush_ns = obs::histogram("campaign.journal_flush_ns");
+
+  void count(TrialOutcome outcome, bool was_injected) const noexcept {
+    trials.add();
+    if (was_injected) {
+      injected.add();
+    }
+    switch (outcome) {
+      case TrialOutcome::kMasked:
+        masked.add();
+        break;
+      case TrialOutcome::kSdc:
+        sdc.add();
+        break;
+      case TrialOutcome::kDueException:
+        due_exception.add();
+        break;
+      case TrialOutcome::kDueHang:
+        due_hang.add();
+        break;
+      case TrialOutcome::kDueInvalid:
+        due_invalid.add();
+        break;
+    }
+  }
 };
 
 CampaignJournalHeader make_header(const std::string& kernel_name,
@@ -200,6 +240,7 @@ std::vector<StructureInjectionStats> run_injection_campaign(
   const std::uint64_t batch =
       config.ci_width == 0.0 ? trials
                              : std::max<std::uint64_t>(1, config.batch_trials);
+  const obs::ScopedSpan campaign_span("campaign.run");
   std::vector<std::uint64_t> done(targets.size(), 0);
   std::vector<bool> stopped(targets.size(), false);
   std::vector<bool> early(targets.size(), false);
@@ -224,6 +265,8 @@ std::vector<StructureInjectionStats> run_injection_campaign(
     // tallies[slot][target]; merged per target after the parallel region.
     std::vector<std::vector<Tally>> tallies(
         instances.size(), std::vector<Tally>(targets.size()));
+    const bool observed = obs::enabled();
+    const obs::ScopedSpan batch_span("campaign.batch");
     parallel::parallel_for(
         pool, work.size(),
         [&](std::uint64_t task, unsigned slot) {
@@ -233,10 +276,12 @@ std::vector<StructureInjectionStats> run_injection_campaign(
 
           TrialOutcome classification = TrialOutcome::kMasked;
           bool injected = false;
+          bool replayed = false;
           const auto journaled = replay.find(item.target * trials + item.trial);
           if (journaled != replay.end()) {
             classification = journaled->second.outcome;
             injected = journaled->second.injected;
+            replayed = true;
           } else {
             Xoshiro256 rng =
                 stream_rng(config.seed, target.spec_index, item.trial);
@@ -249,8 +294,23 @@ std::vector<StructureInjectionStats> run_injection_campaign(
             classification = outcome.classification;
             injected = outcome.injected;
             if (journal.has_value()) {
-              journal->record(
-                  {item.target, item.trial, classification, injected});
+              if (observed) {
+                const std::uint64_t flush_start = obs::now_ns();
+                journal->record(
+                    {item.target, item.trial, classification, injected});
+                static const CampaignCounters counters;
+                counters.flush_ns.record(obs::now_ns() - flush_start);
+              } else {
+                journal->record(
+                    {item.target, item.trial, classification, injected});
+              }
+            }
+          }
+          if (observed) {
+            static const CampaignCounters counters;
+            counters.count(classification, injected);
+            if (replayed) {
+              counters.replayed.add();
             }
           }
           tallies[slot][static_cast<std::size_t>(item.target)].count(

@@ -1,0 +1,32 @@
+// Chrome trace-event export for the observability layer: serializes the
+// recorded spans (plus final counter samples) into the JSON Trace Event
+// Format that chrome://tracing and Perfetto load directly.
+//
+// Schema (docs/observability.md): one top-level object with
+//   displayTimeUnit  "ns"
+//   traceEvents      array of events
+// where every span becomes a complete ("ph":"X") event with ts/dur in
+// fractional microseconds and args {"id","parent","depth"}, each counter a
+// final counter ("ph":"C") sample, and process/thread names metadata
+// ("ph":"M") events.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dvf/obs/obs.hpp"
+
+namespace dvf::obs {
+
+/// Renders spans + metrics into a Chrome trace-event JSON document.
+[[nodiscard]] std::string render_chrome_trace(
+    const std::vector<SpanRecord>& spans, const MetricsSnapshot& metrics,
+    const std::vector<std::string>& thread_names,
+    const std::string& process_name = "dvf");
+
+/// Snapshots the registry and writes the trace to `path`. Throws dvf::Error
+/// when the file cannot be written.
+void write_chrome_trace(const std::string& path,
+                        const std::string& process_name = "dvf");
+
+}  // namespace dvf::obs

@@ -1,0 +1,121 @@
+#include "dvf/obs/trace_export.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "dvf/common/error.hpp"
+
+namespace dvf::obs {
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view text) {
+  out += '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+/// ts/dur are microseconds in the trace-event format; keep nanosecond
+/// precision as a fixed three-decimal fraction.
+std::string micros(std::uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu.%03u",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned>(ns % 1000));
+  return buf;
+}
+
+}  // namespace
+
+std::string render_chrome_trace(const std::vector<SpanRecord>& spans,
+                                const MetricsSnapshot& metrics,
+                                const std::vector<std::string>& thread_names,
+                                const std::string& process_name) {
+  std::string out = "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [\n";
+  bool first = true;
+  const auto emit = [&out, &first](const std::string& event) {
+    out += first ? "  " : ",\n  ";
+    first = false;
+    out += event;
+  };
+
+  {
+    std::string meta =
+        "{\"ph\": \"M\", \"name\": \"process_name\", \"pid\": 1, \"tid\": 0, "
+        "\"args\": {\"name\": ";
+    append_escaped(meta, process_name);
+    meta += "}}";
+    emit(meta);
+  }
+  for (std::size_t tid = 0; tid < thread_names.size(); ++tid) {
+    if (thread_names[tid].empty() && tid != 0) {
+      continue;
+    }
+    std::string meta = "{\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": 1, "
+                       "\"tid\": " + std::to_string(tid) + ", \"args\": "
+                       "{\"name\": ";
+    append_escaped(meta,
+                   thread_names[tid].empty() ? "main" : thread_names[tid]);
+    meta += "}}";
+    emit(meta);
+  }
+
+  std::uint64_t last_ns = 0;
+  for (const SpanRecord& span : spans) {
+    last_ns = std::max(last_ns, span.end_ns);
+    std::string event = "{\"ph\": \"X\", \"name\": ";
+    append_escaped(event, span.name);
+    event += ", \"cat\": \"dvf\", \"pid\": 1, \"tid\": " +
+             std::to_string(span.tid) + ", \"ts\": " + micros(span.start_ns) +
+             ", \"dur\": " + micros(span.end_ns - span.start_ns) +
+             ", \"args\": {\"id\": " + std::to_string(span.id) +
+             ", \"parent\": " + std::to_string(span.parent) +
+             ", \"depth\": " + std::to_string(span.depth) + "}}";
+    emit(event);
+  }
+
+  // Final counter samples, so the totals are visible on the trace timeline.
+  for (const auto& [name, value] : metrics.counters) {
+    std::string event = "{\"ph\": \"C\", \"name\": ";
+    append_escaped(event, name);
+    event += ", \"pid\": 1, \"tid\": 0, \"ts\": " + micros(last_ns) +
+             ", \"args\": {\"value\": " + std::to_string(value) + "}}";
+    emit(event);
+  }
+
+  out += "\n]}\n";
+  return out;
+}
+
+void write_chrome_trace(const std::string& path,
+                        const std::string& process_name) {
+  const std::string rendered = render_chrome_trace(
+      snapshot_spans(), snapshot_metrics(), thread_names(), process_name);
+  std::ofstream out(path);
+  if (!out) {
+    throw Error("obs: cannot write trace file: " + path);
+  }
+  out << rendered;
+  if (!out.good()) {
+    throw Error("obs: error writing trace file: " + path);
+  }
+}
+
+}  // namespace dvf::obs

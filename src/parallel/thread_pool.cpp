@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <string>
 
+#include "dvf/obs/obs.hpp"
+
 namespace dvf::parallel {
 
 unsigned default_thread_count() {
@@ -43,6 +45,7 @@ ThreadPool& ThreadPool::global() {
 
 void ThreadPool::worker_loop(unsigned slot) {
   std::uint64_t seen_generation = 0;
+  bool named = false;
   for (;;) {
     {
       std::unique_lock<std::mutex> lock(mutex_);
@@ -54,7 +57,14 @@ void ThreadPool::worker_loop(unsigned slot) {
       }
       seen_generation = generation_;
     }
-    run_chunks(slot);
+    if (obs::enabled() && !named) {
+      obs::set_thread_name("pool-worker-" + std::to_string(slot));
+      named = true;
+    }
+    {
+      const obs::ScopedSpan span("pool.worker");
+      run_chunks(slot);
+    }
     {
       const std::lock_guard<std::mutex> lock(mutex_);
       --busy_;
@@ -92,6 +102,15 @@ void ThreadPool::for_each(
     return;
   }
   const std::lock_guard<std::mutex> run_lock(run_mutex_);
+  const obs::ScopedSpan job_span("pool.for_each");
+  if (obs::enabled()) {
+    static const obs::Counter jobs = obs::counter("pool.jobs");
+    static const obs::Gauge depth = obs::gauge("pool.queue_depth");
+    static const obs::Gauge slots = obs::gauge("pool.slots");
+    jobs.add();
+    depth.set(static_cast<double>(count));
+    slots.set(static_cast<double>(concurrency()));
+  }
   grain_ = std::max<std::uint64_t>(1, grain);
   count_ = count;
   body_ = &body;

@@ -1,0 +1,624 @@
+// Observability layer: sharded metrics aggregate exactly under concurrency,
+// histogram bucket boundaries are pinned, span nesting survives into the
+// exported Chrome trace (validated with a real JSON parser), and the
+// campaign's outcome counters equal its reported taxonomy counts.
+//
+// Every test resets the registry and leaves the layer disabled, so suites
+// sharing a process never see each other's samples.
+#include <cctype>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dvf/kernels/injection_campaign.hpp"
+#include "dvf/kernels/suite.hpp"
+#include "dvf/kernels/vm.hpp"
+#include "dvf/obs/obs.hpp"
+#include "dvf/obs/trace_export.hpp"
+
+namespace dvf {
+namespace {
+
+/// Enables a clean obs recording for one test body; disables on exit.
+class ObsSession {
+ public:
+  ObsSession() {
+    obs::reset();
+    obs::set_enabled(true);
+  }
+  ~ObsSession() {
+    obs::set_enabled(false);
+    obs::reset();
+  }
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+};
+
+std::uint64_t counter_value(const obs::MetricsSnapshot& snapshot,
+                            const std::string& name) {
+  for (const auto& [key, value] : snapshot.counters) {
+    if (key == name) {
+      return value;
+    }
+  }
+  ADD_FAILURE() << "counter not in snapshot: " << name;
+  return 0;
+}
+
+double gauge_value(const obs::MetricsSnapshot& snapshot,
+                   const std::string& name) {
+  for (const auto& [key, value] : snapshot.gauges) {
+    if (key == name) {
+      return value;
+    }
+  }
+  ADD_FAILURE() << "gauge not in snapshot: " << name;
+  return 0.0;
+}
+
+const obs::HistogramSnapshot* find_histogram(
+    const obs::MetricsSnapshot& snapshot, const std::string& name) {
+  for (const obs::HistogramSnapshot& hist : snapshot.histograms) {
+    if (hist.name == name) {
+      return &hist;
+    }
+  }
+  ADD_FAILURE() << "histogram not in snapshot: " << name;
+  return nullptr;
+}
+
+// --- Minimal JSON parser -----------------------------------------------------
+//
+// Just enough JSON to validate the exporter's output structurally: the
+// grammar of RFC 8259 minus \u surrogate pairs (the exporter never emits
+// non-ASCII). Parse failures are test failures.
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string text;
+  std::vector<JsonValue> items;
+  std::map<std::string, JsonValue> members;
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    return members.count(key) != 0;
+  }
+  [[nodiscard]] const JsonValue& at(const std::string& key) const {
+    const auto it = members.find(key);
+    if (it == members.end()) {
+      ADD_FAILURE() << "missing JSON key: " << key;
+      static const JsonValue null_value;
+      return null_value;
+    }
+    return it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue value = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing characters");
+    }
+    return value;
+  }
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+ private:
+  void fail(const std::string& message) {
+    if (ok_) {
+      ok_ = false;
+      error_ = message + " at offset " + std::to_string(pos_);
+    }
+    pos_ = text_.size();  // stop consuming
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+      return {};
+    }
+    const char c = text_[pos_];
+    if (c == '{') {
+      return parse_object();
+    }
+    if (c == '[') {
+      return parse_array();
+    }
+    if (c == '"') {
+      JsonValue value;
+      value.kind = JsonValue::Kind::kString;
+      value.text = parse_string();
+      return value;
+    }
+    if (c == 't' || c == 'f') {
+      return parse_keyword(c == 't' ? "true" : "false", c == 't');
+    }
+    if (c == 'n') {
+      JsonValue value;
+      if (text_.substr(pos_, 4) != "null") {
+        fail("bad keyword");
+      }
+      pos_ += 4;
+      return value;
+    }
+    return parse_number();
+  }
+
+  JsonValue parse_keyword(std::string_view word, bool value) {
+    JsonValue out;
+    out.kind = JsonValue::Kind::kBool;
+    out.boolean = value;
+    if (text_.substr(pos_, word.size()) != word) {
+      fail("bad keyword");
+    }
+    pos_ += word.size();
+    return out;
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    JsonValue value;
+    value.kind = JsonValue::Kind::kNumber;
+    if (pos_ == start) {
+      fail("expected a number");
+      return value;
+    }
+    value.number = std::stod(std::string(text_.substr(start, pos_ - start)));
+    return value;
+  }
+
+  std::string parse_string() {
+    std::string out;
+    ++pos_;  // opening quote
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) {
+          fail("unterminated escape");
+          return out;
+        }
+        const char escape = text_[pos_++];
+        switch (escape) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case 'b': c = '\b'; break;
+          case 'f': c = '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              fail("bad \\u escape");
+              return out;
+            }
+            c = static_cast<char>(
+                std::stoul(std::string(text_.substr(pos_, 4)), nullptr, 16));
+            pos_ += 4;
+            break;
+          }
+          default:
+            fail("unknown escape");
+            return out;
+        }
+      }
+      out += c;
+    }
+    if (!consume('"')) {
+      fail("unterminated string");
+    }
+    return out;
+  }
+
+  JsonValue parse_array() {
+    JsonValue value;
+    value.kind = JsonValue::Kind::kArray;
+    consume('[');
+    skip_ws();
+    if (consume(']')) {
+      return value;
+    }
+    do {
+      value.items.push_back(parse_value());
+    } while (consume(','));
+    if (!consume(']')) {
+      fail("expected ',' or ']'");
+    }
+    return value;
+  }
+
+  JsonValue parse_object() {
+    JsonValue value;
+    value.kind = JsonValue::Kind::kObject;
+    consume('{');
+    skip_ws();
+    if (consume('}')) {
+      return value;
+    }
+    do {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        fail("expected a key string");
+        return value;
+      }
+      const std::string key = parse_string();
+      if (!consume(':')) {
+        fail("expected ':'");
+        return value;
+      }
+      value.members[key] = parse_value();
+    } while (consume(','));
+    if (!consume('}')) {
+      fail("expected ',' or '}'");
+    }
+    return value;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+  std::string error_;
+};
+
+JsonValue parse_json(const std::string& text) {
+  JsonParser parser(text);
+  JsonValue value = parser.parse();
+  EXPECT_TRUE(parser.ok()) << parser.error() << "\nin: " << text;
+  return value;
+}
+
+// --- Metrics ---------------------------------------------------------------
+
+TEST(ObsMetrics, DisabledRecordsNothing) {
+  obs::reset();
+  obs::set_enabled(false);
+  const obs::Counter c = obs::counter("test.disabled_counter");
+  c.add(41);
+  const obs::Histogram h = obs::histogram("test.disabled_hist");
+  h.record(7);
+  {
+    const obs::ScopedSpan span("test.disabled_span");
+  }
+  const obs::MetricsSnapshot snapshot = obs::snapshot_metrics();
+  EXPECT_EQ(counter_value(snapshot, "test.disabled_counter"), 0u);
+  EXPECT_TRUE(obs::snapshot_spans().empty());
+}
+
+TEST(ObsMetrics, RegistrationIsIdempotent) {
+  const ObsSession session;
+  const obs::Counter first = obs::counter("test.same_counter");
+  const obs::Counter second = obs::counter("test.same_counter");
+  first.add(2);
+  second.add(3);
+  EXPECT_EQ(counter_value(obs::snapshot_metrics(), "test.same_counter"), 5u);
+}
+
+TEST(ObsMetrics, GaugeKeepsLastWrite) {
+  const ObsSession session;
+  const obs::Gauge g = obs::gauge("test.gauge");
+  g.set(1.5);
+  g.set(-3.25);
+  EXPECT_DOUBLE_EQ(gauge_value(obs::snapshot_metrics(), "test.gauge"), -3.25);
+}
+
+TEST(ObsMetrics, ResetZeroesValuesButKeepsHandles) {
+  const ObsSession session;
+  const obs::Counter c = obs::counter("test.reset_counter");
+  c.add(10);
+  obs::reset();
+  obs::set_enabled(true);  // reset() is orthogonal to the enable switch
+  c.add(4);
+  EXPECT_EQ(counter_value(obs::snapshot_metrics(), "test.reset_counter"), 4u);
+}
+
+TEST(ObsMetrics, HistogramBucketBoundariesArePinned) {
+  // bucket_of is bit_width: bucket 0 = {0}, bucket i = [2^(i-1), 2^i - 1].
+  EXPECT_EQ(obs::Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(obs::Histogram::bucket_of(1), 1u);
+  EXPECT_EQ(obs::Histogram::bucket_of(2), 2u);
+  EXPECT_EQ(obs::Histogram::bucket_of(3), 2u);
+  EXPECT_EQ(obs::Histogram::bucket_of(4), 3u);
+  EXPECT_EQ(obs::Histogram::bucket_of(7), 3u);
+  EXPECT_EQ(obs::Histogram::bucket_of(8), 4u);
+  EXPECT_EQ(obs::Histogram::bucket_of(1024), 11u);
+  EXPECT_EQ(obs::Histogram::bucket_of((1ull << 63) - 1), 63u);
+  EXPECT_EQ(obs::Histogram::bucket_of(1ull << 63), 64u);
+  EXPECT_EQ(obs::Histogram::bucket_of(std::numeric_limits<std::uint64_t>::max()),
+            64u);
+  static_assert(obs::Histogram::kBuckets == 65);
+
+  EXPECT_EQ(obs::Histogram::bucket_upper_bound(0), 0u);
+  EXPECT_EQ(obs::Histogram::bucket_upper_bound(1), 1u);
+  EXPECT_EQ(obs::Histogram::bucket_upper_bound(2), 3u);
+  EXPECT_EQ(obs::Histogram::bucket_upper_bound(3), 7u);
+  EXPECT_EQ(obs::Histogram::bucket_upper_bound(11), 2047u);
+  EXPECT_EQ(obs::Histogram::bucket_upper_bound(64),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(ObsMetrics, HistogramSnapshotsBucketCountsAndSum) {
+  const ObsSession session;
+  const obs::Histogram h = obs::histogram("test.hist");
+  h.record(0);
+  h.record(1);
+  h.record(2);
+  h.record(3);
+  h.record(1000);
+  const obs::MetricsSnapshot snapshot = obs::snapshot_metrics();
+  const obs::HistogramSnapshot* found = find_histogram(snapshot, "test.hist");
+  ASSERT_NE(found, nullptr);
+  const obs::HistogramSnapshot& hist = *found;
+  EXPECT_EQ(hist.count, 5u);
+  EXPECT_EQ(hist.sum, 1006u);
+  // Non-empty buckets: {0}:1, [1,1]:1, [2,3]:2, [512,1023]:1.
+  const std::vector<std::pair<std::uint64_t, std::uint64_t>> expected = {
+      {0, 1}, {1, 1}, {3, 2}, {1023, 1}};
+  EXPECT_EQ(hist.buckets, expected);
+}
+
+TEST(ObsMetrics, MetricsJsonParses) {
+  const ObsSession session;
+  obs::counter("test.json_counter").add(3);
+  obs::gauge("test.json_gauge").set(2.5);
+  obs::histogram("test.json_hist").record(9);
+  const JsonValue root =
+      parse_json(obs::render_metrics_json(obs::snapshot_metrics()));
+  EXPECT_EQ(root.at("counters").at("test.json_counter").number, 3.0);
+  EXPECT_EQ(root.at("gauges").at("test.json_gauge").number, 2.5);
+  const JsonValue& hist = root.at("histograms").at("test.json_hist");
+  EXPECT_EQ(hist.at("count").number, 1.0);
+  EXPECT_EQ(hist.at("sum").number, 9.0);
+  ASSERT_EQ(hist.at("buckets").items.size(), 1u);
+  EXPECT_EQ(hist.at("buckets").items[0].at("le").number, 15.0);
+}
+
+TEST(ParallelObsMetrics, ConcurrentCounterIncrementsSumExactly) {
+  const ObsSession session;
+  const obs::Counter c = obs::counter("test.concurrent_counter");
+  constexpr unsigned kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        c.add();
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(counter_value(obs::snapshot_metrics(), "test.concurrent_counter"),
+            kThreads * kPerThread);
+}
+
+TEST(ParallelObsMetrics, ConcurrentHistogramsMergeAcrossShards) {
+  const ObsSession session;
+  const obs::Histogram h = obs::histogram("test.concurrent_hist");
+  constexpr unsigned kThreads = 6;
+  constexpr std::uint64_t kPerThread = 1'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        h.record(i);
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  const obs::MetricsSnapshot snapshot = obs::snapshot_metrics();
+  const obs::HistogramSnapshot* hist =
+      find_histogram(snapshot, "test.concurrent_hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, kThreads * kPerThread);
+  EXPECT_EQ(hist->sum, kThreads * (kPerThread * (kPerThread - 1) / 2));
+}
+
+TEST(ParallelObsMetrics, SpansFromManyThreadsAllRecorded) {
+  const ObsSession session;
+  constexpr unsigned kThreads = 4;
+  constexpr int kSpansPerThread = 50;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        const obs::ScopedSpan span("test.thread_span");
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(obs::snapshot_spans().size(), kThreads * kSpansPerThread);
+}
+
+// --- Spans and the Chrome-trace export -------------------------------------
+
+TEST(ObsSpans, NestingAssignsDepthAndParentIds) {
+  const ObsSession session;
+  {
+    const obs::ScopedSpan outer("test.outer");
+    {
+      const obs::ScopedSpan inner("test.inner");
+      const obs::ScopedSpan leaf("test.leaf");
+    }
+    const obs::ScopedSpan sibling("test.sibling");
+  }
+  const std::vector<obs::SpanRecord> spans = obs::snapshot_spans();
+  ASSERT_EQ(spans.size(), 4u);
+  // Ordered by start time: outer, inner, leaf, sibling.
+  EXPECT_STREQ(spans[0].name, "test.outer");
+  EXPECT_EQ(spans[0].parent, 0u);
+  EXPECT_EQ(spans[0].depth, 1u);
+  EXPECT_STREQ(spans[1].name, "test.inner");
+  EXPECT_EQ(spans[1].parent, spans[0].id);
+  EXPECT_EQ(spans[1].depth, 2u);
+  EXPECT_STREQ(spans[2].name, "test.leaf");
+  EXPECT_EQ(spans[2].parent, spans[1].id);
+  EXPECT_EQ(spans[2].depth, 3u);
+  EXPECT_STREQ(spans[3].name, "test.sibling");
+  EXPECT_EQ(spans[3].parent, spans[0].id);
+  EXPECT_EQ(spans[3].depth, 2u);
+  // Containment: children start and end inside their parent.
+  EXPECT_GE(spans[1].start_ns, spans[0].start_ns);
+  EXPECT_LE(spans[2].end_ns, spans[0].end_ns);
+}
+
+TEST(ObsSpans, ChromeTraceExportIsValidAndNested) {
+  const ObsSession session;
+  {
+    const obs::ScopedSpan outer("test.outer");
+    const obs::ScopedSpan inner("test.inner");
+  }
+  obs::counter("test.export_counter").add(7);
+
+  const JsonValue root = parse_json(obs::render_chrome_trace(
+      obs::snapshot_spans(), obs::snapshot_metrics(), obs::thread_names(),
+      "unit-test"));
+  EXPECT_EQ(root.at("displayTimeUnit").text, "ns");
+  const JsonValue& events = root.at("traceEvents");
+  ASSERT_EQ(events.kind, JsonValue::Kind::kArray);
+
+  std::map<std::string, const JsonValue*> complete;  // name -> X event
+  bool saw_process_name = false;
+  bool saw_counter = false;
+  for (const JsonValue& event : events.items) {
+    const std::string& ph = event.at("ph").text;
+    EXPECT_TRUE(event.has("pid"));
+    EXPECT_TRUE(event.has("tid"));
+    if (ph == "M" && event.at("name").text == "process_name") {
+      saw_process_name = true;
+      EXPECT_EQ(event.at("args").at("name").text, "unit-test");
+    } else if (ph == "X") {
+      EXPECT_TRUE(event.has("ts"));
+      EXPECT_TRUE(event.has("dur"));
+      complete[event.at("name").text] = &event;
+    } else if (ph == "C" && event.at("name").text == "test.export_counter") {
+      saw_counter = true;
+      EXPECT_EQ(event.at("args").at("value").number, 7.0);
+    }
+  }
+  EXPECT_TRUE(saw_process_name);
+  EXPECT_TRUE(saw_counter);
+  ASSERT_TRUE(complete.count("test.outer"));
+  ASSERT_TRUE(complete.count("test.inner"));
+  const JsonValue& outer = *complete["test.outer"];
+  const JsonValue& inner = *complete["test.inner"];
+  EXPECT_EQ(outer.at("args").at("depth").number, 1.0);
+  EXPECT_EQ(inner.at("args").at("depth").number, 2.0);
+  EXPECT_EQ(inner.at("args").at("parent").number,
+            outer.at("args").at("id").number);
+}
+
+TEST(ObsSpans, SummaryRendersEveryMetricName) {
+  const ObsSession session;
+  obs::counter("test.summary_counter").add(2);
+  obs::gauge("test.summary_gauge").set(1.0);
+  obs::histogram("test.summary_hist").record(5);
+  {
+    const obs::ScopedSpan span("test.summary_span");
+  }
+  const std::string summary =
+      obs::render_summary(obs::snapshot_metrics(), obs::snapshot_spans());
+  EXPECT_NE(summary.find("test.summary_counter"), std::string::npos);
+  EXPECT_NE(summary.find("test.summary_gauge"), std::string::npos);
+  EXPECT_NE(summary.find("test.summary_hist"), std::string::npos);
+  EXPECT_NE(summary.find("test.summary_span"), std::string::npos);
+}
+
+// --- Campaign integration ---------------------------------------------------
+
+TEST(CampaignObsIntegration, OutcomeCountersEqualTaxonomyCounts) {
+  const ObsSession session;
+  kernels::KernelCaseAdapter<kernels::VectorMultiply> vm(
+      "VM", "dense", kernels::VectorMultiply::Config{.iterations = 100});
+  kernels::CampaignConfig config;
+  config.trials_per_structure = 40;
+  config.threads = 3;
+  const auto stats = kernels::run_injection_campaign(vm, config);
+  ASSERT_FALSE(stats.empty());
+
+  std::uint64_t trials = 0;
+  std::uint64_t injected = 0;
+  std::uint64_t masked = 0;
+  std::uint64_t sdc = 0;
+  std::uint64_t due_exception = 0;
+  std::uint64_t due_hang = 0;
+  std::uint64_t due_invalid = 0;
+  for (const auto& s : stats) {
+    trials += s.trials;
+    injected += s.injected;
+    masked += s.masked;
+    sdc += s.sdc;
+    due_exception += s.due_exception;
+    due_hang += s.due_hang;
+    due_invalid += s.due_invalid;
+  }
+
+  const obs::MetricsSnapshot snapshot = obs::snapshot_metrics();
+  EXPECT_EQ(counter_value(snapshot, "campaign.trials"), trials);
+  EXPECT_EQ(counter_value(snapshot, "campaign.injected"), injected);
+  EXPECT_EQ(counter_value(snapshot, "campaign.masked"), masked);
+  EXPECT_EQ(counter_value(snapshot, "campaign.sdc"), sdc);
+  EXPECT_EQ(counter_value(snapshot, "campaign.due_exception"), due_exception);
+  EXPECT_EQ(counter_value(snapshot, "campaign.due_hang"), due_hang);
+  EXPECT_EQ(counter_value(snapshot, "campaign.due_invalid"), due_invalid);
+
+  // The campaign opened its run/batch spans.
+  bool saw_run = false;
+  for (const obs::SpanRecord& span : obs::snapshot_spans()) {
+    if (std::string_view(span.name) == "campaign.run") {
+      saw_run = true;
+    }
+  }
+  EXPECT_TRUE(saw_run);
+}
+
+}  // namespace
+}  // namespace dvf

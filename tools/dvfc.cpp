@@ -38,6 +38,8 @@
 #include "dvf/dvf/inference.hpp"
 #include "dvf/kernels/injection_campaign.hpp"
 #include "dvf/kernels/suite.hpp"
+#include "dvf/obs/obs.hpp"
+#include "dvf/obs/trace_export.hpp"
 #include "dvf/patterns/estimate.hpp"
 #include "dvf/machine/cache_config.hpp"
 #include "dvf/report/table.hpp"
@@ -58,10 +60,11 @@ struct Args {
 };
 
 /// Boolean flags never consume a following value, so `dvfc campaign --json
-/// VM` keeps VM as the positional kernel name.
+/// VM` keeps VM as the positional kernel name. `metrics` is boolean-style:
+/// its optional mode is attached with `=` (--metrics=json).
 bool is_boolean_flag(const std::string& name) {
   return name == "json" || name == "werror" || name == "csv" ||
-         name == "resume";
+         name == "resume" || name == "metrics";
 }
 
 Args parse_args(int argc, char** argv) {
@@ -73,8 +76,12 @@ Args parse_args(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg.rfind("--", 0) == 0) {
       const std::string name = arg.substr(2);
-      if (!is_boolean_flag(name) && i + 1 < argc &&
-          std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      const std::size_t eq = name.find('=');
+      if (eq != std::string::npos) {
+        // --name=value never consumes the next argument.
+        args.options[name.substr(0, eq)] = name.substr(eq + 1);
+      } else if (!is_boolean_flag(name) && i + 1 < argc &&
+                 std::string(argv[i + 1]).rfind("--", 0) != 0) {
         args.options[name] = argv[++i];
       } else {
         args.options[name] = "";
@@ -84,6 +91,69 @@ Args parse_args(int argc, char** argv) {
     }
   }
   return args;
+}
+
+/// The global observability options (docs/observability.md), accepted by
+/// every subcommand and removed from the option map before the per-command
+/// flag audit. Trace and metrics output never mixes into a command's stdout:
+/// the trace goes to its file, metrics go to stderr.
+struct ObsRequest {
+  std::string trace_path;   ///< --trace=FILE: Chrome trace-event JSON
+  bool metrics = false;     ///< --metrics: end-of-run summary table
+  bool metrics_json = false;  ///< --metrics=json: one JSON object line
+  bool valid = true;
+
+  [[nodiscard]] bool active() const {
+    return !trace_path.empty() || metrics;
+  }
+};
+
+ObsRequest extract_obs_options(Args& args) {
+  ObsRequest request;
+  if (const auto it = args.options.find("trace");
+      it != args.options.end()) {
+    request.trace_path = it->second;
+    args.options.erase(it);
+    if (request.trace_path.empty()) {
+      std::cerr << "dvfc: --trace needs a file path (--trace=FILE)\n";
+      request.valid = false;
+    }
+  }
+  if (const auto it = args.options.find("metrics"); it != args.options.end()) {
+    request.metrics = true;
+    request.metrics_json = it->second == "json";
+    if (!it->second.empty() && !request.metrics_json) {
+      std::cerr << "dvfc: --metrics accepts only '=json', got '" << it->second
+                << "'\n";
+      request.valid = false;
+    }
+    args.options.erase(it);
+  }
+  return request;
+}
+
+/// Flushes the requested observability outputs after the command ran.
+/// Returns false when the trace file cannot be written.
+bool emit_obs(const ObsRequest& request, const std::string& command) {
+  bool ok = true;
+  if (!request.trace_path.empty()) {
+    try {
+      dvf::obs::write_chrome_trace(request.trace_path, "dvfc " + command);
+    } catch (const dvf::Error& err) {
+      std::cerr << "dvfc: " << err.what() << "\n";
+      ok = false;
+    }
+  }
+  if (request.metrics) {
+    const dvf::obs::MetricsSnapshot snapshot = dvf::obs::snapshot_metrics();
+    if (request.metrics_json) {
+      std::cerr << dvf::obs::render_metrics_json(snapshot) << "\n";
+    } else {
+      std::cerr << dvf::obs::render_summary(snapshot,
+                                            dvf::obs::snapshot_spans());
+    }
+  }
+  return ok;
 }
 
 /// Per-command flag audit: an unrecognized --option is bad usage (exit 2),
@@ -195,6 +265,13 @@ int usage() {
       "                                        derive pattern specs from a\n"
       "                                        trace and compare estimates\n"
       "                                        against its replay\n"
+      "global options (every command):\n"
+      "  --trace FILE                          write a Chrome trace-event\n"
+      "                                        JSON file (chrome://tracing,\n"
+      "                                        Perfetto) of the run\n"
+      "  --metrics[=json]                      print end-of-run metrics to\n"
+      "                                        stderr: a summary table, or\n"
+      "                                        with =json one JSON object\n"
       "exit codes: 0 success; 1 model/campaign errors (for lint --werror:\n"
       "errors or warnings); 2 bad usage, unknown flags or unreadable input;\n"
       "3 internal error\n";
@@ -603,10 +680,7 @@ int cmd_infer(const Args& args) {
   return 0;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const Args args = parse_args(argc, argv);
+int run_command(const Args& args) {
   try {
     if (!options_recognized(args)) {
       return usage();
@@ -654,4 +728,27 @@ int main(int argc, char** argv) {
     std::cerr << "dvfc: internal error: " << err.what() << "\n";
     return 3;
   }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args = parse_args(argc, argv);
+  const ObsRequest obs_request = extract_obs_options(args);
+  if (!obs_request.valid) {
+    return 2;
+  }
+  if (obs_request.active()) {
+    dvf::obs::set_enabled(true);
+  }
+  int code = run_command(args);
+  // Flush trace/metrics even when the command failed (code 1/3): a failing
+  // campaign's partial trace is exactly what one wants to look at. Bad
+  // usage (2) produced no work worth reporting.
+  if (obs_request.active() && code != 2) {
+    if (!emit_obs(obs_request, args.command) && code == 0) {
+      code = 1;
+    }
+  }
+  return code;
 }
