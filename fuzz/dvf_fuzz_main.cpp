@@ -1,0 +1,119 @@
+// dvf_fuzz — deterministic fuzz + differential-oracle harness driver.
+//
+//   dvf_fuzz [--target roundtrip|eval|oracle|all] [--cases N] [--seed S]
+//            [--max-seconds T] [--corpus DIR] [--verbose]
+//
+// Exit 0 when every executed case passed, 1 when any finding was recorded,
+// 2 on bad usage. Runs are pure functions of (--seed, --cases): a CI
+// failure replays locally from the printed configuration alone.
+#include <charconv>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "dvf/fuzz/fuzzer.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr <<
+      "usage: dvf_fuzz [options]\n"
+      "  --target roundtrip|eval|oracle|all    harness to run (default all)\n"
+      "  --cases N                             generated cases per target\n"
+      "                                        (default 1000)\n"
+      "  --seed S                              master seed (default 1)\n"
+      "  --max-seconds T                       wall-clock box per target\n"
+      "                                        (default 0 = unbounded)\n"
+      "  --corpus DIR                          directory of *.aspen seed\n"
+      "                                        inputs for the roundtrip\n"
+      "                                        target\n"
+      "  --verbose                             narrate findings as they\n"
+      "                                        occur\n";
+  return 2;
+}
+
+bool parse_u64(const std::string& text, std::uint64_t& out) {
+  const auto [end, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), out);
+  return ec == std::errc() && end == text.data() + text.size();
+}
+
+bool parse_double(const std::string& text, double& out) {
+  const auto [end, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), out);
+  return ec == std::errc() && end == text.data() + text.size() && out >= 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dvf::fuzz::FuzzOptions options;
+  std::string target = "all";
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--verbose") {
+      options.verbose = true;
+    } else if (arg == "--target") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      target = v;
+      if (target != "roundtrip" && target != "eval" && target != "oracle" &&
+          target != "all") {
+        std::cerr << "dvf_fuzz: unknown target '" << target << "'\n";
+        return usage();
+      }
+    } else if (arg == "--cases") {
+      const char* v = value();
+      if (v == nullptr || !parse_u64(v, options.cases)) return usage();
+    } else if (arg == "--seed") {
+      const char* v = value();
+      if (v == nullptr || !parse_u64(v, options.seed)) return usage();
+    } else if (arg == "--max-seconds") {
+      const char* v = value();
+      if (v == nullptr || !parse_double(v, options.max_seconds)) return usage();
+    } else if (arg == "--corpus") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      options.corpus_dir = v;
+    } else {
+      std::cerr << "dvf_fuzz: unknown option '" << arg << "'\n";
+      return usage();
+    }
+  }
+
+  dvf::fuzz::FuzzReport report;
+  const auto run = [&](const char* name, auto&& harness) {
+    const dvf::fuzz::FuzzReport partial = harness(options);
+    std::cout << "dvf_fuzz " << name << ": " << partial.cases_run
+              << " case(s), " << partial.findings.size() << " finding(s)"
+              << " (seed " << options.seed << ")\n";
+    report.merge(partial);
+  };
+  if (target == "roundtrip" || target == "all") {
+    run("roundtrip", dvf::fuzz::fuzz_roundtrip);
+  }
+  if (target == "eval" || target == "all") {
+    run("eval", dvf::fuzz::fuzz_eval);
+  }
+  if (target == "oracle" || target == "all") {
+    run("oracle", dvf::fuzz::fuzz_oracle);
+  }
+
+  if (!report.ok()) {
+    const std::size_t shown = std::min<std::size_t>(report.findings.size(), 25);
+    for (std::size_t i = 0; i < shown; ++i) {
+      std::cerr << "finding " << (i + 1) << ": " << report.findings[i] << "\n";
+    }
+    if (shown < report.findings.size()) {
+      std::cerr << "... and " << (report.findings.size() - shown)
+                << " more finding(s)\n";
+    }
+    return 1;
+  }
+  return 0;
+}

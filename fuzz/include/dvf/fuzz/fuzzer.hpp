@@ -1,0 +1,71 @@
+// Deterministic, dependency-free fuzz harness for the DVF front end and
+// evaluation core (docs/architecture.md "guardrail & fuzz layer").
+//
+// Three targets, each a pure function of (seed, case count):
+//
+//   roundtrip — random + mutated DSL sources through parse/print/analyze.
+//               A source must either be rejected with a positioned
+//               ParseError / diagnostics, or parse, print canonically and
+//               reach the printer's fixpoint (print ∘ parse is idempotent).
+//               Any other exception, or a fixpoint violation, is a finding.
+//
+//   eval      — adversarial pattern specs (zeros, 2^62 counts, NaN/Inf
+//               parameters, huge strides) through the total try_* evaluator
+//               APIs under a bounded EvalBudget. An evaluator must return
+//               either a finite non-negative estimate or a classified
+//               EvalError; an exception, crash, hang (budget-bounded) or an
+//               unclassified non-finite value is a finding.
+//
+//   oracle    — differential testing: sensible random specs evaluated
+//               analytically and replayed on the LRU CacheSimulator; the
+//               two must agree within the documented per-pattern tolerance
+//               (docs/resilience.md "Error taxonomy & totality").
+//
+// The harness uses the library's own xoshiro256** so runs are reproducible
+// across platforms; a failing case can be replayed from its seed alone.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dvf::fuzz {
+
+/// One harness configuration, shared by all targets.
+struct FuzzOptions {
+  std::uint64_t cases = 1000;  ///< generated cases per target
+  std::uint64_t seed = 1;      ///< master seed (cases derive from it)
+  double max_seconds = 0.0;    ///< wall-clock box per target (0 = none)
+  std::string corpus_dir;      ///< optional dir of *.aspen seed inputs
+  bool verbose = false;        ///< narrate findings to stderr as they occur
+};
+
+/// Outcome of one target run. `cases_run` counts generated cases actually
+/// executed (the time box may stop a run early); corpus seeds are extra.
+struct FuzzReport {
+  std::uint64_t cases_run = 0;
+  std::vector<std::string> findings;
+
+  [[nodiscard]] bool ok() const noexcept { return findings.empty(); }
+  void merge(FuzzReport other);
+};
+
+/// DSL parse → print → parse fixpoint checking over generated and mutated
+/// sources plus every corpus file.
+[[nodiscard]] FuzzReport fuzz_roundtrip(const FuzzOptions& options);
+
+/// Totality checking of the try_* evaluators on adversarial specs.
+[[nodiscard]] FuzzReport fuzz_eval(const FuzzOptions& options);
+
+/// Differential oracle: analytical N_ha against CacheSimulator replay.
+[[nodiscard]] FuzzReport fuzz_oracle(const FuzzOptions& options);
+
+/// Documented differential tolerances (relative error bounds) asserted by
+/// fuzz_oracle. Streaming single-pass traversals are predicted block-exactly;
+/// the stochastic models carry the paper's ±15% validation band.
+inline constexpr double kStreamingOracleTolerance = 0.0;
+inline constexpr double kRandomOracleTolerance = 0.15;
+inline constexpr double kTemplateOracleTolerance = 0.15;
+inline constexpr double kReuseOracleTolerance = 0.15;
+
+}  // namespace dvf::fuzz

@@ -1,0 +1,103 @@
+#include "dvf/common/budget.hpp"
+
+#include <chrono>
+#include <string>
+
+namespace dvf {
+
+namespace {
+
+[[nodiscard]] std::uint64_t steady_now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+[[nodiscard]] EvalError limit_error(const char* what, std::uint64_t used,
+                                    std::uint64_t limit) {
+  return EvalError{ErrorKind::kResourceLimit,
+                   std::string(what) + " budget exceeded: " +
+                       std::to_string(used) + " > " + std::to_string(limit)};
+}
+
+}  // namespace
+
+void EvalBudget::arm_deadline() noexcept {
+  if (limits_.wall_seconds <= 0.0) {
+    deadline_ns_.store(0, std::memory_order_relaxed);
+    return;
+  }
+  const auto delta =
+      static_cast<std::uint64_t>(limits_.wall_seconds * 1e9);
+  deadline_ns_.store(steady_now_ns() + delta, std::memory_order_relaxed);
+}
+
+Result<void> EvalBudget::charge_references(std::uint64_t n) noexcept {
+  DVF_TRY_CHECK(check_deadline());
+  if (limits_.max_references == 0) {
+    return {};
+  }
+  if (per_charge_) {
+    if (n > limits_.max_references) {
+      return limit_error("reference", n, limits_.max_references);
+    }
+    return {};
+  }
+  const std::uint64_t used =
+      references_.fetch_add(n, std::memory_order_relaxed) + n;
+  if (used < n || used > limits_.max_references) {  // < n: counter wrapped
+    return limit_error("reference", used, limits_.max_references);
+  }
+  return {};
+}
+
+Result<void> EvalBudget::charge_expansion(std::uint64_t n) noexcept {
+  DVF_TRY_CHECK(check_deadline());
+  if (limits_.max_expansion == 0) {
+    return {};
+  }
+  if (per_charge_) {
+    if (n > limits_.max_expansion) {
+      return limit_error("expansion", n, limits_.max_expansion);
+    }
+    return {};
+  }
+  const std::uint64_t used =
+      expansion_.fetch_add(n, std::memory_order_relaxed) + n;
+  if (used < n || used > limits_.max_expansion) {
+    return limit_error("expansion", used, limits_.max_expansion);
+  }
+  return {};
+}
+
+Result<void> EvalBudget::check_deadline() noexcept {
+  const std::uint64_t deadline = deadline_ns_.load(std::memory_order_relaxed);
+  if (deadline == 0) {
+    return {};
+  }
+  if (steady_now_ns() >= deadline) {
+    return EvalError{ErrorKind::kDeadlineExceeded,
+                     "evaluation deadline of " +
+                         std::to_string(limits_.wall_seconds) +
+                         " s exceeded"};
+  }
+  return {};
+}
+
+void EvalBudget::reset() noexcept {
+  references_.store(0, std::memory_order_relaxed);
+  expansion_.store(0, std::memory_order_relaxed);
+  arm_deadline();
+}
+
+EvalBudget& EvalBudget::process_default() noexcept {
+  static EvalBudget budget(EvalLimits{}, /*per_charge=*/true);
+  return budget;
+}
+
+EvalBudget& budget_or_default(EvalBudget* budget) noexcept {
+  return budget != nullptr ? *budget : EvalBudget::process_default();
+}
+
+}  // namespace dvf

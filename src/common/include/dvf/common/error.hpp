@@ -26,18 +26,29 @@ class InvalidArgumentError : public Error {
 /// The DSL front end rejected the input text. Carries a source location.
 class ParseError : public Error {
  public:
-  ParseError(std::string message, int line, int column)
+  ParseError(std::string message, int line, int column, int length = 1,
+             const char* code = nullptr)
       : Error("parse error at " + std::to_string(line) + ":" +
               std::to_string(column) + ": " + std::move(message)),
         line_(line),
-        column_(column) {}
+        column_(column),
+        length_(length < 1 ? 1 : length),
+        code_(code) {}
 
   [[nodiscard]] int line() const noexcept { return line_; }
   [[nodiscard]] int column() const noexcept { return column_; }
+  /// Width of the offending source span in characters (>= 1).
+  [[nodiscard]] int length() const noexcept { return length_; }
+  /// Stable diagnostic code ("DVF-E018") when the error maps to a specific
+  /// catalog entry; nullptr for a generic syntax error. The pointer must be
+  /// a string literal (diagnostic codes are).
+  [[nodiscard]] const char* code() const noexcept { return code_; }
 
  private:
   int line_;
   int column_;
+  int length_ = 1;
+  const char* code_ = nullptr;
 };
 
 /// The DSL analyzer rejected a structurally valid model (unknown identifier,

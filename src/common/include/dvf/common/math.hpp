@@ -9,6 +9,8 @@
 #include <span>
 #include <vector>
 
+#include "dvf/common/result.hpp"
+
 namespace dvf::math {
 
 /// ln C(n, k); returns -infinity when the coefficient is zero
@@ -49,9 +51,66 @@ class KahanSum {
 /// Sum of a span with Kahan compensation.
 [[nodiscard]] double stable_sum(std::span<const double> xs);
 
-/// Integer ceiling division for non-negative operands.
+// ---------------------------------------------------------------------------
+// Checked combinatorics. Eqs. 5-7 route through log-gamma, which keeps the
+// LOG finite for any population — but exp() of a log can still overflow, and
+// above kMaxCombinatoricPopulation the log-gamma differences have lost every
+// significant digit (lgamma(n) grows like n*ln(n); at n ≈ 2^48 its absolute
+// rounding error reaches order 1 in log space, i.e. a factor of e in the
+// probability). The checked variants classify both failure modes instead of
+// returning garbage, and are what the total try_* evaluators call.
+
+/// Largest population the checked combinatorics accept. Beyond it the
+/// result would be numerically meaningless, so the checked functions return
+/// a classified overflow error instead.
+inline constexpr std::int64_t kMaxCombinatoricPopulation = std::int64_t{1}
+                                                           << 48;
+
+/// ln C(n, k) with population guard: overflow error when n exceeds
+/// kMaxCombinatoricPopulation, -infinity (a VALUE, not an error) when the
+/// coefficient is exactly zero.
+[[nodiscard]] Result<double> checked_log_binomial(std::int64_t n,
+                                                  std::int64_t k);
+
+/// C(n, k), classifying exp-overflow (the coefficient exceeds the double
+/// range) and oversized populations. Out-of-support (k < 0, k > n) is the
+/// exact value 0.
+[[nodiscard]] Result<double> checked_binomial(std::int64_t n, std::int64_t k);
+
+/// Hypergeometric pmf with population guard and a finiteness check on the
+/// result. Out-of-support arguments (draws > total, marked > total, k
+/// outside the support) are the exact value 0, matching the unchecked
+/// function.
+[[nodiscard]] Result<double> checked_hypergeometric_pmf(std::int64_t total,
+                                                         std::int64_t marked,
+                                                         std::int64_t draws,
+                                                         std::int64_t k);
+
+/// Kahan sum that classifies non-finite inputs (non_finite error naming the
+/// offending index) and overflow of the accumulated total, instead of
+/// silently propagating NaN the way stable_sum must for hot paths.
+[[nodiscard]] Result<double> checked_sum(std::span<const double> xs);
+
+/// Integer ceiling division for non-negative operands. Written without the
+/// (a + b - 1) intermediate so it cannot wrap for any a, b.
 [[nodiscard]] constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
-  return (a + b - 1) / b;
+  return a / b + (a % b != 0 ? 1 : 0);
+}
+
+/// a * b clamped to UINT64_MAX instead of wrapping. Cost estimates charged
+/// against an EvalBudget use this: a saturated estimate still trips the
+/// budget, a wrapped one silently passes.
+[[nodiscard]] constexpr std::uint64_t saturating_mul(std::uint64_t a,
+                                                     std::uint64_t b) {
+  std::uint64_t out = 0;
+  return __builtin_mul_overflow(a, b, &out) ? ~std::uint64_t{0} : out;
+}
+
+/// a + b clamped to UINT64_MAX instead of wrapping.
+[[nodiscard]] constexpr std::uint64_t saturating_add(std::uint64_t a,
+                                                     std::uint64_t b) {
+  std::uint64_t out = 0;
+  return __builtin_add_overflow(a, b, &out) ? ~std::uint64_t{0} : out;
 }
 
 /// Half-width of the Wilson score confidence interval for a binomial

@@ -617,14 +617,17 @@ class Analyzer {
 
     TemplateSpec t;
     t.element_bytes = esize;
-    try {
-      t.element_indices = expand_progression(start, *step, *count);
-    } catch (const Error& err) {
-      // expand_progression rejects progressions that underflow element 0.
+    // Total expansion: progressions that underflow element 0, overflow the
+    // index range, or exceed the expansion budget (template bombs) all
+    // degrade into a diagnostic on the start tuple instead of an exception
+    // or an OOM kill.
+    auto expansion = try_expand_progression(start, *step, *count);
+    if (!expansion.ok()) {
       diags_.error(codes::kTemplateOutOfBounds, tuple_span(*start_tuple),
-                   context + ": " + err.what());
+                   context + ": " + expansion.error().describe());
       return false;
     }
+    t.element_indices = *std::move(expansion);
     t.repetitions = *repeats;
     t.cache_ratio = *ratio;
     target->patterns.emplace_back(std::move(t));

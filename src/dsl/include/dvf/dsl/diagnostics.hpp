@@ -63,6 +63,7 @@ inline constexpr const char* kValueOutOfRange = "DVF-E014";
 inline constexpr const char* kInconsistentSize = "DVF-E015";
 inline constexpr const char* kConflictingMemorySpec = "DVF-E016";
 inline constexpr const char* kNegativeQuantity = "DVF-E017";
+inline constexpr const char* kNumberOverflow = "DVF-E018";
 inline constexpr const char* kUnusedParam = "DVF-W101";
 inline constexpr const char* kDataNeverAccessed = "DVF-W102";
 inline constexpr const char* kNoMachine = "DVF-W103";

@@ -1,10 +1,13 @@
 #include "dvf/dsl/lexer.hpp"
 
 #include <cctype>
+#include <cerrno>
 #include <charconv>
+#include <cmath>
 #include <cstdlib>
 
 #include "dvf/common/error.hpp"
+#include "dvf/dsl/diagnostics.hpp"
 
 namespace dvf::dsl {
 
@@ -168,10 +171,21 @@ std::vector<Token> tokenize(std::string_view source) {
       double value = 0.0;
       const char* begin = literal.c_str();
       char* end = nullptr;
+      errno = 0;
       value = std::strtod(begin, &end);
       if (end != begin + literal.size()) {
         throw ParseError("malformed numeric literal '" + literal + "'", line,
-                         column);
+                         column, static_cast<int>(literal.size()));
+      }
+      // strtod reports range errors through errno: a literal like 1e999
+      // converts to +inf (silently poisoning every model quantity downstream)
+      // and sets ERANGE. Underflow to zero/denormal also sets ERANGE but is a
+      // representable approximation, so only reject the non-finite case.
+      if (errno == ERANGE && !std::isfinite(value)) {
+        throw ParseError("numeric literal '" + literal +
+                             "' overflows the representable range",
+                         line, column, static_cast<int>(literal.size()),
+                         codes::kNumberOverflow);
       }
 
       // Binary size suffix (must immediately follow the digits).
@@ -184,6 +198,14 @@ std::vector<Token> tokenize(std::string_view source) {
                                                        : 1073741824.0;
         literal += prefix;
         literal += 'B';
+      }
+      if (!std::isfinite(value * scale)) {
+        // A finite mantissa can still overflow through the size suffix
+        // (1e308KB); same classification as the bare-literal overflow.
+        throw ParseError("numeric literal '" + literal +
+                             "' overflows the representable range",
+                         line, column, static_cast<int>(literal.size()),
+                         codes::kNumberOverflow);
       }
 
       Token t;

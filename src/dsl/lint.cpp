@@ -597,7 +597,11 @@ LintResult lint(std::string_view source) {
     if (message.rfind(prefix, 0) == 0) {
       message = message.substr(prefix.size());
     }
-    diags.error(codes::kSyntax, {err.line(), err.column(), 1},
+    // Lexer errors that map to a specific catalog entry (e.g. DVF-E018
+    // numeric overflow) carry their code and span width; generic syntax
+    // errors fall back to kSyntax with a one-character span.
+    const char* code = err.code() != nullptr ? err.code() : codes::kSyntax;
+    diags.error(code, {err.line(), err.column(), err.length()},
                 std::move(message));
     parsed = false;
   }

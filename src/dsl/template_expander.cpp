@@ -2,29 +2,57 @@
 
 #include <algorithm>
 #include <cctype>
+#include <string>
 
 #include "dvf/common/error.hpp"
+#include "dvf/common/math.hpp"
 
 namespace dvf::dsl {
 
-std::vector<std::uint64_t> expand_progression(
+Result<std::vector<std::uint64_t>> try_expand_progression(
     std::span<const std::int64_t> start, std::int64_t step,
-    std::uint64_t count) {
-  DVF_CHECK_MSG(!start.empty(), "template progression needs a start tuple");
-  DVF_CHECK_MSG(count >= 1, "template progression needs count >= 1");
+    std::uint64_t count, EvalBudget* budget) {
+  DVF_EVAL_REQUIRE(!start.empty(), "template progression needs a start tuple");
+  DVF_EVAL_REQUIRE(count >= 1, "template progression needs count >= 1");
+  // The expansion bomb guard: (0):1:2^62 would ask for 2^62 indices (32 EiB
+  // of vector). Charge the full expanded size before allocating anything.
+  DVF_TRY_CHECK(budget_or_default(budget).charge_expansion(
+      math::saturating_mul(start.size(), count)));
 
   std::vector<std::uint64_t> out;
   out.reserve(start.size() * count);
   for (std::uint64_t r = 0; r < count; ++r) {
-    const std::int64_t offset = static_cast<std::int64_t>(r) * step;
+    // offset = r * step and idx = s + offset in checked int64 arithmetic:
+    // with count up to 2^64 and step up to int64 limits both can leave the
+    // representable range long before the negative-index check would fire.
+    std::int64_t offset = 0;
+    if (__builtin_mul_overflow(static_cast<std::int64_t>(r), step, &offset)) {
+      return EvalError{ErrorKind::kOverflow,
+                       "template progression offset " + std::to_string(r) +
+                           " * " + std::to_string(step) +
+                           " overflows a 64-bit index"};
+    }
     for (const std::int64_t s : start) {
-      const std::int64_t idx = s + offset;
-      DVF_CHECK_MSG(idx >= 0, "template progression references a negative "
-                              "element index");
+      std::int64_t idx = 0;
+      if (__builtin_add_overflow(s, offset, &idx)) {
+        return EvalError{ErrorKind::kOverflow,
+                         "template progression index " + std::to_string(s) +
+                             " + " + std::to_string(offset) +
+                             " overflows a 64-bit index"};
+      }
+      DVF_EVAL_REQUIRE(idx >= 0,
+                       "template progression references a negative element "
+                       "index");
       out.push_back(static_cast<std::uint64_t>(idx));
     }
   }
   return out;
+}
+
+std::vector<std::uint64_t> expand_progression(
+    std::span<const std::int64_t> start, std::int64_t step,
+    std::uint64_t count) {
+  return try_expand_progression(start, step, count).value_or_throw();
 }
 
 std::uint64_t AccessOrder::appearances(std::string_view name) const {

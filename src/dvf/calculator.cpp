@@ -1,5 +1,9 @@
 #include "dvf/dvf/calculator.hpp"
 
+#include <atomic>
+#include <cmath>
+#include <iterator>
+#include <optional>
 #include <utility>
 
 #include "dvf/common/error.hpp"
@@ -10,6 +14,38 @@
 #include "dvf/patterns/estimate.hpp"
 
 namespace dvf {
+
+namespace {
+
+/// One counter per taxonomy kind, so dashboards can alarm on e.g. a burst of
+/// deadline_exceeded without parsing messages. Cold path: only touched when
+/// an evaluation fails. Each failed public calculator call counts once.
+void count_eval_error(ErrorKind kind) {
+  if (!obs::enabled()) {
+    return;
+  }
+  static const obs::Counter counters[] = {
+      obs::counter("dvf.eval_errors.domain_error"),
+      obs::counter("dvf.eval_errors.overflow"),
+      obs::counter("dvf.eval_errors.non_finite"),
+      obs::counter("dvf.eval_errors.resource_limit"),
+      obs::counter("dvf.eval_errors.deadline_exceeded"),
+  };
+  const auto index = static_cast<std::size_t>(kind);
+  if (index < std::size(counters)) {
+    counters[index].add();
+  }
+}
+
+template <typename T>
+Result<T> counted(Result<T> result) {
+  if (!result.ok()) {
+    count_eval_error(result.error().kind);
+  }
+  return result;
+}
+
+}  // namespace
 
 const StructureDvf* ApplicationDvf::find(const std::string& name) const {
   for (const auto& s : structures) {
@@ -22,24 +58,64 @@ const StructureDvf* ApplicationDvf::find(const std::string& name) const {
 
 DvfCalculator::DvfCalculator(Machine machine) : machine_(std::move(machine)) {}
 
-double DvfCalculator::main_memory_accesses(const DataStructureSpec& ds) const {
-  return estimate_accesses(std::span<const PatternSpec>(ds.patterns),
-                           machine_.llc);
+Result<double> DvfCalculator::try_main_memory_accesses(
+    const DataStructureSpec& ds) const {
+  return counted(try_estimate_accesses(
+      std::span<const PatternSpec>(ds.patterns), machine_.llc, budget_));
 }
 
-StructureDvf DvfCalculator::for_structure(const DataStructureSpec& ds,
-                                          double exec_time_seconds) const {
-  DVF_CHECK_MSG(exec_time_seconds >= 0.0, "execution time must be >= 0");
-  DVF_CHECK_MSG(ds.size_bytes > 0, "data structure size must be positive");
+double DvfCalculator::main_memory_accesses(const DataStructureSpec& ds) const {
+  return try_main_memory_accesses(ds).value_or_throw();
+}
+
+Result<StructureDvf> DvfCalculator::eval_structure(
+    const DataStructureSpec& ds, double exec_time_seconds) const {
+  if (!std::isfinite(exec_time_seconds)) {
+    return EvalError{ErrorKind::kNonFinite, "execution time is not finite"};
+  }
+  DVF_EVAL_REQUIRE(exec_time_seconds >= 0.0, "execution time must be >= 0");
+  DVF_EVAL_REQUIRE(ds.size_bytes > 0, "data structure size must be positive");
 
   StructureDvf result;
   result.name = ds.name;
   result.size_bytes = static_cast<double>(ds.size_bytes);
-  result.n_ha = main_memory_accesses(ds);
-  result.n_error = expected_errors(machine_.memory.fit(), exec_time_seconds,
-                                   result.size_bytes);
-  result.dvf = result.n_error * result.n_ha;  // Eq. 1
+  DVF_TRY_ASSIGN(n_ha,
+                 try_estimate_accesses(
+                     std::span<const PatternSpec>(ds.patterns), machine_.llc,
+                     budget_));
+  result.n_ha = n_ha;
+  DVF_TRY_ASSIGN(n_error,
+                 finite_or_error(expected_errors(machine_.memory.fit(),
+                                                 exec_time_seconds,
+                                                 result.size_bytes),
+                                 "N_error (FIT * T * S_d)"));
+  result.n_error = n_error;
+  DVF_TRY_ASSIGN(dvf_value, finite_or_error(result.n_error * result.n_ha,
+                                            "structure DVF (Eq. 1)"));
+  result.dvf = dvf_value;
   return result;
+}
+
+Result<StructureDvf> DvfCalculator::try_for_structure(
+    const DataStructureSpec& ds, double exec_time_seconds) const {
+  return counted(eval_structure(ds, exec_time_seconds));
+}
+
+StructureDvf DvfCalculator::for_structure(const DataStructureSpec& ds,
+                                          double exec_time_seconds) const {
+  return try_for_structure(ds, exec_time_seconds).value_or_throw();
+}
+
+Result<ApplicationDvf> DvfCalculator::try_for_model(
+    const ModelSpec& model) const {
+  if (!model.exec_time_seconds.has_value()) {
+    return counted<ApplicationDvf>(EvalError{
+        ErrorKind::kDomainError,
+        "model '" + model.name +
+            "' has no execution time; measure the kernel or set one in the "
+            "model"});
+  }
+  return try_for_model(model, *model.exec_time_seconds);
 }
 
 ApplicationDvf DvfCalculator::for_model(const ModelSpec& model) const {
@@ -51,8 +127,8 @@ ApplicationDvf DvfCalculator::for_model(const ModelSpec& model) const {
   return for_model(model, *model.exec_time_seconds);
 }
 
-ApplicationDvf DvfCalculator::for_model(const ModelSpec& model,
-                                        double exec_time_seconds) const {
+Result<ApplicationDvf> DvfCalculator::try_for_model(
+    const ModelSpec& model, double exec_time_seconds) const {
   const obs::ScopedSpan span("dvf.for_model");
   if (obs::enabled()) {
     static const obs::Counter models = obs::counter("dvf.models_evaluated");
@@ -67,31 +143,70 @@ ApplicationDvf DvfCalculator::for_model(const ModelSpec& model,
   app.exec_time_seconds = exec_time_seconds;
   app.structures.resize(model.structures.size());
 
+  // Lowest failing structure index, or SIZE_MAX while none failed. The
+  // parallel path races on it with a min-CAS, so the reported error is the
+  // same one the serial path would report, regardless of thread timing.
+  std::atomic<std::size_t> first_error_index{~std::size_t{0}};
+  std::vector<std::optional<EvalError>> errors(model.structures.size());
+
+  const auto evaluate_one = [&](std::size_t i) {
+    auto structure_result =
+        eval_structure(model.structures[i], exec_time_seconds);
+    if (structure_result.ok()) {
+      app.structures[i] = *std::move(structure_result);
+      return;
+    }
+    errors[i] = std::move(structure_result).error();
+    std::size_t prev = first_error_index.load(std::memory_order_relaxed);
+    while (i < prev && !first_error_index.compare_exchange_weak(
+                           prev, i, std::memory_order_relaxed)) {
+    }
+  };
+
   const unsigned threads = parallel::resolve_thread_count(threads_);
   if (threads > 1 &&
       model.structures.size() >= kParallelStructureThreshold) {
     // Per-structure evaluations are independent; fan them out and keep the
     // Eq. 2 summation in model order below, so the result matches the
     // serial path bit for bit.
-    parallel::parallel_for(
-        parallel::ThreadPool::global(), model.structures.size(),
-        [&](std::uint64_t i) {
-          app.structures[i] =
-              for_structure(model.structures[i], exec_time_seconds);
-        },
-        /*grain=*/4);
+    parallel::parallel_for(parallel::ThreadPool::global(),
+                           model.structures.size(),
+                           [&](std::uint64_t i) {
+                             evaluate_one(static_cast<std::size_t>(i));
+                           },
+                           /*grain=*/4);
   } else {
     for (std::size_t i = 0; i < model.structures.size(); ++i) {
-      app.structures[i] = for_structure(model.structures[i], exec_time_seconds);
+      evaluate_one(i);
+      if (errors[i].has_value()) {
+        break;  // serial path can stop at the first failure
+      }
     }
+  }
+
+  const std::size_t failed = first_error_index.load(std::memory_order_relaxed);
+  if (failed != ~std::size_t{0}) {
+    EvalError err = std::move(*errors[failed]);
+    err.message = "structure '" + model.structures[failed].name + "': " +
+                  err.message;
+    count_eval_error(err.kind);
+    return err;
   }
 
   math::KahanSum total;
   for (const StructureDvf& s : app.structures) {
     total.add(s.dvf);  // Eq. 2
   }
-  app.total = total.value();
+  DVF_TRY_ASSIGN(total_value,
+                 counted(finite_or_error(total.value(),
+                                         "application DVF (Eq. 2)")));
+  app.total = total_value;
   return app;
+}
+
+ApplicationDvf DvfCalculator::for_model(const ModelSpec& model,
+                                        double exec_time_seconds) const {
+  return try_for_model(model, exec_time_seconds).value_or_throw();
 }
 
 }  // namespace dvf

@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "dvf/common/budget.hpp"
+#include "dvf/common/result.hpp"
 #include "dvf/dvf/model_spec.hpp"
 #include "dvf/machine/machine.hpp"
 
@@ -48,6 +50,26 @@ class DvfCalculator {
   /// in model order.
   void set_threads(unsigned threads) noexcept { threads_ = threads; }
 
+  /// Attaches a resource budget applied to every evaluation through this
+  /// calculator (try_* and throwing forms alike). The budget must outlive
+  /// the calculator's use; nullptr restores the process-default limits.
+  /// Shared safely by the parallel fan-out (EvalBudget is thread-safe).
+  void set_budget(EvalBudget* budget) noexcept { budget_ = budget; }
+  [[nodiscard]] EvalBudget* budget() const noexcept { return budget_; }
+
+  /// Total forms: classified EvalError instead of an exception. Errors from
+  /// a structure's evaluation are annotated with the structure's name; the
+  /// parallel fan-out reports the lowest-index failure deterministically.
+  /// A missing execution time in try_for_model(model) is a domain_error.
+  [[nodiscard]] Result<double> try_main_memory_accesses(
+      const DataStructureSpec& ds) const;
+  [[nodiscard]] Result<StructureDvf> try_for_structure(
+      const DataStructureSpec& ds, double exec_time_seconds) const;
+  [[nodiscard]] Result<ApplicationDvf> try_for_model(
+      const ModelSpec& model) const;
+  [[nodiscard]] Result<ApplicationDvf> try_for_model(
+      const ModelSpec& model, double exec_time_seconds) const;
+
   /// N_ha of one data structure on this machine's LLC.
   [[nodiscard]] double main_memory_accesses(const DataStructureSpec& ds) const;
 
@@ -67,8 +89,14 @@ class DvfCalculator {
   [[nodiscard]] const Machine& machine() const noexcept { return machine_; }
 
  private:
+  /// Uncounted core of try_for_structure, shared with the model fan-out so
+  /// the obs error counters tick exactly once per failed public call.
+  [[nodiscard]] Result<StructureDvf> eval_structure(
+      const DataStructureSpec& ds, double exec_time_seconds) const;
+
   Machine machine_;
   unsigned threads_ = 0;
+  EvalBudget* budget_ = nullptr;
 };
 
 }  // namespace dvf

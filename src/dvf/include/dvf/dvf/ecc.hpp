@@ -16,6 +16,7 @@
 
 #include <vector>
 
+#include "dvf/common/result.hpp"
 #include "dvf/dvf/calculator.hpp"
 #include "dvf/dvf/model_spec.hpp"
 #include "dvf/machine/machine.hpp"
@@ -43,9 +44,27 @@ struct EccSweepConfig {
 /// a machine (the machine's own FIT is replaced by the sweep's blend).
 class EccTradeoffExplorer {
  public:
+  /// Hard cap on sweep points: a tiny (or denormal) step over a wide range
+  /// must degrade into a classified resource_limit error, not an unbounded
+  /// loop. Far above any plottable sweep (the paper uses 31 points).
+  static constexpr std::size_t kMaxSweepPoints = 100000;
+
   EccTradeoffExplorer(Machine machine, ModelSpec model);
 
-  /// Runs the sweep; the model must carry an execution time.
+  /// Attaches a resource budget applied to every per-point evaluation of the
+  /// sweep (the budget must outlive the explorer's use; nullptr restores the
+  /// process-default limits).
+  void set_budget(EvalBudget* budget) noexcept { budget_ = budget; }
+
+  /// Total form of sweep: domain_error for an invalid config (including
+  /// non-finite step/bounds), resource_limit when the step would produce
+  /// more than kMaxSweepPoints points, and any per-point evaluation error
+  /// annotated with the degradation at which it occurred.
+  [[nodiscard]] Result<std::vector<EccTradeoffPoint>> try_sweep(
+      const EccSweepConfig& config) const;
+
+  /// Runs the sweep; the model must carry an execution time. Thin wrapper
+  /// over try_sweep.
   [[nodiscard]] std::vector<EccTradeoffPoint> sweep(
       const EccSweepConfig& config) const;
 
@@ -56,6 +75,7 @@ class EccTradeoffExplorer {
  private:
   Machine machine_;
   ModelSpec model_;
+  EvalBudget* budget_ = nullptr;
 };
 
 }  // namespace dvf

@@ -10,6 +10,7 @@
 #pragma once
 
 #include "dvf/common/error.hpp"
+#include "dvf/common/result.hpp"
 #include "dvf/dvf/calculator.hpp"
 
 namespace dvf {
@@ -19,6 +20,17 @@ struct DvfWeights {
   double error_weight = 1.0;   ///< alpha — exponent on N_error
   double access_weight = 1.0;  ///< beta — exponent on N_ha
 };
+
+/// Total form of weighted_dvf: pow overflow (large bases with large
+/// exponents reach inf fast) and NaN (negative base with fractional
+/// exponent) are classified instead of returned.
+[[nodiscard]] Result<double> try_weighted_dvf(const StructureDvf& structure,
+                                              const DvfWeights& weights);
+
+/// Total form of weighted_application_dvf; a per-structure error is
+/// annotated with the structure's name.
+[[nodiscard]] Result<double> try_weighted_application_dvf(
+    const ApplicationDvf& app, const DvfWeights& weights);
 
 /// Weighted DVF of an already-evaluated structure.
 [[nodiscard]] double weighted_dvf(const StructureDvf& structure,

@@ -6,9 +6,10 @@
 
 namespace dvf {
 
-double weighted_dvf(const StructureDvf& structure, const DvfWeights& weights) {
-  DVF_CHECK_MSG(weights.error_weight >= 0.0 && weights.access_weight >= 0.0,
-                "DVF weights must be non-negative");
+Result<double> try_weighted_dvf(const StructureDvf& structure,
+                                const DvfWeights& weights) {
+  DVF_EVAL_REQUIRE(weights.error_weight >= 0.0 && weights.access_weight >= 0.0,
+                   "DVF weights must be non-negative");
   // 0^0 is taken as 1 so a zeroed weight truly removes the term.
   const auto term = [](double base, double exponent) {
     if (exponent == 0.0) {
@@ -16,17 +17,39 @@ double weighted_dvf(const StructureDvf& structure, const DvfWeights& weights) {
     }
     return std::pow(base, exponent);
   };
-  return term(structure.n_error, weights.error_weight) *
-         term(structure.n_ha, weights.access_weight);
+  // pow leaves the finite range quickly (n_ha^beta with paper-scale n_ha
+  // ~1e6 overflows for beta ≳ 51); classify instead of returning inf/NaN.
+  DVF_TRY_ASSIGN(error_term,
+                 finite_or_error(term(structure.n_error, weights.error_weight),
+                                 "weighted N_error term"));
+  DVF_TRY_ASSIGN(access_term,
+                 finite_or_error(term(structure.n_ha, weights.access_weight),
+                                 "weighted N_ha term"));
+  return finite_or_error(error_term * access_term, "weighted DVF");
+}
+
+double weighted_dvf(const StructureDvf& structure, const DvfWeights& weights) {
+  return try_weighted_dvf(structure, weights).value_or_throw();
+}
+
+Result<double> try_weighted_application_dvf(const ApplicationDvf& app,
+                                            const DvfWeights& weights) {
+  math::KahanSum total;
+  for (const StructureDvf& s : app.structures) {
+    auto structure_result = try_weighted_dvf(s, weights);
+    if (!structure_result.ok()) {
+      EvalError err = std::move(structure_result).error();
+      err.message = "structure '" + s.name + "': " + err.message;
+      return err;
+    }
+    total.add(*structure_result);
+  }
+  return finite_or_error(total.value(), "weighted application DVF");
 }
 
 double weighted_application_dvf(const ApplicationDvf& app,
                                 const DvfWeights& weights) {
-  math::KahanSum total;
-  for (const StructureDvf& s : app.structures) {
-    total.add(weighted_dvf(s, weights));
-  }
-  return total.value();
+  return try_weighted_application_dvf(app, weights).value_or_throw();
 }
 
 }  // namespace dvf

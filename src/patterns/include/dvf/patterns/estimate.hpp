@@ -13,6 +13,21 @@
 
 namespace dvf {
 
+/// Total dispatch: estimated main-memory accesses of one pattern phase as a
+/// Result. Classified EvalError instead of an exception on invalid specs,
+/// overflow, non-finite intermediates, budget exhaustion, or deadline
+/// expiry; allocation failure inside an evaluator is classified as
+/// resource_limit. `budget` may be null (process-default limits apply).
+[[nodiscard]] Result<double> try_estimate_accesses(const PatternSpec& spec,
+                                                   const CacheConfig& cache,
+                                                   EvalBudget* budget = nullptr);
+
+/// Total composition: Kahan-sums the phases' estimates, propagating the
+/// first phase error (annotated with the phase index).
+[[nodiscard]] Result<double> try_estimate_accesses(
+    std::span<const PatternSpec> phases, const CacheConfig& cache,
+    EvalBudget* budget = nullptr);
+
 /// Estimated main-memory accesses of one pattern phase.
 [[nodiscard]] double estimate_accesses(const PatternSpec& spec,
                                        const CacheConfig& cache);

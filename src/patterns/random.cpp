@@ -109,13 +109,47 @@ double expected_misses_lru_irm(std::span<const double> visit_fractions,
   return misses.value();
 }
 
-double estimate_random(const RandomSpec& spec, const CacheConfig& cache) {
-  DVF_CHECK_MSG(spec.element_count > 0, "random: element count must be > 0");
-  DVF_CHECK_MSG(spec.element_bytes > 0, "random: element size must be > 0");
-  DVF_CHECK_MSG(spec.cache_ratio > 0.0 && spec.cache_ratio <= 1.0,
-                "random: cache ratio must be in (0, 1]");
-  DVF_CHECK_MSG(spec.visits_per_iteration >= 0.0,
-                "random: k must be non-negative");
+namespace {
+
+/// Budgeted Eq. 6 sum: the same series as expected_missing_elements, but the
+/// support size is charged against the budget (an adversarial spec can make
+/// it ~2^62 terms) and the wall clock is observed between chunks.
+Result<double> try_expected_missing_elements(std::int64_t n, std::int64_t m,
+                                             std::int64_t k,
+                                             EvalBudget& budget) {
+  if (k <= 0 || n <= 0 || m >= n) {
+    return 0.0;
+  }
+  const std::int64_t x_max = std::min<std::int64_t>(n - m, k);
+  DVF_TRY_CHECK(budget.charge_references(static_cast<std::uint64_t>(x_max)));
+  math::KahanSum sum;
+  for (std::int64_t x = 1; x <= x_max; ++x) {
+    DVF_TRY_ASSIGN(p, math::checked_hypergeometric_pmf(n, k, m, k - x));
+    sum.add(static_cast<double>(x) * p);
+    if ((x & 0xFFFF) == 0) {
+      DVF_TRY_CHECK(budget.check_deadline());
+    }
+  }
+  return finite_or_error(sum.value(), "expected missing elements (Eq. 6)");
+}
+
+}  // namespace
+
+Result<double> try_estimate_random(const RandomSpec& spec,
+                                   const CacheConfig& cache,
+                                   EvalBudget* budget_in) {
+  EvalBudget& budget = budget_or_default(budget_in);
+  DVF_EVAL_REQUIRE(spec.element_count > 0, "random: element count must be > 0");
+  DVF_EVAL_REQUIRE(spec.element_bytes > 0, "random: element size must be > 0");
+  DVF_EVAL_REQUIRE(spec.cache_ratio > 0.0 && spec.cache_ratio <= 1.0,
+                   "random: cache ratio must be in (0, 1]");
+  if (!std::isfinite(spec.visits_per_iteration)) {
+    return EvalError{ErrorKind::kNonFinite,
+                     "random: k (visits per iteration) is not finite"};
+  }
+  DVF_EVAL_REQUIRE(spec.visits_per_iteration >= 0.0,
+                   "random: k must be non-negative");
+  DVF_TRY_CHECK(budget.check_deadline());
 
   const double e = spec.element_bytes;
   const double n = static_cast<double>(spec.element_count);
@@ -135,12 +169,51 @@ double estimate_random(const RandomSpec& spec, const CacheConfig& cache) {
   // Case 2 (Eqs. 5–7): per iteration, X_E of the k visited elements are
   // expected to be out of cache and must be reloaded.
   const auto m = static_cast<std::uint64_t>(cache_share / e);  // cached elements
-  const auto k = static_cast<std::uint64_t>(std::llround(spec.visits_per_iteration));
   double xe;
   if (!spec.sorted_visit_fractions.empty()) {
+    for (std::size_t i = 0; i < spec.sorted_visit_fractions.size(); ++i) {
+      const double f = spec.sorted_visit_fractions[i];
+      if (!std::isfinite(f)) {
+        return EvalError{ErrorKind::kNonFinite,
+                         "random: visit fraction " + std::to_string(i) +
+                             " is not finite"};
+      }
+      // A fraction outside [0, 1] is not a probability; the zero-residency
+      // path of the IRM estimator sums the raw histogram, so a negative
+      // entry would surface as a negative miss count.
+      DVF_EVAL_REQUIRE(f >= 0.0 && f <= 1.0,
+                       "random: visit fraction " + std::to_string(i) +
+                           " must be in [0, 1]");
+    }
+    // Bisection cost: ~260 occupancy probes, each a pass over the
+    // run-length-compressed histogram (bounded by its raw size).
+    DVF_TRY_CHECK(budget.charge_references(
+        math::saturating_mul(spec.sorted_visit_fractions.size(), 260)));
     xe = expected_misses_lru_irm(spec.sorted_visit_fractions, m);
   } else {
-    xe = expected_missing_elements(spec.element_count, m, k);
+    if (spec.element_count >
+        static_cast<std::uint64_t>(math::kMaxCombinatoricPopulation)) {
+      return EvalError{
+          ErrorKind::kOverflow,
+          "random: population " + std::to_string(spec.element_count) +
+              " exceeds the checked-combinatorics limit " +
+              std::to_string(math::kMaxCombinatoricPopulation)};
+    }
+    // llround is undefined for values outside the target range; the
+    // population guard above bounds the useful k, so anything beyond it is
+    // clamped (the Eq. 6 support caps at n - m anyway).
+    const double k_clamped =
+        std::min(spec.visits_per_iteration,
+                 static_cast<double>(math::kMaxCombinatoricPopulation));
+    const auto k = static_cast<std::int64_t>(std::llround(k_clamped));
+    // Clamp m to the population before the signed cast: m can reach 2^64 / E
+    // for huge caches, and Eq. 6 only cares whether m >= n anyway.
+    const auto m_clamped = static_cast<std::int64_t>(
+        std::min<std::uint64_t>(m, spec.element_count));
+    DVF_TRY_ASSIGN(missing, try_expected_missing_elements(
+                                static_cast<std::int64_t>(spec.element_count),
+                                m_clamped, k, budget));
+    xe = missing;
   }
 
   // B_elm: blocks needed to bring the missing elements in. When an element
@@ -156,8 +229,13 @@ double estimate_random(const RandomSpec& spec, const CacheConfig& cache) {
   const double b_out = std::max(0.0, footprint / cl - resident_blocks);
 
   const double b_reload = std::min(b_elm, b_out);  // Eq. 7
-  return footprint_blocks +
-         b_reload * static_cast<double>(spec.iterations);
+  return finite_or_error(
+      footprint_blocks + b_reload * static_cast<double>(spec.iterations),
+      "random estimate (Eq. 7)");
+}
+
+double estimate_random(const RandomSpec& spec, const CacheConfig& cache) {
+  return try_estimate_random(spec, cache).value_or_throw();
 }
 
 }  // namespace dvf

@@ -94,29 +94,54 @@ std::vector<double> set_occupancy_contiguous(std::uint64_t total_blocks,
   return dist;
 }
 
-std::vector<double> survivor_distribution(std::uint64_t self_blocks,
-                                          std::uint64_t other_blocks,
-                                          const CacheConfig& cache,
-                                          ReuseScenario scenario,
-                                          ReuseOccupancy occupancy) {
+namespace {
+
+/// Budgeted core of survivor_distribution. The (CA+1)^2 convolution with
+/// O(CA) work per cell is charged up front — an adversarial associativity
+/// turns it into a cube of the associativity — and the wall clock is
+/// observed once per row.
+Result<std::vector<double>> try_survivor_distribution(
+    std::uint64_t self_blocks, std::uint64_t other_blocks,
+    const CacheConfig& cache, ReuseScenario scenario, ReuseOccupancy occupancy,
+    EvalBudget& budget) {
+  const auto ca = static_cast<std::int64_t>(cache.associativity());
+  const auto ca_plus_1 = static_cast<std::uint64_t>(ca) + 1;
+  DVF_TRY_CHECK(budget.charge_references(
+      math::saturating_mul(math::saturating_mul(ca_plus_1, ca_plus_1),
+                           ca_plus_1)));
+  if (self_blocks > ~std::uint64_t{0} - other_blocks) {
+    return EvalError{ErrorKind::kOverflow,
+                     "reuse: combined footprint overflows 64 bits"};
+  }
+  const std::uint64_t combined_blocks = self_blocks + other_blocks;
+  if (occupancy == ReuseOccupancy::kBernoulli &&
+      combined_blocks >
+          static_cast<std::uint64_t>(math::kMaxCombinatoricPopulation)) {
+    return EvalError{
+        ErrorKind::kOverflow,
+        "reuse: combined footprint of " + std::to_string(combined_blocks) +
+            " blocks exceeds the checked-combinatorics limit " +
+            std::to_string(math::kMaxCombinatoricPopulation)};
+  }
+
   const auto occupancy_of = [&](std::uint64_t blocks) {
     return occupancy == ReuseOccupancy::kContiguous
                ? set_occupancy_contiguous(blocks, cache)
                : set_occupancy_distribution(blocks, cache);
   };
 
-  const auto ca = static_cast<std::int64_t>(cache.associativity());
   const std::vector<double> pa = occupancy_of(self_blocks);
   const std::vector<double> pb = occupancy_of(other_blocks);
 
   // Scenario 2 views A and B as one combined structure when computing how
   // many resident blocks an eviction can strike (the paper's I).
-  const std::vector<double> combined = occupancy_of(self_blocks + other_blocks);
+  const std::vector<double> combined = occupancy_of(combined_blocks);
   const auto combined_expected =
       static_cast<std::int64_t>(std::llround(expected_occupancy(combined)));
 
   std::vector<double> result(static_cast<std::size_t>(ca) + 1, 0.0);
   for (std::int64_t x = 0; x <= ca; ++x) {
+    DVF_TRY_CHECK(budget.check_deadline());
     for (std::int64_t y = 0; y <= ca; ++y) {
       const double weight = pa[static_cast<std::size_t>(x)] *
                             pb[static_cast<std::size_t>(y)];  // Eq. 13
@@ -150,15 +175,33 @@ std::vector<double> survivor_distribution(std::uint64_t self_blocks,
   return result;
 }
 
-double estimate_reuse(const ReuseSpec& spec, const CacheConfig& cache) {
-  DVF_CHECK_MSG(spec.self_bytes > 0, "reuse: target footprint must be > 0");
+}  // namespace
+
+std::vector<double> survivor_distribution(std::uint64_t self_blocks,
+                                          std::uint64_t other_blocks,
+                                          const CacheConfig& cache,
+                                          ReuseScenario scenario,
+                                          ReuseOccupancy occupancy) {
+  return try_survivor_distribution(self_blocks, other_blocks, cache, scenario,
+                                   occupancy,
+                                   EvalBudget::process_default())
+      .value_or_throw();
+}
+
+Result<double> try_estimate_reuse(const ReuseSpec& spec,
+                                  const CacheConfig& cache,
+                                  EvalBudget* budget_in) {
+  EvalBudget& budget = budget_or_default(budget_in);
+  DVF_EVAL_REQUIRE(spec.self_bytes > 0, "reuse: target footprint must be > 0");
+  DVF_TRY_CHECK(budget.check_deadline());
 
   const std::uint64_t cl = cache.line_bytes();
   const std::uint64_t fa = math::ceil_div(spec.self_bytes, cl);
   const std::uint64_t fb = math::ceil_div(spec.other_bytes, cl);
 
-  const std::vector<double> dist =
-      survivor_distribution(fa, fb, cache, spec.scenario, spec.occupancy);
+  DVF_TRY_ASSIGN(dist,
+                 try_survivor_distribution(fa, fb, cache, spec.scenario,
+                                           spec.occupancy, budget));
   const double expected_resident =
       static_cast<double>(cache.num_sets()) * expected_occupancy(dist);
 
@@ -166,8 +209,14 @@ double estimate_reuse(const ReuseSpec& spec, const CacheConfig& cache) {
   // subtracting; then each reuse round refetches the remainder.
   const double resident = std::min(expected_resident, static_cast<double>(fa));
   const double refetch_per_round = static_cast<double>(fa) - resident;
-  return static_cast<double>(fa) +
-         refetch_per_round * static_cast<double>(spec.reuse_rounds);
+  return finite_or_error(
+      static_cast<double>(fa) +
+          refetch_per_round * static_cast<double>(spec.reuse_rounds),
+      "reuse estimate (Eq. 15)");
+}
+
+double estimate_reuse(const ReuseSpec& spec, const CacheConfig& cache) {
+  return try_estimate_reuse(spec, cache).value_or_throw();
 }
 
 }  // namespace dvf

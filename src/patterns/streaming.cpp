@@ -25,14 +25,31 @@ double expected_accesses_per_element(std::uint32_t element_bytes,
   return std::floor(static_cast<double>(element_bytes) / line_bytes) + p;
 }
 
-double estimate_streaming(const StreamingSpec& spec, const CacheConfig& cache) {
-  DVF_CHECK_MSG(spec.element_count > 0, "streaming: element count must be > 0");
-  DVF_CHECK_MSG(spec.element_bytes > 0, "streaming: element size must be > 0");
-  DVF_CHECK_MSG(spec.stride_elements >= 1,
-                "streaming: stride must be at least one element");
+Result<double> try_estimate_streaming(const StreamingSpec& spec,
+                                      const CacheConfig& cache,
+                                      EvalBudget* budget) {
+  DVF_EVAL_REQUIRE(spec.element_count > 0,
+                   "streaming: element count must be > 0");
+  DVF_EVAL_REQUIRE(spec.element_bytes > 0,
+                   "streaming: element size must be > 0");
+  DVF_EVAL_REQUIRE(spec.stride_elements >= 1,
+                   "streaming: stride must be at least one element");
+  DVF_TRY_CHECK(budget_or_default(budget).check_deadline());
 
   const std::uint64_t cl = cache.line_bytes();
   const std::uint64_t e = spec.element_bytes;
+  // footprint_bytes()/stride_bytes() multiply two user-controlled 64-bit
+  // quantities; a wrapped product would silently model a tiny structure.
+  constexpr std::uint64_t kU64Max = ~std::uint64_t{0};
+  if (spec.element_count > kU64Max / spec.element_bytes) {
+    return EvalError{ErrorKind::kOverflow,
+                     "streaming: footprint (element_count * element_bytes) "
+                     "overflows 64 bits"};
+  }
+  if (spec.stride_elements > kU64Max / spec.element_bytes) {
+    return EvalError{ErrorKind::kOverflow,
+                     "streaming: stride in bytes overflows 64 bits"};
+  }
   const std::uint64_t s = spec.stride_bytes();
   const std::uint64_t d = spec.footprint_bytes();
   const double p = misalignment_probability(spec.element_bytes, cache.line_bytes());
@@ -43,7 +60,8 @@ double estimate_streaming(const StreamingSpec& spec, const CacheConfig& cache) {
     if (s > e) {
       const double ae = expected_accesses_per_element(spec.element_bytes,
                                                       cache.line_bytes());
-      return static_cast<double>(math::ceil_div(d, s)) * ae;
+      return finite_or_error(static_cast<double>(math::ceil_div(d, s)) * ae,
+                             "streaming estimate");
     }
     // Contiguous traversal (S == E): every line of the footprint is loaded
     // exactly once.
@@ -53,11 +71,17 @@ double estimate_streaming(const StreamingSpec& spec, const CacheConfig& cache) {
   // Case 2: E < CL <= S. No line serves two referenced elements; each
   // reference costs 1 line, or 2 when the element straddles a boundary.
   if (cl <= s) {
-    return static_cast<double>(math::ceil_div(d, s)) * (1.0 + p);
+    return finite_or_error(
+        static_cast<double>(math::ceil_div(d, s)) * (1.0 + p),
+        "streaming estimate");
   }
 
   // Case 3: S < CL. Strided or not, every line of the footprint is touched.
   return static_cast<double>(math::ceil_div(d, cl));
+}
+
+double estimate_streaming(const StreamingSpec& spec, const CacheConfig& cache) {
+  return try_estimate_streaming(spec, cache).value_or_throw();
 }
 
 }  // namespace dvf

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "dvf/common/error.hpp"
+#include "dvf/common/math.hpp"
 
 namespace dvf {
 
@@ -104,24 +105,57 @@ std::vector<std::uint64_t> blocks_from_elements(
   return blocks;
 }
 
-double estimate_template(const TemplateSpec& spec, const CacheConfig& cache) {
-  DVF_CHECK_MSG(!spec.element_indices.empty(),
-                "template: reference string must not be empty");
-  DVF_CHECK_MSG(spec.cache_ratio > 0.0 && spec.cache_ratio <= 1.0,
-                "template: cache ratio must be in (0, 1]");
+Result<double> try_estimate_template(const TemplateSpec& spec,
+                                     const CacheConfig& cache,
+                                     EvalBudget* budget_in) {
+  EvalBudget& budget = budget_or_default(budget_in);
+  DVF_EVAL_REQUIRE(!spec.element_indices.empty(),
+                   "template: reference string must not be empty");
+  DVF_EVAL_REQUIRE(spec.element_bytes > 0,
+                   "template: element size must be > 0");
+  DVF_EVAL_REQUIRE(spec.cache_ratio > 0.0 && spec.cache_ratio <= 1.0,
+                   "template: cache ratio must be in (0, 1]");
+  DVF_EVAL_REQUIRE(spec.repetitions >= 1, "template: repetitions must be >= 1");
+  DVF_TRY_CHECK(budget.check_deadline());
 
-  DVF_CHECK_MSG(spec.repetitions >= 1, "template: repetitions must be >= 1");
+  const std::uint64_t e = spec.element_bytes;
+  const std::uint64_t cl = cache.line_bytes();
+  // The last byte of element idx lives at idx*E + E - 1; past this bound the
+  // byte address wraps and blocks_from_elements would spin over a garbage
+  // block range.
+  const std::uint64_t max_index = (~std::uint64_t{0} - (e - 1)) / e;
+  for (std::size_t i = 0; i < spec.element_indices.size(); ++i) {
+    if (spec.element_indices[i] > max_index) {
+      return EvalError{ErrorKind::kOverflow,
+                       "template: element index " +
+                           std::to_string(spec.element_indices[i]) +
+                           " at position " + std::to_string(i) +
+                           " overflows 64-bit byte addressing"};
+    }
+  }
+  // Worst-case materialized block string: each element covers at most
+  // E/CL + 1 blocks. Charged as expansion before anything is allocated.
+  DVF_TRY_CHECK(budget.charge_expansion(
+      math::saturating_mul(spec.element_indices.size(), e / cl + 1)));
 
   const std::vector<std::uint64_t> blocks = blocks_from_elements(
       spec.element_indices, spec.element_bytes, cache.line_bytes());
   const auto capacity_blocks = static_cast<std::uint64_t>(
       static_cast<double>(cache.total_blocks()) * spec.cache_ratio);
 
+  // The replay visits blocks.size() * repetitions positions.
+  DVF_TRY_CHECK(budget.charge_references(
+      math::saturating_mul(blocks.size(), spec.repetitions)));
+
   std::uint64_t accesses = 0;
+  std::uint64_t observed = 0;
   if (spec.distance == DistanceKind::kStack) {
-    ReuseDistanceAnalyzer analyzer(blocks.size() * spec.repetitions);
+    ReuseDistanceAnalyzer analyzer(blocks.size());
     for (std::uint64_t rep = 0; rep < spec.repetitions; ++rep) {
       for (const std::uint64_t b : blocks) {
+        if ((++observed & 0xFFFF) == 0) {
+          DVF_TRY_CHECK(budget.check_deadline());
+        }
         const std::uint64_t d = analyzer.observe(b);
         // Step 1: first appearance always loads the block. Step 2: a reuse
         // misses when more distinct blocks than the cache holds intervened.
@@ -138,6 +172,9 @@ double estimate_template(const TemplateSpec& spec, const CacheConfig& cache) {
     std::uint64_t t = 0;
     for (std::uint64_t rep = 0; rep < spec.repetitions; ++rep) {
       for (const std::uint64_t block : blocks) {
+        if ((++observed & 0xFFFF) == 0) {
+          DVF_TRY_CHECK(budget.check_deadline());
+        }
         auto [it, inserted] = last.try_emplace(block, t);
         if (inserted) {
           ++accesses;
@@ -152,6 +189,10 @@ double estimate_template(const TemplateSpec& spec, const CacheConfig& cache) {
     }
   }
   return static_cast<double>(accesses);
+}
+
+double estimate_template(const TemplateSpec& spec, const CacheConfig& cache) {
+  return try_estimate_template(spec, cache).value_or_throw();
 }
 
 }  // namespace dvf

@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# CLI contract tests for dvfc's exit codes and usage diagnostics:
+#   0 success, 1 model/evaluation errors, 2 bad usage, 3 internal.
+# Run as: test_dvfc_cli.sh <path-to-dvfc>
+set -u
+
+DVFC=${1:?usage: test_dvfc_cli.sh <path-to-dvfc>}
+FAILURES=0
+
+# expect_exit <code> <stderr-pattern|-> <args...>
+expect_exit() {
+  local want_code=$1 pattern=$2
+  shift 2
+  local stderr_file
+  stderr_file=$(mktemp)
+  "$DVFC" "$@" >/dev/null 2>"$stderr_file"
+  local got_code=$?
+  if [ "$got_code" -ne "$want_code" ]; then
+    echo "FAIL: dvfc $* -> exit $got_code, want $want_code" >&2
+    sed 's/^/  stderr: /' "$stderr_file" >&2
+    FAILURES=$((FAILURES + 1))
+  elif [ "$pattern" != "-" ] && ! grep -q "$pattern" "$stderr_file"; then
+    echo "FAIL: dvfc $* -> stderr missing '$pattern'" >&2
+    sed 's/^/  stderr: /' "$stderr_file" >&2
+    FAILURES=$((FAILURES + 1))
+  else
+    echo "ok: dvfc $* -> exit $got_code"
+  fi
+  rm -f "$stderr_file"
+}
+
+# --- flag-value rejection: exit 2 plus a usage hint, not a crash ------------
+expect_exit 2 "expects" kernels --threads abc
+expect_exit 2 "run 'dvfc' without arguments for usage" kernels --threads abc
+expect_exit 2 "expects" campaign VM --ci-width nope
+expect_exit 2 "expects" campaign VM --ci-width inf
+
+# --- the global --deadline flag ---------------------------------------------
+expect_exit 2 "positive number of seconds" kernels --deadline -5
+expect_exit 2 "positive number of seconds" kernels --deadline 0
+expect_exit 2 "positive number of seconds" kernels --deadline banana
+expect_exit 2 "positive number of seconds" kernels --deadline 1.5x
+# An absurdly tight deadline is a *model evaluation* failure (exit 1) with
+# the classified taxonomy kind in the message — not a hang, not bad usage.
+expect_exit 1 "deadline_exceeded" kernels --deadline 0.000001
+# A generous deadline leaves a healthy run untouched.
+expect_exit 0 - kernels VM --deadline 30
+MODEL="$(cd "$(dirname "$0")" && pwd)/../models/vm.aspen"
+if [ -f "$MODEL" ]; then
+  expect_exit 0 - check "$MODEL"
+else
+  echo "skip: $MODEL not found" >&2
+fi
+# Unknown commands report usage and exit 2.
+expect_exit 2 "usage:" frobnicate
+
+# --- overflowing numeric literals are positioned diagnostics (DVF-E018) -----
+TMP_MODEL=$(mktemp --suffix=.aspen)
+printf 'param big = 1e999;\n' >"$TMP_MODEL"
+stderr_file=$(mktemp)
+"$DVFC" lint "$TMP_MODEL" >"$stderr_file" 2>&1
+code=$?
+if [ "$code" -ne 1 ]; then
+  echo "FAIL: dvfc lint (E018 case) -> exit $code, want 1" >&2
+  FAILURES=$((FAILURES + 1))
+elif ! grep -q "DVF-E018" "$stderr_file"; then
+  echo "FAIL: dvfc lint (E018 case) did not report DVF-E018" >&2
+  sed 's/^/  out: /' "$stderr_file" >&2
+  FAILURES=$((FAILURES + 1))
+elif ! grep -q "1:13" "$stderr_file"; then
+  echo "FAIL: E018 diagnostic missing the literal's position 1:13" >&2
+  sed 's/^/  out: /' "$stderr_file" >&2
+  FAILURES=$((FAILURES + 1))
+else
+  echo "ok: dvfc lint reports DVF-E018 at the literal's span"
+fi
+rm -f "$TMP_MODEL" "$stderr_file"
+
+# --- no-argument invocation prints usage and exits 2 ------------------------
+"$DVFC" >/dev/null 2>&1
+if [ $? -ne 2 ]; then
+  echo "FAIL: bare dvfc should exit 2" >&2
+  FAILURES=$((FAILURES + 1))
+else
+  echo "ok: bare dvfc -> exit 2"
+fi
+
+if [ "$FAILURES" -ne 0 ]; then
+  echo "$FAILURES CLI contract failure(s)" >&2
+  exit 1
+fi
+echo "all dvfc CLI contract checks passed"

@@ -1,0 +1,92 @@
+// In-process smoke over the fuzz + differential-oracle harness: each target
+// must run a small batch (plus the checked-in corpus) clean, and runs must
+// be deterministic in the seed. The CI fuzz-smoke job runs the same targets
+// at much higher case counts through the dvf_fuzz CLI.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "dvf/fuzz/fuzzer.hpp"
+
+namespace dvf::fuzz {
+namespace {
+
+std::string joined_findings(const FuzzReport& report) {
+  std::string out;
+  for (const auto& finding : report.findings) {
+    out += "  " + finding + "\n";
+  }
+  return out;
+}
+
+FuzzOptions smoke_options(std::uint64_t cases) {
+  FuzzOptions options;
+  options.cases = cases;
+  options.seed = 1;
+  options.corpus_dir = DVF_FUZZ_CORPUS_DIR;
+  return options;
+}
+
+TEST(FuzzSmoke, RoundtripRunsClean) {
+  const FuzzReport report = fuzz_roundtrip(smoke_options(300));
+  EXPECT_EQ(report.cases_run, 300u);
+  EXPECT_TRUE(report.ok()) << joined_findings(report);
+}
+
+TEST(FuzzSmoke, EvalRunsClean) {
+  const FuzzReport report = fuzz_eval(smoke_options(500));
+  EXPECT_EQ(report.cases_run, 500u);
+  EXPECT_TRUE(report.ok()) << joined_findings(report);
+}
+
+TEST(FuzzSmoke, OracleRunsClean) {
+  const FuzzReport report = fuzz_oracle(smoke_options(150));
+  EXPECT_EQ(report.cases_run, 150u);
+  EXPECT_TRUE(report.ok()) << joined_findings(report);
+}
+
+TEST(FuzzSmoke, RunsAreDeterministicInTheSeed) {
+  FuzzOptions options = smoke_options(100);
+  options.seed = 42;
+  const FuzzReport a = fuzz_roundtrip(options);
+  const FuzzReport b = fuzz_roundtrip(options);
+  EXPECT_EQ(a.cases_run, b.cases_run);
+  EXPECT_EQ(a.findings, b.findings);
+}
+
+TEST(FuzzSmoke, TimeBoxStopsARunEarly) {
+  FuzzOptions options = smoke_options(~std::uint64_t{0});  // unbounded cases
+  options.max_seconds = 0.1;
+  const FuzzReport report = fuzz_eval(options);
+  EXPECT_GT(report.cases_run, 0u);
+  EXPECT_LT(report.cases_run, ~std::uint64_t{0});
+  EXPECT_TRUE(report.ok()) << joined_findings(report);
+}
+
+TEST(FuzzSmoke, ReportMergeAccumulates) {
+  FuzzReport a;
+  a.cases_run = 3;
+  a.findings = {"x"};
+  FuzzReport b;
+  b.cases_run = 4;
+  b.findings = {"y", "z"};
+  a.merge(std::move(b));
+  EXPECT_EQ(a.cases_run, 7u);
+  EXPECT_EQ(a.findings.size(), 3u);
+  EXPECT_FALSE(a.ok());
+}
+
+TEST(FuzzSmoke, DocumentedTolerancesMatchTheResilienceDoc) {
+  // docs/resilience.md documents these bands; a silent widening here would
+  // make the docs lie. Streaming is exact, the stochastic models carry the
+  // paper's ±15% validation band.
+  EXPECT_DOUBLE_EQ(kStreamingOracleTolerance, 0.0);
+  EXPECT_DOUBLE_EQ(kRandomOracleTolerance, 0.15);
+  EXPECT_DOUBLE_EQ(kTemplateOracleTolerance, 0.15);
+  EXPECT_DOUBLE_EQ(kReuseOracleTolerance, 0.15);
+}
+
+}  // namespace
+}  // namespace dvf::fuzz

@@ -1,0 +1,185 @@
+// Extremes of the checked combinatorics and compensated sums: populations at
+// and beyond kMaxCombinatoricPopulation, out-of-support arguments that must
+// be the exact value 0 (not an error), and Inf/NaN classification in
+// checked_sum. Complements test_math.cpp, which covers the in-range values.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "dvf/common/math.hpp"
+#include "dvf/common/result.hpp"
+
+namespace dvf::math {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(CheckedLogBinomial, MatchesUncheckedInRange) {
+  for (auto [n, k] : {std::pair<std::int64_t, std::int64_t>{10, 3},
+                      {1000, 500},
+                      {1 << 20, 17}}) {
+    const auto checked = checked_log_binomial(n, k);
+    ASSERT_TRUE(checked.ok()) << checked.error().describe();
+    EXPECT_NEAR(checked.value(), log_binomial(n, k),
+                1e-9 * std::abs(log_binomial(n, k)) + 1e-9);
+  }
+}
+
+TEST(CheckedLogBinomial, EdgeOfSupportIsExact) {
+  // k == N and k == 0: exactly one way, so ln C = 0 — a value, not an error.
+  const auto full = checked_log_binomial(1 << 16, 1 << 16);
+  ASSERT_TRUE(full.ok());
+  EXPECT_DOUBLE_EQ(full.value(), 0.0);
+  const auto none = checked_log_binomial(1 << 16, 0);
+  ASSERT_TRUE(none.ok());
+  EXPECT_DOUBLE_EQ(none.value(), 0.0);
+}
+
+TEST(CheckedLogBinomial, OutOfSupportIsNegativeInfinityValue) {
+  // Zero coefficients are represented as ln 0 = -inf, deliberately a VALUE:
+  // exp() of it is the true coefficient.
+  const auto above = checked_log_binomial(10, 11);
+  ASSERT_TRUE(above.ok());
+  EXPECT_EQ(above.value(), -kInf);
+  const auto negative = checked_log_binomial(10, -1);
+  ASSERT_TRUE(negative.ok());
+  EXPECT_EQ(negative.value(), -kInf);
+}
+
+TEST(CheckedLogBinomial, PopulationGuardTripsBeyondTheLimit) {
+  const std::int64_t big = kMaxCombinatoricPopulation;
+  EXPECT_TRUE(checked_log_binomial(big, 2).ok());
+  const auto over = checked_log_binomial(big + 1, 2);
+  ASSERT_FALSE(over.ok());
+  EXPECT_EQ(over.error().kind, ErrorKind::kOverflow);
+
+  // Populations near 2^62 — the adversarial range the fuzz harness feeds —
+  // must classify, not return a meaningless log-gamma difference.
+  const auto huge = checked_log_binomial(std::int64_t{1} << 62, 5);
+  ASSERT_FALSE(huge.ok());
+  EXPECT_EQ(huge.error().kind, ErrorKind::kOverflow);
+}
+
+TEST(CheckedBinomial, ClassifiesExpOverflow) {
+  // ln C(2^40, 2^39) ≈ 7.6e11 nats: the log is finite but exp() leaves the
+  // double range. Must be a classified overflow, not +inf.
+  const auto r = checked_binomial(std::int64_t{1} << 40, std::int64_t{1} << 39);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().kind, ErrorKind::kOverflow);
+}
+
+TEST(CheckedBinomial, SmallValuesExactAndOutOfSupportZero) {
+  const auto c52 = checked_binomial(5, 2);
+  ASSERT_TRUE(c52.ok());
+  EXPECT_NEAR(c52.value(), 10.0, 1e-9);
+  const auto zero = checked_binomial(5, 7);
+  ASSERT_TRUE(zero.ok());
+  EXPECT_DOUBLE_EQ(zero.value(), 0.0);
+}
+
+TEST(CheckedHypergeometric, MatchesUncheckedInRange) {
+  const auto p = checked_hypergeometric_pmf(50, 10, 20, 4);
+  ASSERT_TRUE(p.ok());
+  EXPECT_NEAR(p.value(), hypergeometric_pmf(50, 10, 20, 4), 1e-12);
+}
+
+TEST(CheckedHypergeometric, OutOfSupportIsExactZero) {
+  // draws > total, marked > total, k beyond the draw count: all probability
+  // zero by definition — values, not errors (matches the unchecked pmf).
+  for (auto [total, marked, draws, k] :
+       {std::array<std::int64_t, 4>{10, 3, 11, 1},
+        {10, 11, 5, 1},
+        {10, 3, 5, 6},
+        {10, 3, 5, -1}}) {
+    const auto r = checked_hypergeometric_pmf(total, marked, draws, k);
+    ASSERT_TRUE(r.ok()) << r.error().describe();
+    EXPECT_DOUBLE_EQ(r.value(), 0.0)
+        << "total=" << total << " marked=" << marked << " draws=" << draws
+        << " k=" << k;
+  }
+}
+
+TEST(CheckedHypergeometric, FullDrawIsCertain) {
+  // Drawing the whole population must find every marked item: P = 1 exactly
+  // at the support's edge (k == marked, draws == total).
+  const auto r = checked_hypergeometric_pmf(100, 30, 100, 30);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.value(), 1.0, 1e-9);
+}
+
+TEST(CheckedHypergeometric, PopulationGuardCoversNNear2To62) {
+  const auto r = checked_hypergeometric_pmf(std::int64_t{1} << 62,
+                                            std::int64_t{1} << 20, 100, 5);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().kind, ErrorKind::kOverflow);
+}
+
+TEST(CheckedSum, SumsFiniteSpansLikeStableSum) {
+  const std::vector<double> xs{0.25, 0.5, 0.125, 1e6, -1e6};
+  const auto r = checked_sum(xs);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value(), 0.875);
+  EXPECT_DOUBLE_EQ(r.value(), stable_sum(xs));
+}
+
+TEST(CheckedSum, EmptySpanIsExactZero) {
+  const auto r = checked_sum(std::span<const double>{});
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value(), 0.0);
+}
+
+TEST(CheckedSum, ClassifiesNanInputWithItsIndex) {
+  const std::vector<double> xs{1.0, 2.0, std::nan(""), 4.0};
+  const auto r = checked_sum(xs);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().kind, ErrorKind::kNonFinite);
+  EXPECT_NE(r.error().message.find("2"), std::string::npos)
+      << "message should name the offending index: " << r.error().message;
+}
+
+TEST(CheckedSum, ClassifiesInfInput) {
+  const std::vector<double> xs{1.0, kInf};
+  const auto r = checked_sum(xs);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().kind, ErrorKind::kNonFinite);
+}
+
+TEST(CheckedSum, ClassifiesAccumulatedOverflow) {
+  // Each term is finite but the total leaves the double range.
+  const std::vector<double> xs{1e308, 1e308};
+  const auto r = checked_sum(xs);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().kind, ErrorKind::kOverflow);
+
+  // Once the Kahan compensation itself has gone non-finite (three huge
+  // terms: inf - inf = NaN), the classified kind degrades to non_finite —
+  // still a classified error, never a silent NaN.
+  const std::vector<double> three{1e308, 1e308, 1e308};
+  const auto r3 = checked_sum(three);
+  ASSERT_FALSE(r3.ok());
+  EXPECT_EQ(r3.error().kind, ErrorKind::kNonFinite);
+}
+
+TEST(StableSum, PropagatesNanForHotPaths) {
+  // The unchecked hot-path sum intentionally lets NaN through — the checked
+  // boundary (finite_or_error / checked_sum) is where classification lives.
+  const std::vector<double> xs{1.0, std::nan("")};
+  EXPECT_TRUE(std::isnan(stable_sum(xs)));
+}
+
+TEST(UncheckedLogBinomial, StaysFiniteLogSpaceEvenWhenExpWould) {
+  // The log-space value for a huge coefficient is finite; only exp()
+  // overflows. This is exactly why checked_binomial exists.
+  const double ln = log_binomial(std::int64_t{1} << 30, std::int64_t{1} << 29);
+  EXPECT_TRUE(std::isfinite(ln));
+  EXPECT_GT(ln, 700.0);  // exp(ln) would be +inf
+}
+
+}  // namespace
+}  // namespace dvf::math

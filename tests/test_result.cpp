@@ -1,0 +1,227 @@
+// Result<T> / Result<void> semantics, the error taxonomy's exception
+// mapping, and the EvalBudget resource guardrails (docs/resilience.md
+// "Error taxonomy & totality").
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "dvf/common/budget.hpp"
+#include "dvf/common/error.hpp"
+#include "dvf/common/math.hpp"
+#include "dvf/common/result.hpp"
+
+namespace dvf {
+namespace {
+
+TEST(Result, HoldsValue) {
+  Result<double> r(3.5);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(static_cast<bool>(r));
+  EXPECT_DOUBLE_EQ(r.value(), 3.5);
+  EXPECT_DOUBLE_EQ(*r, 3.5);
+  EXPECT_DOUBLE_EQ(r.value_or(-1.0), 3.5);
+}
+
+TEST(Result, HoldsError) {
+  Result<double> r(EvalError{ErrorKind::kOverflow, "boom"});
+  ASSERT_FALSE(r.ok());
+  EXPECT_FALSE(static_cast<bool>(r));
+  EXPECT_EQ(r.error().kind, ErrorKind::kOverflow);
+  EXPECT_EQ(r.error().message, "boom");
+  EXPECT_DOUBLE_EQ(r.value_or(-1.0), -1.0);
+}
+
+TEST(Result, MoveOnlyValueWorks) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = *std::move(r);
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(Result, ValueOrThrowMapsDomainErrorToInvalidArgument) {
+  EXPECT_THROW(
+      Result<double>(EvalError{ErrorKind::kDomainError, "bad spec"})
+          .value_or_throw(),
+      InvalidArgumentError);
+}
+
+TEST(Result, ValueOrThrowMapsOtherKindsToEvaluationError) {
+  for (const ErrorKind kind :
+       {ErrorKind::kOverflow, ErrorKind::kNonFinite, ErrorKind::kResourceLimit,
+        ErrorKind::kDeadlineExceeded}) {
+    try {
+      Result<double>(EvalError{kind, "x"}).value_or_throw();
+      FAIL() << "expected EvaluationError for kind " << to_string(kind);
+    } catch (const EvaluationError& err) {
+      EXPECT_EQ(err.kind(), kind);
+      EXPECT_NE(std::string(err.what()).find(to_string(kind)),
+                std::string::npos);
+    }
+  }
+}
+
+TEST(Result, VoidSuccessAndError) {
+  Result<void> ok_result;
+  EXPECT_TRUE(ok_result.ok());
+  std::move(ok_result).value_or_throw();  // must not throw
+
+  Result<void> err(EvalError{ErrorKind::kResourceLimit, "cap"});
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.error().kind, ErrorKind::kResourceLimit);
+  EXPECT_THROW(std::move(err).value_or_throw(), EvaluationError);
+}
+
+TEST(Result, ErrorKindLabelsAreStable) {
+  EXPECT_STREQ(to_string(ErrorKind::kDomainError), "domain_error");
+  EXPECT_STREQ(to_string(ErrorKind::kOverflow), "overflow");
+  EXPECT_STREQ(to_string(ErrorKind::kNonFinite), "non_finite");
+  EXPECT_STREQ(to_string(ErrorKind::kResourceLimit), "resource_limit");
+  EXPECT_STREQ(to_string(ErrorKind::kDeadlineExceeded), "deadline_exceeded");
+}
+
+TEST(Result, DescribePrefixesKind) {
+  const EvalError err{ErrorKind::kNonFinite, "streaming produced NaN"};
+  EXPECT_EQ(err.describe(), "non_finite: streaming produced NaN");
+}
+
+TEST(FiniteOrError, PassesFiniteClassifiesInfAndNan) {
+  EXPECT_TRUE(finite_or_error(0.0, "x").ok());
+  EXPECT_TRUE(finite_or_error(-1e308, "x").ok());
+
+  const auto inf = finite_or_error(std::numeric_limits<double>::infinity(), "q");
+  ASSERT_FALSE(inf.ok());
+  EXPECT_EQ(inf.error().kind, ErrorKind::kOverflow);
+
+  const auto ninf =
+      finite_or_error(-std::numeric_limits<double>::infinity(), "q");
+  ASSERT_FALSE(ninf.ok());
+  EXPECT_EQ(ninf.error().kind, ErrorKind::kOverflow);
+  EXPECT_NE(ninf.error().message.find("-inf"), std::string::npos);
+
+  const auto nan = finite_or_error(std::nan(""), "q");
+  ASSERT_FALSE(nan.ok());
+  EXPECT_EQ(nan.error().kind, ErrorKind::kNonFinite);
+}
+
+TEST(EvalBudget, ReferencesAccumulateToTheCap) {
+  EvalLimits limits;
+  limits.max_references = 100;
+  EvalBudget budget(limits);
+
+  EXPECT_TRUE(budget.charge_references(60).ok());
+  EXPECT_TRUE(budget.charge_references(40).ok());
+  EXPECT_EQ(budget.references_used(), 100u);
+
+  const auto over = budget.charge_references(1);
+  ASSERT_FALSE(over.ok());
+  EXPECT_EQ(over.error().kind, ErrorKind::kResourceLimit);
+}
+
+TEST(EvalBudget, ExpansionCapIsIndependent) {
+  EvalLimits limits;
+  limits.max_references = 10;
+  limits.max_expansion = 5;
+  EvalBudget budget(limits);
+
+  EXPECT_TRUE(budget.charge_expansion(5).ok());
+  const auto over = budget.charge_expansion(1);
+  ASSERT_FALSE(over.ok());
+  EXPECT_EQ(over.error().kind, ErrorKind::kResourceLimit);
+  // The reference meter is untouched by expansion charges.
+  EXPECT_TRUE(budget.charge_references(10).ok());
+}
+
+TEST(EvalBudget, ZeroLimitDisablesTheCap) {
+  EvalLimits limits;
+  limits.max_references = 0;
+  limits.max_expansion = 0;
+  EvalBudget budget(limits);
+  EXPECT_TRUE(budget.charge_references(~std::uint64_t{0}).ok());
+  EXPECT_TRUE(budget.charge_expansion(~std::uint64_t{0}).ok());
+}
+
+TEST(EvalBudget, ResetClearsMetersAndRecovers) {
+  EvalLimits limits;
+  limits.max_references = 10;
+  EvalBudget budget(limits);
+  EXPECT_TRUE(budget.charge_references(10).ok());
+  EXPECT_FALSE(budget.charge_references(1).ok());
+
+  budget.reset();
+  EXPECT_EQ(budget.references_used(), 0u);
+  EXPECT_TRUE(budget.charge_references(10).ok());
+}
+
+TEST(EvalBudget, DeadlineFiresAfterWallClockPasses) {
+  EvalLimits limits;
+  limits.wall_seconds = 0.02;  // armed by the constructor
+  EvalBudget budget(limits);
+  EXPECT_TRUE(budget.check_deadline().ok());
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  const auto late = budget.check_deadline();
+  ASSERT_FALSE(late.ok());
+  EXPECT_EQ(late.error().kind, ErrorKind::kDeadlineExceeded);
+
+  // reset() re-arms from "now", so the budget becomes usable again.
+  budget.reset();
+  EXPECT_TRUE(budget.check_deadline().ok());
+}
+
+TEST(EvalBudget, NoDeadlineMeansCheckAlwaysPasses) {
+  EvalBudget budget;  // default limits: wall_seconds == 0
+  EXPECT_TRUE(budget.check_deadline().ok());
+}
+
+TEST(EvalBudget, NullPointerFallsBackToProcessDefault) {
+  EvalBudget& fallback = budget_or_default(nullptr);
+  EXPECT_EQ(&fallback, &EvalBudget::process_default());
+
+  EvalBudget mine;
+  EXPECT_EQ(&budget_or_default(&mine), &mine);
+}
+
+TEST(EvalBudget, ProcessDefaultMetersPerCharge) {
+  // The shared default budget must not accumulate across unrelated
+  // evaluations: charging near the cap twice succeeds, one oversized charge
+  // fails.
+  EvalBudget& shared = EvalBudget::process_default();
+  const std::uint64_t cap = shared.limits().max_references;
+  EXPECT_TRUE(shared.charge_references(cap).ok());
+  EXPECT_TRUE(shared.charge_references(cap).ok());
+  EXPECT_FALSE(shared.charge_references(cap + 1).ok());
+}
+
+TEST(SaturatingMath, MulClampsInsteadOfWrapping) {
+  EXPECT_EQ(math::saturating_mul(0, ~std::uint64_t{0}), 0u);
+  EXPECT_EQ(math::saturating_mul(1u << 16, 1u << 16), std::uint64_t{1} << 32);
+  EXPECT_EQ(math::saturating_mul(std::uint64_t{1} << 32, std::uint64_t{1} << 32),
+            ~std::uint64_t{0});
+  EXPECT_EQ(math::saturating_mul(~std::uint64_t{0}, 2), ~std::uint64_t{0});
+}
+
+TEST(SaturatingMath, AddClampsInsteadOfWrapping) {
+  EXPECT_EQ(math::saturating_add(1, 2), 3u);
+  EXPECT_EQ(math::saturating_add(~std::uint64_t{0}, 1), ~std::uint64_t{0});
+  EXPECT_EQ(math::saturating_add(~std::uint64_t{0} - 1, 1), ~std::uint64_t{0});
+}
+
+TEST(SaturatingMath, CeilDivNeverWraps) {
+  EXPECT_EQ(math::ceil_div(0, 64), 0u);
+  EXPECT_EQ(math::ceil_div(1, 64), 1u);
+  EXPECT_EQ(math::ceil_div(64, 64), 1u);
+  EXPECT_EQ(math::ceil_div(65, 64), 2u);
+  // The classic (a + b - 1) / b formulation wraps here; ours must not.
+  EXPECT_EQ(math::ceil_div(~std::uint64_t{0}, 2),
+            (std::uint64_t{1} << 63));
+}
+
+}  // namespace
+}  // namespace dvf

@@ -16,6 +16,7 @@
 //                                             DVF_THREADS env or hardware)
 #include <algorithm>
 #include <charconv>
+#include <cmath>
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
@@ -25,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "dvf/common/budget.hpp"
 #include "dvf/common/error.hpp"
 #include "dvf/common/math.hpp"
 #include "dvf/dsl/analyzer.hpp"
@@ -46,6 +48,24 @@
 #include "dvf/trace/trace_io.hpp"
 
 namespace {
+
+/// Malformed flag value. Thrown by the option parsers and caught in
+/// run_command, so bad usage exits with code 2 through normal control flow
+/// (stack unwinding, main's observability handling) instead of std::exit.
+struct BadUsage {
+  std::string message;
+};
+
+/// Wall-clock deadline for model evaluation, shared by every calculator the
+/// running command creates (--deadline S). Commands attach it via
+/// apply_budget; nullptr (no --deadline) keeps the process-default limits.
+dvf::EvalBudget* g_eval_budget = nullptr;
+
+dvf::DvfCalculator make_calculator(dvf::Machine machine) {
+  dvf::DvfCalculator calc(std::move(machine));
+  calc.set_budget(g_eval_budget);
+  return calc;
+}
 
 struct Args {
   std::string command;
@@ -132,6 +152,40 @@ ObsRequest extract_obs_options(Args& args) {
   return request;
 }
 
+/// The global evaluation-deadline option (--deadline S), accepted by every
+/// subcommand and removed from the option map before the per-command flag
+/// audit. A positive value arms a wall-clock EvalBudget shared by all model
+/// evaluation the command performs; when it expires, evaluation degrades
+/// into a classified deadline_exceeded error (exit 1) instead of running
+/// unbounded.
+struct DeadlineRequest {
+  double seconds = 0.0;  ///< 0 = no deadline requested
+  bool valid = true;
+};
+
+DeadlineRequest extract_deadline_option(Args& args) {
+  DeadlineRequest request;
+  const auto it = args.options.find("deadline");
+  if (it == args.options.end()) {
+    return request;
+  }
+  const std::string text = it->second;
+  args.options.erase(it);
+  double value = 0.0;
+  const auto [end, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (text.empty() || ec != std::errc() ||
+      end != text.data() + text.size() || !std::isfinite(value) ||
+      value <= 0.0) {
+    std::cerr << "dvfc: --deadline expects a positive number of seconds, "
+                 "got '" << text << "'\n";
+    request.valid = false;
+    return request;
+  }
+  request.seconds = value;
+  return request;
+}
+
 /// Flushes the requested observability outputs after the command ran.
 /// Returns false when the trace file cannot be written.
 bool emit_obs(const ObsRequest& request, const std::string& command) {
@@ -191,10 +245,10 @@ bool options_recognized(const Args& args) {
   return ok;
 }
 
-// Parses a numeric option, exiting with a clear message instead of the
-// uncaught-exception abort std::stoul would produce on e.g. --threads abc.
-// An option given without a value ("dvfc kernels --threads") parses as the
-// fallback.
+// Parses a numeric option, raising BadUsage (exit 2 + a clear message)
+// instead of the uncaught-exception abort std::stoul would produce on e.g.
+// --threads abc. An option given without a value ("dvfc kernels --threads")
+// parses as the fallback.
 std::uint32_t numeric_option(const Args& args, const std::string& name,
                              std::uint32_t fallback) {
   const std::string text = args.option(name, "");
@@ -205,9 +259,8 @@ std::uint32_t numeric_option(const Args& args, const std::string& name,
   const auto [end, ec] =
       std::from_chars(text.data(), text.data() + text.size(), value);
   if (ec != std::errc() || end != text.data() + text.size()) {
-    std::cerr << "dvfc: --" << name << " expects a non-negative integer, got '"
-              << text << "'\n";
-    std::exit(2);
+    throw BadUsage{"--" + name + " expects a non-negative integer, got '" +
+                   text + "'"};
   }
   return value;
 }
@@ -223,10 +276,10 @@ double real_option(const Args& args, const std::string& name,
   double value = 0.0;
   const auto [end, ec] =
       std::from_chars(text.data(), text.data() + text.size(), value);
-  if (ec != std::errc() || end != text.data() + text.size() || value < 0.0) {
-    std::cerr << "dvfc: --" << name << " expects a non-negative number, got '"
-              << text << "'\n";
-    std::exit(2);
+  if (ec != std::errc() || end != text.data() + text.size() || value < 0.0 ||
+      !std::isfinite(value)) {
+    throw BadUsage{"--" + name + " expects a non-negative number, got '" +
+                   text + "'"};
   }
   return value;
 }
@@ -272,6 +325,10 @@ int usage() {
       "  --metrics[=json]                      print end-of-run metrics to\n"
       "                                        stderr: a summary table, or\n"
       "                                        with =json one JSON object\n"
+      "  --deadline S                          abort model evaluation with a\n"
+      "                                        classified deadline_exceeded\n"
+      "                                        error once S wall-clock\n"
+      "                                        seconds have passed\n"
       "exit codes: 0 success; 1 model/campaign errors (for lint --werror:\n"
       "errors or warnings); 2 bad usage, unknown flags or unreadable input;\n"
       "3 internal error\n";
@@ -311,7 +368,9 @@ int cmd_check(const Args& args) {
         const auto ast = dvf::dsl::parse(contents.str());
         (void)dvf::dsl::analyze(ast, diags);
       } catch (const dvf::ParseError& err) {
-        diags.error(dvf::dsl::codes::kSyntax, {err.line(), err.column(), 1},
+        const char* code = err.code() != nullptr ? err.code()
+                                                 : dvf::dsl::codes::kSyntax;
+        diags.error(code, {err.line(), err.column(), err.length()},
                     err.what());
       }
       if (const dvf::dsl::Diagnostic* first = diags.first_error()) {
@@ -417,7 +476,7 @@ int cmd_eval(const Args& args) {
         std::cout << dvf::banner("model '" + model.name + "' on machine '" +
                                  machine.name + "'");
       }
-      print_application(dvf::DvfCalculator(machine).for_model(model), csv);
+      print_application(make_calculator(machine).for_model(model), csv);
     }
   }
   return 0;
@@ -438,8 +497,8 @@ int cmd_caches(const Args& args) {
   dvf::Table table(headers);
   std::vector<dvf::ApplicationDvf> results;
   for (const auto& cache : caches) {
-    results.push_back(dvf::DvfCalculator(dvf::Machine::with_cache(cache))
-                          .for_model(model));
+    results.push_back(
+        make_calculator(dvf::Machine::with_cache(cache)).for_model(model));
   }
   for (std::size_t s = 0; s < model.structures.size(); ++s) {
     std::vector<std::string> row = {model.structures[s].name};
@@ -463,7 +522,8 @@ int cmd_ecc(const Args& args) {
           ? dvf::Machine::with_cache(dvf::caches::profiling_8mb())
           : program.machine(args.option("machine"));
 
-  const dvf::EccTradeoffExplorer explorer(machine, model);
+  dvf::EccTradeoffExplorer explorer(machine, model);
+  explorer.set_budget(g_eval_budget);
   dvf::Table table({"degradation_%", "DVF secded", "DVF chipkill"});
   dvf::EccSweepConfig secded;
   secded.scheme = dvf::EccScheme::kSecDed;
@@ -490,8 +550,8 @@ int cmd_kernels(const Args& args) {
   const unsigned threads = numeric_option(args, "threads", 0);
 
   dvf::Table table({"kernel", "method", "T (s)", "DVF_a @8MB"});
-  const dvf::DvfCalculator calc(
-      dvf::Machine::with_cache(dvf::caches::profiling_8mb()));
+  const dvf::DvfCalculator calc =
+      make_calculator(dvf::Machine::with_cache(dvf::caches::profiling_8mb()));
   for (const auto& result :
        dvf::kernels::evaluate_suite(suite, calc, threads)) {
     table.add_row({result.kernel, result.method,
@@ -669,8 +729,11 @@ int cmd_infer(const Args& args) {
     }
     const double simulated =
         static_cast<double>(sim.stats(id).misses);
-    const double estimate = dvf::estimate_accesses(
-        std::span<const dvf::PatternSpec>(ds.patterns), cache);
+    const double estimate =
+        dvf::try_estimate_accesses(
+            std::span<const dvf::PatternSpec>(ds.patterns), cache,
+            g_eval_budget)
+            .value_or_throw();
     table.add_row({ds.name, kinds, dvf::num(simulated), dvf::num(estimate),
                    dvf::num(100.0 * dvf::math::relative_error(estimate,
                                                               simulated),
@@ -719,6 +782,10 @@ int run_command(const Args& args) {
       return cmd_infer(args);
     }
     return usage();
+  } catch (const BadUsage& err) {
+    std::cerr << "dvfc: " << err.message
+              << " (run 'dvfc' without arguments for usage)\n";
+    return 2;
   } catch (const dvf::Error& err) {
     std::cerr << "dvfc: " << err.what() << "\n";
     return 1;
@@ -735,11 +802,18 @@ int run_command(const Args& args) {
 int main(int argc, char** argv) {
   Args args = parse_args(argc, argv);
   const ObsRequest obs_request = extract_obs_options(args);
-  if (!obs_request.valid) {
+  const DeadlineRequest deadline = extract_deadline_option(args);
+  if (!obs_request.valid || !deadline.valid) {
     return 2;
   }
   if (obs_request.active()) {
     dvf::obs::set_enabled(true);
+  }
+  dvf::EvalLimits limits;
+  limits.wall_seconds = deadline.seconds;
+  dvf::EvalBudget deadline_budget(limits);  // arms the deadline when > 0
+  if (deadline.seconds > 0.0) {
+    g_eval_budget = &deadline_budget;
   }
   int code = run_command(args);
   // Flush trace/metrics even when the command failed (code 1/3): a failing
