@@ -1,6 +1,6 @@
 // dvf_fuzz — deterministic fuzz + differential-oracle harness driver.
 //
-//   dvf_fuzz [--target roundtrip|eval|oracle|all] [--cases N] [--seed S]
+//   dvf_fuzz [--target roundtrip|eval|oracle|trace|all] [--cases N] [--seed S]
 //            [--max-seconds T] [--corpus DIR] [--verbose]
 //
 // Exit 0 when every executed case passed, 1 when any finding was recorded,
@@ -19,7 +19,8 @@ namespace {
 int usage() {
   std::cerr <<
       "usage: dvf_fuzz [options]\n"
-      "  --target roundtrip|eval|oracle|all    harness to run (default all)\n"
+      "  --target roundtrip|eval|oracle|trace|all\n"
+      "                                        harness to run (default all)\n"
       "  --cases N                             generated cases per target\n"
       "                                        (default 1000)\n"
       "  --seed S                              master seed (default 1)\n"
@@ -63,7 +64,7 @@ int main(int argc, char** argv) {
       if (v == nullptr) return usage();
       target = v;
       if (target != "roundtrip" && target != "eval" && target != "oracle" &&
-          target != "all") {
+          target != "trace" && target != "all") {
         std::cerr << "dvf_fuzz: unknown target '" << target << "'\n";
         return usage();
       }
@@ -102,6 +103,9 @@ int main(int argc, char** argv) {
   }
   if (target == "oracle" || target == "all") {
     run("oracle", dvf::fuzz::fuzz_oracle);
+  }
+  if (target == "trace" || target == "all") {
+    run("trace", dvf::fuzz::fuzz_trace);
   }
 
   if (!report.ok()) {

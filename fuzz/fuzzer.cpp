@@ -34,6 +34,7 @@
 #include "dvf/patterns/reuse.hpp"
 #include "dvf/patterns/streaming.hpp"
 #include "dvf/patterns/template_access.hpp"
+#include "dvf/trace/trace_io.hpp"
 
 namespace dvf::fuzz {
 namespace {
@@ -699,6 +700,146 @@ void check_oracle_reuse(const std::string& label, Xoshiro256& rng,
   }
 }
 
+// ---- trace target ---------------------------------------------------------
+
+/// Random structure table: short names, arbitrary extents. Built directly
+/// (not via DataStructureRegistry) so the fuzzer can exercise degenerate
+/// element sizes the registry would reject.
+std::vector<DataStructureInfo> random_structures(Xoshiro256& rng) {
+  const std::size_t count = rng.below(5);
+  std::vector<DataStructureInfo> structures;
+  structures.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    DataStructureInfo info;
+    info.name = "s" + std::to_string(i) + std::string(rng.below(8), 'x');
+    info.base_address = rng();
+    info.size_bytes = rng.below(std::uint64_t{1} << 30);
+    info.element_bytes = static_cast<std::uint32_t>(rng.below(64));
+    structures.push_back(std::move(info));
+  }
+  return structures;
+}
+
+/// Adversarial record streams: random 64-bit jumps (including wraparound
+/// near ~0), run-friendly constant strides, negative deltas, zero sizes,
+/// unattributed records.
+std::vector<MemoryRecord> random_trace_records(Xoshiro256& rng,
+                                               std::size_t n_structures) {
+  const std::uint64_t count = rng.below(600);
+  std::vector<MemoryRecord> records;
+  records.reserve(static_cast<std::size_t>(count));
+  std::uint64_t addr = rng();
+  std::uint32_t size = 8;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    switch (rng.below(5)) {
+      case 0: addr = rng(); break;                    // arbitrary jump
+      case 1: addr += size; break;                    // run-friendly stride
+      case 2: addr -= 16; break;                      // negative delta
+      case 3: addr += rng.below(1u << 12); break;
+      default: break;                                 // repeat (delta 0)
+    }
+    if (rng.below(4) == 0) {
+      static constexpr std::uint32_t kSizes[] = {0, 1, 2, 4, 8, 64, 4096};
+      size = kSizes[rng.below(7)];
+    }
+    const DsId ds = n_structures > 0 && rng.below(4) != 0
+                        ? static_cast<DsId>(rng.below(n_structures))
+                        : kNoDs;
+    records.push_back({addr, size, ds, rng.below(2) == 0});
+  }
+  return records;
+}
+
+std::string serialize_trace(const std::vector<DataStructureInfo>& structures,
+                            const std::vector<MemoryRecord>& records,
+                            TraceFormat format) {
+  std::stringstream stream;
+  write_trace(stream, std::span<const DataStructureInfo>(structures),
+              std::span<const MemoryRecord>(records), format);
+  return stream.str();
+}
+
+/// records → bytes → records must be the identity, re-encoding must be a
+/// byte fixpoint, and both formats must decode to the same stream.
+void check_trace_roundtrip(const std::string& label, Xoshiro256& rng,
+                           FuzzReport& report, const FuzzOptions& options) {
+  const auto structures = random_structures(rng);
+  const auto records = random_trace_records(rng, structures.size());
+  for (const TraceFormat format : {TraceFormat::kV2, TraceFormat::kV1}) {
+    const char* fmt = format == TraceFormat::kV2 ? "v2" : "v1";
+    const std::string bytes = serialize_trace(structures, records, format);
+    std::stringstream in(bytes);
+    const TraceFile decoded = read_trace(in);
+    if (decoded.records != records) {
+      record(report, options,
+             label + ": " + fmt + " decode is not the encoded stream");
+      return;
+    }
+    if (decoded.structures.size() != structures.size()) {
+      record(report, options,
+             label + ": " + fmt + " structure table changed size");
+      return;
+    }
+    const std::string again =
+        serialize_trace(decoded.structures, decoded.records, format);
+    if (again != bytes) {
+      record(report, options,
+             label + ": " + fmt + " re-encode is not a byte fixpoint");
+      return;
+    }
+  }
+}
+
+/// Decode totality: a mutated or truncated byte stream must either decode
+/// or raise a classified dvf::Error — never crash, loop, or throw anything
+/// else (a bad_alloc here would mean a header field drove an unbounded
+/// allocation).
+void check_trace_totality(const std::string& label, std::string bytes,
+                          Xoshiro256& rng, FuzzReport& report,
+                          const FuzzOptions& options) {
+  if (!bytes.empty()) {
+    if (rng.below(3) == 0) {
+      bytes.resize(rng.below(bytes.size()));  // truncate
+    }
+    const std::uint64_t flips = 1 + rng.below(8);
+    for (std::uint64_t f = 0; f < flips && !bytes.empty(); ++f) {
+      bytes[rng.below(bytes.size())] ^= static_cast<char>(1 + rng.below(255));
+    }
+  }
+  try {
+    std::stringstream in(bytes);
+    const TraceFile decoded = read_trace(in);
+    (void)decoded;
+  } catch (const Error&) {
+    // Classified rejection: exactly the contract.
+  } catch (const std::exception& err) {
+    record(report, options,
+           label + ": mutated trace threw non-dvf error: " + err.what());
+  }
+}
+
+std::vector<std::string> load_trace_corpus(const std::string& dir) {
+  std::vector<std::string> traces;
+  if (dir.empty()) {
+    return traces;
+  }
+  std::error_code ec;
+  std::vector<std::filesystem::path> paths;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.path().extension() == ".dvft") {
+      paths.push_back(entry.path());
+    }
+  }
+  std::sort(paths.begin(), paths.end());  // deterministic corpus order
+  for (const auto& path : paths) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream contents;
+    contents << in.rdbuf();
+    traces.push_back(std::move(contents).str());
+  }
+  return traces;
+}
+
 }  // namespace
 
 void FuzzReport::merge(FuzzReport other) {
@@ -766,6 +907,43 @@ FuzzReport fuzz_oracle(const FuzzOptions& options) {
     } catch (const std::exception& err) {
       record(report, options,
              label + ": oracle evaluation threw: " + err.what());
+    }
+    ++report.cases_run;
+  }
+  return report;
+}
+
+FuzzReport fuzz_trace(const FuzzOptions& options) {
+  FuzzReport report;
+  const TimeBox box(options.max_seconds);
+  Xoshiro256 rng(options.seed ^ 0xA0761D6478BD642FULL);
+
+  // Corpus seeds (tests/fuzz_corpus/*.dvft): decode totality on the pristine
+  // bytes, then again mutated.
+  const std::vector<std::string> corpus = load_trace_corpus(options.corpus_dir);
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    const std::string label = "[trace corpus " + std::to_string(i) + "]";
+    check_trace_totality(label, corpus[i], rng, report, options);
+  }
+
+  for (std::uint64_t c = 0; c < options.cases && !box.expired(); ++c) {
+    const std::string label = "[trace case " + std::to_string(c) + "]";
+    try {
+      check_trace_roundtrip(label, rng, report, options);
+      // Totality over a fresh stream (mutated in place), plus occasionally
+      // over a mutated corpus seed.
+      const auto structures = random_structures(rng);
+      const auto records = random_trace_records(rng, structures.size());
+      const TraceFormat format =
+          rng.below(2) == 0 ? TraceFormat::kV2 : TraceFormat::kV1;
+      std::string bytes = serialize_trace(structures, records, format);
+      if (!corpus.empty() && rng.below(4) == 0) {
+        bytes = corpus[rng.below(corpus.size())];
+      }
+      check_trace_totality(label, std::move(bytes), rng, report, options);
+    } catch (const std::exception& err) {
+      record(report, options,
+             label + ": well-formed trace path threw: " + err.what());
     }
     ++report.cases_run;
   }

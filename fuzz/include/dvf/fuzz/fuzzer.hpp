@@ -1,7 +1,7 @@
 // Deterministic, dependency-free fuzz harness for the DVF front end and
 // evaluation core (docs/architecture.md "guardrail & fuzz layer").
 //
-// Three targets, each a pure function of (seed, case count):
+// Four targets, each a pure function of (seed, case count):
 //
 //   roundtrip — random + mutated DSL sources through parse/print/analyze.
 //               A source must either be rejected with a positioned
@@ -20,6 +20,10 @@
 //               analytically and replayed on the LRU CacheSimulator; the
 //               two must agree within the documented per-pattern tolerance
 //               (docs/resilience.md "Error taxonomy & totality").
+//
+//   trace     — trace wire formats (v1 native, v2 little-endian chunked):
+//               encode/decode fixpoint on adversarial record streams, and
+//               decode totality on mutated/truncated bytes.
 //
 // The harness uses the library's own xoshiro256** so runs are reproducible
 // across platforms; a failing case can be replayed from its seed alone.
@@ -59,6 +63,12 @@ struct FuzzReport {
 
 /// Differential oracle: analytical N_ha against CacheSimulator replay.
 [[nodiscard]] FuzzReport fuzz_oracle(const FuzzOptions& options);
+
+/// Trace wire-format fuzzing: records → bytes → records fixpoint for both
+/// format versions, plus decode totality (a mutated or truncated stream
+/// must decode or raise dvf::Error, never crash or allocate unboundedly).
+/// Corpus seeds are *.dvft files in the corpus directory.
+[[nodiscard]] FuzzReport fuzz_trace(const FuzzOptions& options);
 
 /// Documented differential tolerances (relative error bounds) asserted by
 /// fuzz_oracle. Streaming single-pass traversals are predicted block-exactly;

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Schema check for BENCH_*.json files (wired into the CI bench-smoke job).
+
+    check_bench_json.py BENCH_cachesim.json [BENCH_other.json ...]
+
+Validates that each file is the shape bench/bench_json.hpp writes and that
+downstream trajectory tooling can rely on:
+
+  - a JSON object with a string ``benchmark`` name and a non-empty
+    ``records`` array of flat objects (string/number values only);
+  - every timed record carries positive ``wall_s`` and ``accesses_per_s``;
+  - records sharing a scenario name do not appear twice (a duplicate means
+    the harness double-reported);
+  - for the cachesim harness specifically: the sharded scenarios carry
+    ``threads``/``policy``/``hardware_threads``, and the trace-size records
+    carry consistent ``v1_bytes``/``v2_bytes``/``v1_over_v2``.
+"""
+
+import json
+import sys
+
+
+def fail(message: str) -> None:
+    sys.exit(f"check_bench_json: FAIL: {message}")
+
+
+def require(condition: bool, message: str) -> None:
+    if not condition:
+        fail(message)
+
+
+def check_file(path: str) -> int:
+    try:
+        with open(path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        fail(f"{path}: {error}")
+
+    require(isinstance(doc, dict), f"{path}: top level must be an object")
+    require(isinstance(doc.get("benchmark"), str) and doc["benchmark"],
+            f"{path}: missing string 'benchmark'")
+    records = doc.get("records")
+    require(isinstance(records, list) and records,
+            f"{path}: 'records' must be a non-empty array")
+
+    seen_scenarios = set()
+    for index, record in enumerate(records):
+        where = f"{path}: records[{index}]"
+        require(isinstance(record, dict), f"{where}: must be an object")
+        for key, value in record.items():
+            require(isinstance(key, str) and key, f"{where}: bad key")
+            require(isinstance(value, (str, int, float))
+                    and not isinstance(value, bool),
+                    f"{where}.{key}: values must be strings or numbers")
+
+        scenario = record.get("scenario")
+        require(isinstance(scenario, str) and scenario,
+                f"{where}: missing string 'scenario'")
+        require(scenario not in seen_scenarios,
+                f"{where}: duplicate scenario '{scenario}'")
+        seen_scenarios.add(scenario)
+
+        if "wall_s" in record:
+            require(record["wall_s"] > 0, f"{where}: wall_s must be > 0")
+            require(record.get("accesses_per_s", 0) > 0,
+                    f"{where}: timed records need accesses_per_s > 0")
+
+        if doc["benchmark"] == "cachesim":
+            if "sharded" in scenario:
+                for key in ("threads", "policy", "hardware_threads"):
+                    require(key in record, f"{where}: sharded needs '{key}'")
+                require(record["threads"] >= 2,
+                        f"{where}: sharded threads must be >= 2")
+            if scenario.startswith("trace_size_"):
+                for key in ("v1_bytes", "v2_bytes", "v1_over_v2"):
+                    require(record.get(key, 0) > 0,
+                            f"{where}: trace size needs positive '{key}'")
+                ratio = record["v1_bytes"] / record["v2_bytes"]
+                require(abs(ratio - record["v1_over_v2"]) < 0.01,
+                        f"{where}: v1_over_v2 inconsistent with byte counts")
+
+    if "metrics" in doc:
+        require(isinstance(doc["metrics"], dict),
+                f"{path}: 'metrics' must be an object")
+    return len(records)
+
+
+def main() -> None:
+    if len(sys.argv) < 2:
+        sys.exit(__doc__.strip().splitlines()[2].strip())
+    for path in sys.argv[1:]:
+        count = check_file(path)
+        print(f"check_bench_json: OK: {path} ({count} record(s))")
+
+
+if __name__ == "__main__":
+    main()

@@ -21,22 +21,35 @@ struct ReplayCounters {
   obs::Counter evictions = obs::counter("cachesim.evictions");
 };
 
+/// SRRIP re-reference prediction values (2-bit, hit-priority): insertion
+/// predicts a long re-reference interval, a hit promotes to near-immediate,
+/// replacement takes the first way predicted distant.
+constexpr std::uint64_t kRripDistant = 3;
+constexpr std::uint64_t kRripLong = 2;
+constexpr std::uint64_t kRripNear = 0;
+
 }  // namespace
 
-CacheSimulator::CacheSimulator(CacheConfig config)
+CacheSimulator::CacheSimulator(CacheConfig config, ReplacementPolicy policy)
     : config_(std::move(config)),
       num_sets_(config_.num_sets()),
       assoc_(config_.associativity()),
       line_shift_(static_cast<std::uint32_t>(
           std::countr_zero(config_.line_bytes()))),
       set_mask_(num_sets_ - 1),
-      sets_pow2_(std::has_single_bit(num_sets_)) {
-  lines_.resize(static_cast<std::size_t>(num_sets_) * assoc_);
+      sets_pow2_(std::has_single_bit(num_sets_)),
+      policy_(policy) {
+  const std::size_t ways = static_cast<std::size_t>(num_sets_) * assoc_;
+  tags_.assign(ways, kInvalidTag);
+  meta_.assign(ways, 0);
+  owners_.assign(ways, kNoDs);
+  flags_.assign(ways, 0);
 }
 
 CacheSimulator::CacheSimulator(CacheConfig config,
-                               const DataStructureRegistry& registry)
-    : CacheSimulator(std::move(config)) {
+                               const DataStructureRegistry& registry,
+                               ReplacementPolicy policy)
+    : CacheSimulator(std::move(config), policy) {
   reserve_structures(registry.size());
 }
 
@@ -92,6 +105,43 @@ void CacheSimulator::replay_uninstrumented(
   }
 }
 
+void CacheSimulator::replay_filtered(std::span<const MemoryRecord> records,
+                                     std::uint32_t shards,
+                                     std::uint32_t shard) {
+  DVF_CHECK_MSG(shards > 0 && shard < shards,
+                "shard index must lie below the shard count");
+  if (shards == 1) {
+    replay_uninstrumented(records);
+    return;
+  }
+  const std::uint32_t line_shift = line_shift_;
+  const bool shards_pow2 = std::has_single_bit(shards);
+  const std::uint64_t shard_mask = shards - 1;
+  for (const MemoryRecord& record : records) {
+    if (record.size == 0) [[unlikely]] {
+      continue;
+    }
+    const std::uint64_t first = record.address >> line_shift;
+    const std::uint64_t last =
+        (record.address + record.size - 1) >> line_shift;
+    if (first == last) [[likely]] {
+      const std::uint64_t set = set_of_block(first);
+      if ((shards_pow2 ? (set & shard_mask) : (set % shards)) != shard) {
+        continue;
+      }
+      touch_line(first, record.is_write, record.ds, stats_for(record.ds));
+      continue;
+    }
+    for (std::uint64_t block = first; block <= last; ++block) {
+      const std::uint64_t set = set_of_block(block);
+      if ((shards_pow2 ? (set & shard_mask) : (set % shards)) != shard) {
+        continue;
+      }
+      touch_line(block, record.is_write, record.ds, stats_for(record.ds));
+    }
+  }
+}
+
 void CacheSimulator::replay_instrumented(
     std::span<const MemoryRecord> records) {
   static const ReplayCounters counters;
@@ -107,75 +157,158 @@ void CacheSimulator::replay_instrumented(
   counters.evictions.add(evictions_ - evictions_before);
 }
 
+void CacheSimulator::promote_way(std::uint64_t* meta, std::uint32_t way,
+                                 bool filled) {
+  switch (policy_) {
+    case ReplacementPolicy::kLru:
+      meta[way] = tick_;
+      break;
+    case ReplacementPolicy::kPlru: {
+      meta[way] = 1;
+      // Bit-PLRU saturation: once every way is "recent", forget everything
+      // except the access that saturated the set.
+      bool all_set = true;
+      for (std::uint32_t w = 0; w < assoc_; ++w) {
+        all_set = all_set && meta[w] != 0;
+      }
+      if (all_set) {
+        std::fill(meta, meta + assoc_, std::uint64_t{0});
+        meta[way] = 1;
+      }
+      break;
+    }
+    case ReplacementPolicy::kRrip:
+      meta[way] = filled ? kRripLong : kRripNear;
+      break;
+  }
+}
+
+std::uint32_t CacheSimulator::choose_victim(std::uint64_t* meta,
+                                            const std::uint8_t* flags) {
+  // Invalid ways fill first under every policy.
+  for (std::uint32_t w = 0; w < assoc_; ++w) {
+    if ((flags[w] & kValidFlag) == 0) {
+      return w;
+    }
+  }
+  switch (policy_) {
+    case ReplacementPolicy::kLru: {
+      std::uint32_t victim = 0;
+      for (std::uint32_t w = 1; w < assoc_; ++w) {
+        if (meta[w] < meta[victim]) {
+          victim = w;
+        }
+      }
+      return victim;
+    }
+    case ReplacementPolicy::kPlru:
+      for (std::uint32_t w = 0; w < assoc_; ++w) {
+        if (meta[w] == 0) {
+          return w;
+        }
+      }
+      return 0;  // assoc == 1: the single way is always "recent"
+    case ReplacementPolicy::kRrip:
+      for (;;) {
+        for (std::uint32_t w = 0; w < assoc_; ++w) {
+          if (meta[w] >= kRripDistant) {
+            return w;
+          }
+        }
+        for (std::uint32_t w = 0; w < assoc_; ++w) {
+          ++meta[w];
+        }
+      }
+  }
+  return 0;
+}
+
 bool CacheSimulator::touch_line(std::uint64_t block, bool is_write, DsId ds,
                                 CacheStats& st) {
   ++tick_;
   ++st.accesses;
 
   const std::uint64_t set = set_of_block(block);
-  Line* const set_begin = lines_.data() + static_cast<std::size_t>(set) * assoc_;
-  Line* const set_end = set_begin + assoc_;
+  const std::size_t base = static_cast<std::size_t>(set) * assoc_;
+  std::uint64_t* const tags = tags_.data() + base;
+  std::uint64_t* const meta = meta_.data() + base;
+  DsId* const owners = owners_.data() + base;
+  std::uint8_t* const flags = flags_.data() + base;
 
-  Line* victim = set_begin;  // least recently used (or first invalid) way
-  for (Line* way = set_begin; way != set_end; ++way) {
-    if (way->valid && way->block == block) {
-      ++st.hits;
-      way->tick = tick_;
-      way->dirty = way->dirty || is_write;
-      way->owner = ds;
-      return true;
+  // Contiguous branch-light tag scan: at most one VALID way can match, and
+  // invalid ways hold kInvalidTag, so for ordinary blocks a tag match is a
+  // hit without any flag load. A probe for the sentinel block itself (only
+  // reachable with 1-byte lines at the very top of the address space) takes
+  // the flag-checking slow path.
+  std::uint32_t hit_way = assoc_;
+  if (block != kInvalidTag) [[likely]] {
+    for (std::uint32_t w = 0; w < assoc_; ++w) {
+      hit_way = tags[w] == block ? w : hit_way;
     }
-    // Prefer an invalid way; among valid ways pick the stalest.
-    if (!victim->valid) {
-      continue;
+  } else {
+    for (std::uint32_t w = 0; w < assoc_; ++w) {
+      if (tags[w] == block && (flags[w] & kValidFlag) != 0) {
+        hit_way = w;
+      }
     }
-    if (!way->valid || way->tick < victim->tick) {
-      victim = way;
-    }
+  }
+
+  if (hit_way != assoc_) {
+    ++st.hits;
+    flags[hit_way] =
+        static_cast<std::uint8_t>(flags[hit_way] | (is_write ? kDirtyFlag : 0));
+    owners[hit_way] = ds;
+    promote_way(meta, hit_way, /*filled=*/false);
+    return true;
   }
 
   ++st.misses;
-  if (victim->valid) {
+  const std::uint32_t victim = choose_victim(meta, flags);
+  if ((flags[victim] & kValidFlag) != 0) {
     ++evictions_;
-    if (victim->dirty) {
+    const bool dirty = (flags[victim] & kDirtyFlag) != 0;
+    if (dirty) {
       // Cannot invalidate `st`: every owner stored in a line went through
       // stats_for() when it was stored, so this lookup never grows the
       // table while callers hold references into it.
-      ++stats_for(victim->owner).writebacks;
+      ++stats_for(owners[victim]).writebacks;
     }
     if (on_evict_) {
-      on_evict_(victim->block, victim->owner, victim->dirty);
+      on_evict_(tags[victim], owners[victim], dirty);
     }
   }
-  victim->valid = true;
-  victim->block = block;
-  victim->tick = tick_;
-  victim->dirty = is_write;
-  victim->owner = ds;
+  tags[victim] = block;
+  owners[victim] = ds;
+  flags[victim] =
+      static_cast<std::uint8_t>(kValidFlag | (is_write ? kDirtyFlag : 0));
+  promote_way(meta, victim, /*filled=*/true);
   return false;
 }
 
 void CacheSimulator::flush() {
-  for (Line& line : lines_) {
-    if (!line.valid) {
+  for (std::size_t i = 0; i < flags_.size(); ++i) {
+    if ((flags_[i] & kValidFlag) == 0) {
       continue;
     }
-    if (line.dirty) {
-      ++stats_for(line.owner).writebacks;
+    const bool dirty = (flags_[i] & kDirtyFlag) != 0;
+    if (dirty) {
+      ++stats_for(owners_[i]).writebacks;
     }
     if (on_evict_) {
-      on_evict_(line.block, line.owner, line.dirty);
+      on_evict_(tags_[i], owners_[i], dirty);
     }
-    line.dirty = false;
-    line.valid = false;
-    line.owner = kNoDs;
+    tags_[i] = kInvalidTag;
+    meta_[i] = 0;
+    owners_[i] = kNoDs;
+    flags_[i] = 0;
   }
 }
 
 void CacheSimulator::reset() {
-  for (Line& line : lines_) {
-    line = Line{};
-  }
+  std::fill(tags_.begin(), tags_.end(), kInvalidTag);
+  std::fill(meta_.begin(), meta_.end(), std::uint64_t{0});
+  std::fill(owners_.begin(), owners_.end(), kNoDs);
+  std::fill(flags_.begin(), flags_.end(), std::uint8_t{0});
   std::fill(stats_.begin(), stats_.end(), CacheStats{});
   unattributed_ = CacheStats{};
   tick_ = 0;
@@ -202,8 +335,9 @@ CacheStats CacheSimulator::total_stats() const {
 
 std::uint64_t CacheSimulator::resident_lines() const noexcept {
   return static_cast<std::uint64_t>(
-      std::count_if(lines_.begin(), lines_.end(),
-                    [](const Line& l) { return l.valid; }));
+      std::count_if(flags_.begin(), flags_.end(), [](std::uint8_t f) {
+        return (f & kValidFlag) != 0;
+      }));
 }
 
 }  // namespace dvf

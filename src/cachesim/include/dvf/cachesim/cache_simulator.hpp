@@ -1,4 +1,4 @@
-// Trace-driven set-associative LRU cache simulator.
+// Trace-driven set-associative cache simulator.
 //
 // This is the verification reference of the paper's §IV-A: it consumes the
 // per-data-structure reference stream the kernels emit and reports, per
@@ -8,10 +8,19 @@
 // Hot-path layout: the geometry (set count, associativity, line shift) is
 // cached in members at construction; when the set count is a power of two
 // the set index is a mask (`block & set_mask_`), falling back to modulo
-// otherwise. The per-structure stats table can be pre-sized from a registry
-// so the accounting lookup never grows mid-simulation, and replay() batches
-// a recorded stream through the simulator with per-access dispatch hoisted
-// out of the loop.
+// otherwise. Sets are stored as flat structure-of-arrays slabs — one
+// contiguous tag array, one policy-metadata array, one owner array, one
+// flags array — so the N-way tag compare is a branch-light contiguous scan
+// the compiler can vectorize (invalid ways hold a sentinel tag that never
+// matches a real probe). The per-structure stats table can be pre-sized from
+// a registry so the accounting lookup never grows mid-simulation, and
+// replay() batches a recorded stream through the simulator with per-access
+// dispatch hoisted out of the loop.
+//
+// Replacement is pluggable (dvf/cachesim/replacement.hpp): true LRU (the
+// paper's reference), bit-PLRU and 2-bit SRRIP all keep their state per set
+// in the same metadata array, which is what makes set-sharded replay
+// (dvf/cachesim/sharded_replay.hpp) bit-identical to the single stream.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +28,7 @@
 #include <span>
 #include <vector>
 
+#include "dvf/cachesim/replacement.hpp"
 #include "dvf/machine/cache_config.hpp"
 #include "dvf/trace/recorder.hpp"
 #include "dvf/trace/registry.hpp"
@@ -39,15 +49,17 @@ struct CacheStats {
   }
 };
 
-/// Set-associative LRU cache with true-LRU replacement and write-back /
-/// write-allocate policy (the policy the paper's simulator reports:
-/// "the cache simulation is based on the popular LRU algorithm and can
-/// report the number of cache misses and writebacks").
+/// Set-associative cache with write-back / write-allocate policy and
+/// selectable replacement (LRU by default — the policy the paper's simulator
+/// reports: "the cache simulation is based on the popular LRU algorithm and
+/// can report the number of cache misses and writebacks").
 class CacheSimulator {
  public:
-  explicit CacheSimulator(CacheConfig config);
+  explicit CacheSimulator(CacheConfig config,
+                          ReplacementPolicy policy = ReplacementPolicy::kLru);
   /// As above, pre-sizing the stats table for every id the registry holds.
-  CacheSimulator(CacheConfig config, const DataStructureRegistry& registry);
+  CacheSimulator(CacheConfig config, const DataStructureRegistry& registry,
+                 ReplacementPolicy policy = ReplacementPolicy::kLru);
 
   /// Pre-sizes the per-structure stats table for ids [0, count), so the hot
   /// path never reallocates it. Existing tallies are kept.
@@ -70,6 +82,15 @@ class CacheSimulator {
   /// access() per record but with the per-record checks and stats dispatch
   /// hoisted out of the inner loop (zero-sized records are skipped).
   void replay(std::span<const MemoryRecord> records);
+
+  /// Set-sharded replay worker: replays exactly the blocks whose set index
+  /// satisfies `set mod shards == shard`, skipping everything else. With the
+  /// full stream presented in order to `shards` simulators (one per shard
+  /// value) the merged per-structure stats are bit-identical to a
+  /// single-stream replay(), because replacement state never crosses set
+  /// boundaries. Never instrumented — the sharded driver owns the obs span.
+  void replay_filtered(std::span<const MemoryRecord> records,
+                       std::uint32_t shards, std::uint32_t shard);
 
   /// Line-granular probe; returns true on hit. The building block the
   /// multi-level hierarchy composes.
@@ -95,6 +116,7 @@ class CacheSimulator {
   void reset();
 
   [[nodiscard]] const CacheConfig& config() const noexcept { return config_; }
+  [[nodiscard]] ReplacementPolicy policy() const noexcept { return policy_; }
   /// Stats for one structure (zeros if never referenced).
   [[nodiscard]] CacheStats stats(DsId ds) const;
   /// Aggregate over all structures (including unattributed accesses).
@@ -106,15 +128,20 @@ class CacheSimulator {
   [[nodiscard]] std::uint64_t evictions() const noexcept { return evictions_; }
 
  private:
-  struct Line {
-    std::uint64_t block = 0;   ///< address / line_bytes
-    std::uint64_t tick = 0;    ///< last-use timestamp for LRU
-    DsId owner = kNoDs;
-    bool valid = false;
-    bool dirty = false;
-  };
+  /// Invalid ways park their tag here so the vectorized scan skips them
+  /// without a validity load; a probe FOR this block number takes the
+  /// flag-checking slow path instead.
+  static constexpr std::uint64_t kInvalidTag = ~std::uint64_t{0};
+  static constexpr std::uint8_t kValidFlag = 0x1;
+  static constexpr std::uint8_t kDirtyFlag = 0x2;
 
   bool touch_line(std::uint64_t block, bool is_write, DsId ds, CacheStats& st);
+  /// Policy-metadata update for the way just accessed (`filled` = miss fill
+  /// vs hit).
+  void promote_way(std::uint64_t* meta, std::uint32_t way, bool filled);
+  /// Victim way for a full set; may age RRIP metadata in place.
+  [[nodiscard]] std::uint32_t choose_victim(std::uint64_t* meta,
+                                            const std::uint8_t* flags);
   CacheStats& stats_for(DsId ds);
   void replay_uninstrumented(std::span<const MemoryRecord> records);
   /// Cold path: wraps the plain replay in an obs span and publishes the
@@ -132,8 +159,16 @@ class CacheSimulator {
   std::uint32_t line_shift_;   ///< log2(line_bytes); lines are power of two
   std::uint64_t set_mask_;     ///< num_sets - 1 when sets_pow2_
   bool sets_pow2_;
+  ReplacementPolicy policy_;
 
-  std::vector<Line> lines_;  ///< num_sets * associativity, set-major
+  // Flat SoA set storage, all num_sets * associativity, set-major. meta_ is
+  // the per-way replacement state: LRU timestamp, PLRU MRU bit, or RRIP
+  // RRPV, depending on policy_.
+  std::vector<std::uint64_t> tags_;
+  std::vector<std::uint64_t> meta_;
+  std::vector<DsId> owners_;
+  std::vector<std::uint8_t> flags_;
+
   std::vector<CacheStats> stats_;
   CacheStats unattributed_;
   std::uint64_t tick_ = 0;

@@ -1,0 +1,65 @@
+// Replacement policies the set-associative simulator can run.
+//
+// The paper's verification reference is true LRU ("the cache simulation is
+// based on the popular LRU algorithm"); PLRU and RRIP widen the machine-model
+// scenario space beyond it (real LLCs rarely implement true LRU):
+//
+//   kLru  — true LRU: per-way last-use timestamps, victim = stalest way.
+//           The differential-oracle reference policy.
+//   kPlru — bit-PLRU (MRU-bit approximation): each way carries one MRU bit,
+//           set on every access; when all bits saturate, every OTHER way's
+//           bit clears. Victim = lowest-indexed way with a clear bit. Works
+//           for any associativity (unlike the tree variant) and is the
+//           flavor several ARM/embedded cache designs ship.
+//   kRrip — 2-bit SRRIP (Jaleel et al., ISCA'10), hit-priority: ways carry a
+//           re-reference prediction value (RRPV) in [0,3]; insertion
+//           predicts "long" (RRPV 2), a hit predicts "near-immediate"
+//           (RRPV 0). Victim = lowest-indexed way with RRPV 3, aging every
+//           way by +1 until one qualifies.
+//
+// All three keep state strictly per set, which is what makes set-sharded
+// replay bit-identical to the single-stream simulator for every policy.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace dvf {
+
+enum class ReplacementPolicy {
+  kLru,
+  kPlru,
+  kRrip,
+};
+
+/// Canonical lower-case name ("lru", "plru", "rrip").
+[[nodiscard]] constexpr const char* policy_name(
+    ReplacementPolicy policy) noexcept {
+  switch (policy) {
+    case ReplacementPolicy::kLru:
+      return "lru";
+    case ReplacementPolicy::kPlru:
+      return "plru";
+    case ReplacementPolicy::kRrip:
+      return "rrip";
+  }
+  return "lru";
+}
+
+/// Parses a policy name as the CLI spells it; nullopt on anything else.
+[[nodiscard]] inline std::optional<ReplacementPolicy> parse_policy(
+    std::string_view text) noexcept {
+  if (text == "lru") {
+    return ReplacementPolicy::kLru;
+  }
+  if (text == "plru") {
+    return ReplacementPolicy::kPlru;
+  }
+  if (text == "rrip") {
+    return ReplacementPolicy::kRrip;
+  }
+  return std::nullopt;
+}
+
+}  // namespace dvf

@@ -25,6 +25,8 @@
 
 namespace dvf {
 
+class TraceReader;
+
 struct InferenceOptions {
   /// Longest reference string kept as a literal template; longer streams
   /// degrade to the IRM random summary.
@@ -38,10 +40,23 @@ struct InferenceOptions {
     std::uint32_t element_bytes, std::uint64_t element_count,
     const InferenceOptions& options = {});
 
-/// Infers a whole application model from a deserialized trace: one
-/// DataStructureSpec per traced structure, with patterns inferred from its
-/// references. Records not attributable to a structure are ignored.
+/// Infers a whole application model from a structure table plus reference
+/// stream: one DataStructureSpec per traced structure, with patterns
+/// inferred from its references. Records not attributable to a structure
+/// are ignored.
+[[nodiscard]] ModelSpec infer_model(
+    std::span<const DataStructureInfo> structures,
+    std::span<const MemoryRecord> records,
+    const InferenceOptions& options = {});
+
+/// As above, from a deserialized trace.
 [[nodiscard]] ModelSpec infer_model(const TraceFile& trace,
+                                    const InferenceOptions& options = {});
+
+/// As above, streaming: buckets the reference string chunk by chunk from a
+/// TraceReader, so only the per-structure element indices are ever resident
+/// (not the raw record stream). Consumes the reader to its end.
+[[nodiscard]] ModelSpec infer_model(TraceReader& reader,
                                     const InferenceOptions& options = {});
 
 }  // namespace dvf

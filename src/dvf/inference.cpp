@@ -7,6 +7,7 @@
 #include <variant>
 
 #include "dvf/common/error.hpp"
+#include "dvf/trace/trace_reader.hpp"
 
 namespace dvf {
 
@@ -149,37 +150,45 @@ std::vector<PatternSpec> infer_patterns(
   return patterns;
 }
 
-ModelSpec infer_model(const TraceFile& trace, const InferenceOptions& options) {
-  ModelSpec spec;
-  spec.name = "inferred";
+namespace {
 
-  // Bucket element indices per structure.
-  std::vector<std::vector<std::uint64_t>> per_structure(
-      trace.structures.size());
-  for (const MemoryRecord& record : trace.records) {
-    if (record.ds == kNoDs || record.ds >= trace.structures.size()) {
+// Appends the element-granular reference string of each structure; callable
+// per chunk so a streamed trace buckets in O(per-structure indices) memory.
+void bucket_records(std::span<const DataStructureInfo> structures,
+                    std::span<const MemoryRecord> records,
+                    std::vector<std::vector<std::uint64_t>>& per_structure) {
+  for (const MemoryRecord& record : records) {
+    if (record.ds == kNoDs || record.ds >= structures.size()) {
       continue;
     }
-    const DataStructureInfo& info = trace.structures[record.ds];
+    const DataStructureInfo& info = structures[record.ds];
     if (info.element_bytes == 0 || record.address < info.base_address) {
       continue;
     }
     per_structure[record.ds].push_back(
         (record.address - info.base_address) / info.element_bytes);
   }
+}
+
+ModelSpec model_from_buckets(
+    std::span<const DataStructureInfo> structures,
+    const std::vector<std::vector<std::uint64_t>>& per_structure,
+    const InferenceOptions& options) {
+  ModelSpec spec;
+  spec.name = "inferred";
 
   // The paper's rule for concurrently accessed structures: split the cache
   // by footprint. Per-structure inference cannot see cross-structure
   // interference, so the share is applied to the capacity-sensitive specs.
   std::uint64_t total_bytes = 0;
-  for (std::size_t i = 0; i < trace.structures.size(); ++i) {
+  for (std::size_t i = 0; i < structures.size(); ++i) {
     if (!per_structure[i].empty()) {
-      total_bytes += trace.structures[i].size_bytes;
+      total_bytes += structures[i].size_bytes;
     }
   }
 
-  for (std::size_t i = 0; i < trace.structures.size(); ++i) {
-    const DataStructureInfo& info = trace.structures[i];
+  for (std::size_t i = 0; i < structures.size(); ++i) {
+    const DataStructureInfo& info = structures[i];
     if (per_structure[i].empty()) {
       continue;
     }
@@ -203,6 +212,30 @@ ModelSpec infer_model(const TraceFile& trace, const InferenceOptions& options) {
     spec.structures.push_back(std::move(ds));
   }
   return spec;
+}
+
+}  // namespace
+
+ModelSpec infer_model(std::span<const DataStructureInfo> structures,
+                      std::span<const MemoryRecord> records,
+                      const InferenceOptions& options) {
+  std::vector<std::vector<std::uint64_t>> per_structure(structures.size());
+  bucket_records(structures, records, per_structure);
+  return model_from_buckets(structures, per_structure, options);
+}
+
+ModelSpec infer_model(const TraceFile& trace, const InferenceOptions& options) {
+  return infer_model(std::span<const DataStructureInfo>(trace.structures),
+                     std::span<const MemoryRecord>(trace.records), options);
+}
+
+ModelSpec infer_model(TraceReader& reader, const InferenceOptions& options) {
+  std::vector<std::vector<std::uint64_t>> per_structure(
+      reader.structures().size());
+  while (!reader.done()) {
+    bucket_records(reader.structures(), reader.next_chunk(), per_structure);
+  }
+  return model_from_buckets(reader.structures(), per_structure, options);
 }
 
 }  // namespace dvf

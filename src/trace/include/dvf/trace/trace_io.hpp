@@ -4,15 +4,25 @@
 // part of a verification study (generating references) from the cheap part
 // (simulating caches), the same split the paper's Pin-based flow used.
 //
-// Format (native-endian binary):
-//   magic "DVFT", u32 version,
-//   u32 structure count, then per structure:
-//     u32 name length, name bytes, u64 base address, u64 size, u32 elem size
-//   u64 record count, then per record:
-//     u64 address, u32 size, u32 ds id, u8 is_write
+// Two wire formats:
+//
+//   v1 — flat native-endian records (magic "DVFT", u32 version 1, structure
+//        table, u64 record count, then 17 bytes per record). Still read for
+//        compatibility, with the documented caveat that a v1 trace is only
+//        readable on a machine of the producer's endianness.
+//   v2 — explicitly little-endian with byte-order conversion on read, so
+//        traces are portable across hosts. Records are delta-encoded
+//        (zigzag varint address deltas, size/ds elided when repeated,
+//        constant-stride runs collapsed) and framed into self-contained
+//        chunks, which is what lets dvf::TraceReader stream multi-GB traces
+//        without materializing them. Wire details: src/trace/wire_format.hpp.
+//
+// read_trace() auto-detects the version. write_trace() defaults to v2.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -21,6 +31,12 @@
 
 namespace dvf {
 
+/// Wire format selector for write_trace (read_trace auto-detects).
+enum class TraceFormat : std::uint32_t {
+  kV1 = 1,  ///< flat native-endian records (legacy, non-portable)
+  kV2 = 2,  ///< little-endian, delta-encoded, chunked (default)
+};
+
 /// A deserialized trace: the structure table plus the reference stream.
 struct TraceFile {
   std::vector<DataStructureInfo> structures;
@@ -28,14 +44,22 @@ struct TraceFile {
 };
 
 /// Serializes a trace. Throws Error on I/O failure.
+void write_trace(std::ostream& out,
+                 std::span<const DataStructureInfo> structures,
+                 std::span<const MemoryRecord> records,
+                 TraceFormat format = TraceFormat::kV2);
 void write_trace(std::ostream& out, const DataStructureRegistry& registry,
-                 const std::vector<MemoryRecord>& records);
+                 const std::vector<MemoryRecord>& records,
+                 TraceFormat format = TraceFormat::kV2);
 void write_trace_file(const std::string& path,
                       const DataStructureRegistry& registry,
-                      const std::vector<MemoryRecord>& records);
+                      const std::vector<MemoryRecord>& records,
+                      TraceFormat format = TraceFormat::kV2);
 
-/// Deserializes a trace. Throws Error on malformed input (bad magic,
-/// unsupported version, truncated stream, out-of-range structure ids).
+/// Deserializes a trace of either version into memory. Throws Error on
+/// malformed input (bad magic, unsupported version, truncated stream,
+/// out-of-range structure ids). For streams too large to materialize, use
+/// dvf::TraceReader (dvf/trace/trace_reader.hpp) instead.
 [[nodiscard]] TraceFile read_trace(std::istream& in);
 [[nodiscard]] TraceFile read_trace_file(const std::string& path);
 

@@ -1,116 +1,199 @@
 #include "dvf/trace/trace_io.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <istream>
 #include <ostream>
 
 #include "dvf/common/error.hpp"
+#include "dvf/trace/trace_reader.hpp"
+#include "wire_format.hpp"
 
 namespace dvf {
 
 namespace {
 
-constexpr char kMagic[4] = {'D', 'V', 'F', 'T'};
-constexpr std::uint32_t kVersion = 1;
-
 template <typename T>
-void put(std::ostream& out, const T& value) {
+void put_native(std::ostream& out, const T& value) {
   out.write(reinterpret_cast<const char*>(&value), sizeof(T));
 }
 
-template <typename T>
-T get(std::istream& in) {
-  T value{};
-  in.read(reinterpret_cast<char*>(&value), sizeof(T));
-  if (!in) {
-    throw Error("truncated trace stream");
+void put_le32(std::ostream& out, std::uint32_t value) {
+  char bytes[4];
+  wire::store_le32(bytes, value);
+  out.write(bytes, sizeof(bytes));
+}
+
+void put_le64(std::ostream& out, std::uint64_t value) {
+  char bytes[8];
+  wire::store_le64(bytes, value);
+  out.write(bytes, sizeof(bytes));
+}
+
+void write_trace_v1(std::ostream& out,
+                    std::span<const DataStructureInfo> structures,
+                    std::span<const MemoryRecord> records) {
+  out.write(wire::kMagic, sizeof(wire::kMagic));
+  put_native(out, wire::kVersion1);
+
+  put_native(out, static_cast<std::uint32_t>(structures.size()));
+  for (const DataStructureInfo& info : structures) {
+    put_native(out, static_cast<std::uint32_t>(info.name.size()));
+    out.write(info.name.data(),
+              static_cast<std::streamsize>(info.name.size()));
+    put_native(out, info.base_address);
+    put_native(out, info.size_bytes);
+    put_native(out, info.element_bytes);
   }
-  return value;
+
+  put_native(out, static_cast<std::uint64_t>(records.size()));
+  for (const MemoryRecord& record : records) {
+    put_native(out, record.address);
+    put_native(out, record.size);
+    put_native(out, static_cast<std::uint32_t>(record.ds));
+    put_native(out, static_cast<std::uint8_t>(record.is_write ? 1 : 0));
+  }
+}
+
+/// Encodes records[begin, end) as one self-contained chunk payload; decoder
+/// state resets per chunk (see wire_format.hpp for the op layout).
+void encode_chunk(std::span<const MemoryRecord> records, std::size_t begin,
+                  std::size_t end, std::string& payload) {
+  payload.clear();
+  std::uint64_t prev_addr = 0;
+  std::uint32_t prev_size = 0;
+  DsId prev_ds = kNoDs;
+  std::size_t i = begin;
+  while (i < end) {
+    const MemoryRecord& head = records[i];
+    const std::uint64_t delta = head.address - prev_addr;
+
+    // Collapse a constant-stride run: followers identical to the head
+    // except for the address, which keeps advancing by the head's delta.
+    std::size_t run = 1;
+    std::uint64_t expected = head.address + delta;
+    while (i + run < end) {
+      const MemoryRecord& next = records[i + run];
+      if (next.address != expected || next.size != head.size ||
+          next.ds != head.ds || next.is_write != head.is_write) {
+        break;
+      }
+      expected += delta;
+      ++run;
+    }
+
+    std::uint8_t flags = 0;
+    if (head.is_write) {
+      flags |= wire::kOpWrite;
+    }
+    if (head.size == prev_size) {
+      flags |= wire::kOpSameSize;
+    }
+    if (head.ds == prev_ds) {
+      flags |= wire::kOpSameDs;
+    }
+    if (run >= 2) {
+      flags |= wire::kOpRun;
+    }
+    payload.push_back(static_cast<char>(flags));
+    wire::put_varint(payload, wire::zigzag_encode(delta));
+    if ((flags & wire::kOpSameSize) == 0) {
+      wire::put_varint(payload, head.size);
+    }
+    if ((flags & wire::kOpSameDs) == 0) {
+      wire::put_varint(payload, head.ds == kNoDs
+                                    ? 0
+                                    : static_cast<std::uint64_t>(head.ds) + 1);
+    }
+    if ((flags & wire::kOpRun) != 0) {
+      wire::put_varint(payload, run - 2);
+    }
+
+    prev_addr = head.address + (run - 1) * delta;
+    prev_size = head.size;
+    prev_ds = head.ds;
+    i += run;
+  }
+}
+
+void write_trace_v2(std::ostream& out,
+                    std::span<const DataStructureInfo> structures,
+                    std::span<const MemoryRecord> records) {
+  out.write(wire::kMagic, sizeof(wire::kMagic));
+  put_le32(out, wire::kVersion2);
+
+  put_le32(out, static_cast<std::uint32_t>(structures.size()));
+  for (const DataStructureInfo& info : structures) {
+    put_le32(out, static_cast<std::uint32_t>(info.name.size()));
+    out.write(info.name.data(),
+              static_cast<std::streamsize>(info.name.size()));
+    put_le64(out, info.base_address);
+    put_le64(out, info.size_bytes);
+    put_le32(out, info.element_bytes);
+  }
+
+  put_le64(out, static_cast<std::uint64_t>(records.size()));
+  std::string payload;
+  for (std::size_t begin = 0; begin < records.size();
+       begin += wire::kWriterChunkRecords) {
+    const std::size_t end =
+        std::min<std::size_t>(records.size(), begin + wire::kWriterChunkRecords);
+    encode_chunk(records, begin, end, payload);
+    put_le32(out, static_cast<std::uint32_t>(end - begin));
+    put_le32(out, static_cast<std::uint32_t>(payload.size()));
+    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  }
 }
 
 }  // namespace
 
-void write_trace(std::ostream& out, const DataStructureRegistry& registry,
-                 const std::vector<MemoryRecord>& records) {
-  out.write(kMagic, sizeof(kMagic));
-  put(out, kVersion);
-
-  put(out, static_cast<std::uint32_t>(registry.size()));
-  for (const DataStructureInfo& info : registry) {
-    put(out, static_cast<std::uint32_t>(info.name.size()));
-    out.write(info.name.data(),
-              static_cast<std::streamsize>(info.name.size()));
-    put(out, info.base_address);
-    put(out, info.size_bytes);
-    put(out, info.element_bytes);
-  }
-
-  put(out, static_cast<std::uint64_t>(records.size()));
-  for (const MemoryRecord& record : records) {
-    put(out, record.address);
-    put(out, record.size);
-    put(out, static_cast<std::uint32_t>(record.ds));
-    put(out, static_cast<std::uint8_t>(record.is_write ? 1 : 0));
+void write_trace(std::ostream& out,
+                 std::span<const DataStructureInfo> structures,
+                 std::span<const MemoryRecord> records, TraceFormat format) {
+  switch (format) {
+    case TraceFormat::kV1:
+      write_trace_v1(out, structures, records);
+      break;
+    case TraceFormat::kV2:
+      write_trace_v2(out, structures, records);
+      break;
   }
   if (!out) {
     throw Error("trace write failed");
   }
 }
 
+void write_trace(std::ostream& out, const DataStructureRegistry& registry,
+                 const std::vector<MemoryRecord>& records, TraceFormat format) {
+  write_trace(out,
+              std::span<const DataStructureInfo>(registry.begin(),
+                                                 registry.end()),
+              std::span<const MemoryRecord>(records), format);
+}
+
 void write_trace_file(const std::string& path,
                       const DataStructureRegistry& registry,
-                      const std::vector<MemoryRecord>& records) {
+                      const std::vector<MemoryRecord>& records,
+                      TraceFormat format) {
   std::ofstream out(path, std::ios::binary);
   if (!out) {
     throw Error("cannot open trace file for writing: " + path);
   }
-  write_trace(out, registry, records);
+  write_trace(out, registry, records, format);
 }
 
 TraceFile read_trace(std::istream& in) {
-  char magic[4] = {};
-  in.read(magic, sizeof(magic));
-  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    throw Error("not a DVF trace (bad magic)");
-  }
-  const auto version = get<std::uint32_t>(in);
-  if (version != kVersion) {
-    throw Error("unsupported trace version " + std::to_string(version));
-  }
-
+  TraceReader reader(in);
   TraceFile trace;
-  const auto n_structures = get<std::uint32_t>(in);
-  trace.structures.reserve(n_structures);
-  for (std::uint32_t i = 0; i < n_structures; ++i) {
-    DataStructureInfo info;
-    const auto name_len = get<std::uint32_t>(in);
-    if (name_len > 4096) {
-      throw Error("implausible structure name length in trace");
-    }
-    info.name.resize(name_len);
-    in.read(info.name.data(), name_len);
-    if (!in) {
-      throw Error("truncated trace stream");
-    }
-    info.base_address = get<std::uint64_t>(in);
-    info.size_bytes = get<std::uint64_t>(in);
-    info.element_bytes = get<std::uint32_t>(in);
-    trace.structures.push_back(std::move(info));
-  }
-
-  const auto n_records = get<std::uint64_t>(in);
-  trace.records.reserve(static_cast<std::size_t>(n_records));
-  for (std::uint64_t i = 0; i < n_records; ++i) {
-    MemoryRecord record{};
-    record.address = get<std::uint64_t>(in);
-    record.size = get<std::uint32_t>(in);
-    record.ds = get<std::uint32_t>(in);
-    record.is_write = get<std::uint8_t>(in) != 0;
-    if (record.ds != kNoDs && record.ds >= trace.structures.size()) {
-      throw Error("trace record references an unknown structure id");
-    }
-    trace.records.push_back(record);
+  trace.structures = reader.structures();
+  // Reserve from the untrusted header count only up to a sane bound; a
+  // corrupt count detects as truncation instead of a huge allocation.
+  trace.records.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(reader.total_records(), 1u << 20)));
+  while (!reader.done()) {
+    const std::span<const MemoryRecord> chunk = reader.next_chunk();
+    trace.records.insert(trace.records.end(), chunk.begin(), chunk.end());
   }
   return trace;
 }

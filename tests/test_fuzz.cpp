@@ -47,6 +47,21 @@ TEST(FuzzSmoke, OracleRunsClean) {
   EXPECT_TRUE(report.ok()) << joined_findings(report);
 }
 
+TEST(FuzzSmoke, TraceRunsClean) {
+  const FuzzReport report = fuzz_trace(smoke_options(200));
+  EXPECT_EQ(report.cases_run, 200u);
+  EXPECT_TRUE(report.ok()) << joined_findings(report);
+}
+
+TEST(FuzzSmoke, TraceRunsAreDeterministicInTheSeed) {
+  FuzzOptions options = smoke_options(80);
+  options.seed = 7;
+  const FuzzReport a = fuzz_trace(options);
+  const FuzzReport b = fuzz_trace(options);
+  EXPECT_EQ(a.cases_run, b.cases_run);
+  EXPECT_EQ(a.findings, b.findings);
+}
+
 TEST(FuzzSmoke, RunsAreDeterministicInTheSeed) {
   FuzzOptions options = smoke_options(100);
   options.seed = 42;

@@ -37,6 +37,8 @@
 #include "dvf/dvf/calculator.hpp"
 #include "dvf/dvf/ecc.hpp"
 #include "dvf/cachesim/cache_simulator.hpp"
+#include "dvf/cachesim/replacement.hpp"
+#include "dvf/cachesim/sharded_replay.hpp"
 #include "dvf/dvf/inference.hpp"
 #include "dvf/kernels/injection_campaign.hpp"
 #include "dvf/kernels/suite.hpp"
@@ -46,6 +48,7 @@
 #include "dvf/machine/cache_config.hpp"
 #include "dvf/report/table.hpp"
 #include "dvf/trace/trace_io.hpp"
+#include "dvf/trace/trace_reader.hpp"
 
 namespace {
 
@@ -221,8 +224,8 @@ bool options_recognized(const Args& args) {
       {"caches", {"model"}},
       {"ecc", {"model", "machine"}},
       {"kernels", {"suite", "threads"}},
-      {"trace", {}},
-      {"replay", {"assoc", "sets", "line"}},
+      {"trace", {"format"}},
+      {"replay", {"assoc", "sets", "line", "threads", "policy"}},
       {"infer", {"assoc", "sets", "line"}},
       {"campaign",
        {"trials", "seed", "threads", "journal", "resume", "ci-width",
@@ -284,6 +287,32 @@ double real_option(const Args& args, const std::string& name,
   return value;
 }
 
+// Parses --policy (replay), raising BadUsage on anything the simulator does
+// not implement. An option given without a value parses as the default.
+dvf::ReplacementPolicy policy_option(const Args& args) {
+  const std::string text = args.option("policy", "");
+  if (text.empty()) {
+    return dvf::ReplacementPolicy::kLru;
+  }
+  const auto parsed = dvf::parse_policy(text);
+  if (!parsed.has_value()) {
+    throw BadUsage{"--policy expects lru, plru or rrip, got '" + text + "'"};
+  }
+  return *parsed;
+}
+
+// Parses --format (trace), raising BadUsage on unknown versions.
+dvf::TraceFormat format_option(const Args& args) {
+  const std::string text = args.option("format", "");
+  if (text.empty() || text == "v2") {
+    return dvf::TraceFormat::kV2;
+  }
+  if (text == "v1") {
+    return dvf::TraceFormat::kV1;
+  }
+  throw BadUsage{"--format expects v1 or v2, got '" + text + "'"};
+}
+
 int usage() {
   std::cerr <<
       "usage: dvfc <command> [args]\n"
@@ -311,9 +340,19 @@ int usage() {
       "                                        only missing trials), --ci-width\n"
       "                                        stops structures whose Wilson\n"
       "                                        95% SDC CI converged\n"
-      "  trace <kernel> <out.dvft>             record a kernel's references\n"
+      "  trace <kernel> <out.dvft> [--format v1|v2]\n"
+      "                                        record a kernel's references\n"
+      "                                        (v2: compact little-endian\n"
+      "                                        chunked format, the default;\n"
+      "                                        v1: legacy native-endian)\n"
       "  replay <in.dvft> [--assoc A --sets S --line L]\n"
-      "                                        simulate a saved trace\n"
+      "         [--threads N] [--policy lru|plru|rrip]\n"
+      "                                        simulate a saved trace,\n"
+      "                                        streamed chunk by chunk;\n"
+      "                                        N>1 shards cache sets across\n"
+      "                                        workers (bit-identical stats,\n"
+      "                                        N=0: DVF_THREADS env var or\n"
+      "                                        hardware default)\n"
       "  infer <in.dvft> [--assoc A --sets S --line L]\n"
       "                                        derive pattern specs from a\n"
       "                                        trace and compare estimates\n"
@@ -643,6 +682,7 @@ int cmd_trace(const Args& args) {
   if (args.positional.size() != 2) {
     return usage();
   }
+  const dvf::TraceFormat format = format_option(args);  // reject before work
   auto suite = dvf::kernels::make_extended_suite();
   for (auto& kernel : suite) {
     if (kernel->name() != args.positional[0]) {
@@ -651,7 +691,7 @@ int cmd_trace(const Args& args) {
     dvf::TraceBuffer buffer;
     kernel->run_buffered(buffer);
     dvf::write_trace_file(args.positional[1], kernel->registry(),
-                          buffer.records());
+                          buffer.records(), format);
     std::cout << "wrote " << buffer.records().size() << " references ("
               << kernel->registry().size() << " structures) to "
               << args.positional[1] << "\n";
@@ -666,22 +706,27 @@ int cmd_replay(const Args& args) {
   if (args.positional.size() != 1) {
     return usage();
   }
-  const dvf::TraceFile trace = dvf::read_trace_file(args.positional[0]);
   const auto assoc = numeric_option(args, "assoc", 4);
   const auto sets = numeric_option(args, "sets", 64);
   const auto line = numeric_option(args, "line", 32);
+  const auto threads = numeric_option(args, "threads", 1);
+  const dvf::ReplacementPolicy policy = policy_option(args);
+  const dvf::CacheConfig cache("replay", assoc, sets, line);
 
-  dvf::CacheSimulator sim(dvf::CacheConfig("replay", assoc, sets, line));
-  sim.reserve_structures(trace.structures.size());
-  sim.replay(trace.records);
+  // Streamed chunk by chunk: a multi-GB trace replays in O(chunk) memory.
+  dvf::TraceReader reader(args.positional[0]);
+  const auto structures = reader.structures();
+  dvf::ShardedReplayer sim(cache, threads, policy);
+  sim.replay_stream(reader);
   sim.flush();
 
-  std::cout << "replayed " << trace.records.size() << " references on "
-            << sim.config().describe() << "\n\n";
+  std::cout << "replayed " << reader.records_delivered() << " references on "
+            << cache.describe() << " (policy " << dvf::policy_name(policy)
+            << ", " << sim.shards() << " shard(s))\n\n";
   dvf::Table table({"structure", "accesses", "hits", "misses", "writebacks"});
-  for (std::size_t i = 0; i < trace.structures.size(); ++i) {
+  for (std::size_t i = 0; i < structures.size(); ++i) {
     const dvf::CacheStats st = sim.stats(static_cast<dvf::DsId>(i));
-    table.add_row({trace.structures[i].name,
+    table.add_row({structures[i].name,
                    dvf::num(static_cast<double>(st.accesses)),
                    dvf::num(static_cast<double>(st.hits)),
                    dvf::num(static_cast<double>(st.misses)),
