@@ -1,6 +1,7 @@
 // dvf_fuzz — deterministic fuzz + differential-oracle harness driver.
 //
-//   dvf_fuzz [--target roundtrip|eval|oracle|trace|all] [--cases N] [--seed S]
+//   dvf_fuzz [--target roundtrip|eval|oracle|trace|analyze|all] [--cases N]
+//            [--seed S]
 //            [--max-seconds T] [--corpus DIR] [--verbose]
 //
 // Exit 0 when every executed case passed, 1 when any finding was recorded,
@@ -19,7 +20,7 @@ namespace {
 int usage() {
   std::cerr <<
       "usage: dvf_fuzz [options]\n"
-      "  --target roundtrip|eval|oracle|trace|all\n"
+      "  --target roundtrip|eval|oracle|trace|analyze|all\n"
       "                                        harness to run (default all)\n"
       "  --cases N                             generated cases per target\n"
       "                                        (default 1000)\n"
@@ -64,7 +65,7 @@ int main(int argc, char** argv) {
       if (v == nullptr) return usage();
       target = v;
       if (target != "roundtrip" && target != "eval" && target != "oracle" &&
-          target != "trace" && target != "all") {
+          target != "trace" && target != "analyze" && target != "all") {
         std::cerr << "dvf_fuzz: unknown target '" << target << "'\n";
         return usage();
       }
@@ -106,6 +107,9 @@ int main(int argc, char** argv) {
   }
   if (target == "trace" || target == "all") {
     run("trace", dvf::fuzz::fuzz_trace);
+  }
+  if (target == "analyze" || target == "all") {
+    run("analyze", dvf::fuzz::fuzz_analyze);
   }
 
   if (!report.ok()) {

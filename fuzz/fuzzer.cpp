@@ -15,12 +15,14 @@
 #include <utility>
 #include <vector>
 
+#include "dvf/analysis/bounds.hpp"
 #include "dvf/cachesim/cache_simulator.hpp"
 #include "dvf/common/budget.hpp"
 #include "dvf/common/error.hpp"
 #include "dvf/common/math.hpp"
 #include "dvf/common/result.hpp"
 #include "dvf/common/rng.hpp"
+#include "dvf/dsl/analysis.hpp"
 #include "dvf/dsl/analyzer.hpp"
 #include "dvf/dsl/diagnostics.hpp"
 #include "dvf/dsl/parser.hpp"
@@ -700,6 +702,167 @@ void check_oracle_reuse(const std::string& label, Xoshiro256& rng,
   }
 }
 
+// ---- analyze target -------------------------------------------------------
+
+/// An interval the analysis may legitimately report: a finite non-negative
+/// lower bound, no NaN endpoint, and lo <= hi (hi = +inf is "unbounded").
+bool interval_well_formed(const analysis::Interval& iv) {
+  return std::isfinite(iv.lo) && iv.lo >= 0.0 && !std::isnan(iv.hi) &&
+         iv.hi >= iv.lo;
+}
+
+void check_report_intervals(const analysis::AnalysisReport& bounds,
+                            const std::string& label, FuzzReport& report,
+                            const FuzzOptions& options) {
+  const auto bad = [&](const std::string& what, const analysis::Interval& iv) {
+    std::ostringstream out;
+    out.precision(17);
+    out << label << ": " << what << " interval [" << iv.lo << ", " << iv.hi
+        << "] is malformed";
+    record(report, options, out.str());
+  };
+  for (const analysis::ModelBounds& model : bounds.models) {
+    if (!interval_well_formed(model.dvf)) {
+      bad("model '" + model.name + "' DVF", model.dvf);
+    }
+    for (const auto& pm : model.per_machine) {
+      if (!interval_well_formed(pm.dvf)) {
+        bad("model '" + model.name + "' per-machine DVF", pm.dvf);
+      }
+    }
+    for (const analysis::StructureBounds& ds : model.structures) {
+      if (!interval_well_formed(ds.n_ha) || !interval_well_formed(ds.dvf)) {
+        bad("structure '" + ds.name + "' hull", ds.n_ha);
+      }
+      for (const auto& pm : ds.per_machine) {
+        if (!interval_well_formed(pm.n_ha) || !interval_well_formed(pm.dvf)) {
+          bad("structure '" + ds.name + "' per-machine", pm.n_ha);
+        }
+      }
+    }
+  }
+}
+
+/// Differential soundness: wherever the evaluator succeeds, its value must
+/// lie inside the analysis interval, and a structure the analysis claims
+/// provably rejects must never evaluate successfully (provable rejection is
+/// a for-every-budget statement).
+void check_analysis_soundness(const dsl::CompiledProgram& program,
+                              const analysis::AnalysisReport& bounds,
+                              const std::string& label, FuzzReport& report,
+                              const FuzzOptions& options) {
+  for (std::size_t m = 0; m < program.machines.size(); ++m) {
+    const Machine& machine = program.machines[m];
+    EvalBudget budget(case_limits());
+    for (const ModelSpec& model : program.models) {
+      const analysis::ModelBounds* mb = bounds.find_model(model.name);
+      if (mb == nullptr) {
+        record(report, options,
+               label + ": compiled model '" + model.name +
+                   "' missing from the analysis report");
+        continue;
+      }
+      for (const DataStructureSpec& ds : model.structures) {
+        const analysis::StructureBounds* sb = nullptr;
+        for (const analysis::StructureBounds& cand : mb->structures) {
+          if (cand.name == ds.name) {
+            sb = &cand;
+          }
+        }
+        if (sb == nullptr || m >= sb->per_machine.size()) {
+          record(report, options,
+                 label + ": structure '" + ds.name +
+                     "' missing from the analysis report");
+          continue;
+        }
+        budget.reset();
+        const Result<double> n_ha = try_estimate_accesses(
+            std::span<const PatternSpec>(ds.patterns), machine.llc, &budget);
+        if (!n_ha.ok()) {
+          continue;  // budget- or domain-classified; nothing to contain
+        }
+        if (sb->per_machine[m].eval_rejects) {
+          record(report, options,
+                 label + ": analysis claims '" + ds.name + "' on machine '" +
+                     machine.name +
+                     "' provably rejects, but the evaluator succeeded");
+          continue;
+        }
+        if (std::isfinite(*n_ha) && !sb->per_machine[m].n_ha.contains(*n_ha)) {
+          std::ostringstream out;
+          out.precision(17);
+          out << label << ": N_ha " << *n_ha << " of '" << ds.name
+              << "' on machine '" << machine.name << "' escapes bound ["
+              << sb->per_machine[m].n_ha.lo << ", "
+              << sb->per_machine[m].n_ha.hi << "]";
+          record(report, options, out.str());
+        }
+      }
+      if (model.exec_time_seconds.has_value() &&
+          m < mb->per_machine.size()) {
+        budget.reset();
+        DvfCalculator calc(machine);
+        calc.set_budget(&budget);
+        const Result<ApplicationDvf> result = calc.try_for_model(model);
+        if (result.ok() && std::isfinite(result.value().total) &&
+            !mb->per_machine[m].dvf.contains(result.value().total)) {
+          std::ostringstream out;
+          out.precision(17);
+          out << label << ": application DVF " << result.value().total
+              << " of model '" << model.name << "' on machine '"
+              << machine.name << "' escapes bound ["
+              << mb->per_machine[m].dvf.lo << ", " << mb->per_machine[m].dvf.hi
+              << "]";
+          record(report, options, out.str());
+        }
+      }
+    }
+  }
+}
+
+void check_analyze_case(const std::string& source, const std::string& label,
+                        FuzzReport& report, const FuzzOptions& options) {
+  dsl::SemanticAnalysis first;
+  try {
+    first = dsl::analyze_models(source);
+  } catch (const std::exception& err) {
+    record(report, options,
+           label + ": analyze_models threw: " + std::string(err.what()));
+    return;
+  } catch (...) {
+    record(report, options, label + ": analyze_models threw a non-exception");
+    return;
+  }
+  if (!first.report.has_value()) {
+    return;  // unparseable: rejected through diagnostics, nothing to bound
+  }
+  const analysis::AnalysisReport& bounds = *first.report;
+  check_report_intervals(bounds, label, report, options);
+
+  try {
+    // Hash determinism: a re-run and a threaded run must agree bit-for-bit.
+    const dsl::SemanticAnalysis second = dsl::analyze_models(source);
+    if (!second.report.has_value() ||
+        second.report->canonical_hash != bounds.canonical_hash) {
+      record(report, options, label + ": canonical hash differs across runs");
+    }
+    analysis::AnalysisOptions threaded;
+    threaded.threads = 2;
+    const analysis::AnalysisReport parallel = analysis::analyze(
+        first.program.machines, first.program.models, threaded);
+    if (parallel.canonical_hash != bounds.canonical_hash) {
+      record(report, options,
+             label + ": canonical hash differs with --threads 2");
+    }
+  } catch (const std::exception& err) {
+    record(report, options,
+           label + ": deterministic re-analysis threw: " +
+               std::string(err.what()));
+  }
+
+  check_analysis_soundness(first.program, bounds, label, report, options);
+}
+
 // ---- trace target ---------------------------------------------------------
 
 /// Random structure table: short names, arbitrary extents. Built directly
@@ -907,6 +1070,37 @@ FuzzReport fuzz_oracle(const FuzzOptions& options) {
     } catch (const std::exception& err) {
       record(report, options,
              label + ": oracle evaluation threw: " + err.what());
+    }
+    ++report.cases_run;
+  }
+  return report;
+}
+
+FuzzReport fuzz_analyze(const FuzzOptions& options) {
+  FuzzReport report;
+  const TimeBox box(options.max_seconds);
+  Xoshiro256 rng(options.seed ^ 0x8BB84B93962EACC9ULL);
+
+  std::vector<std::string> bases = load_corpus(options.corpus_dir);
+  for (std::size_t i = 0; i < bases.size(); ++i) {
+    check_analyze_case(bases[i], "[analyze corpus " + std::to_string(i) + "]",
+                       report, options);
+  }
+
+  for (std::uint64_t c = 0; c < options.cases && !box.expired(); ++c) {
+    std::string source;
+    if (!bases.empty() && rng.below(2) == 0) {
+      source = mutate(bases[rng.below(bases.size())], rng);
+    } else {
+      source = generate_program(rng);
+      if (rng.below(3) == 0) {
+        source = mutate(std::move(source), rng);
+      }
+    }
+    check_analyze_case(source, "[analyze case " + std::to_string(c) + "]",
+                       report, options);
+    if (bases.size() < 64 && rng.below(8) == 0) {
+      bases.push_back(std::move(source));
     }
     ++report.cases_run;
   }

@@ -25,6 +25,12 @@
 //               encode/decode fixpoint on adversarial record streams, and
 //               decode totality on mutated/truncated bytes.
 //
+//   analyze   — the semantic analysis (dvfc analyze) on random + mutated
+//               sources: must never throw on any parseable model, never
+//               report NaN/invalid interval bounds, hash deterministically
+//               (across re-runs and thread counts), and every interval must
+//               contain the value the evaluator actually computes.
+//
 // The harness uses the library's own xoshiro256** so runs are reproducible
 // across platforms; a failing case can be replayed from its seed alone.
 #pragma once
@@ -69,6 +75,14 @@ struct FuzzReport {
 /// must decode or raise dvf::Error, never crash or allocate unboundedly).
 /// Corpus seeds are *.dvft files in the corpus directory.
 [[nodiscard]] FuzzReport fuzz_trace(const FuzzOptions& options);
+
+/// Semantic-analysis totality and soundness: analyze_models must not throw,
+/// every reported interval must be valid (finite non-negative lower bound,
+/// no NaN, lo <= hi), the canonical hash must be identical across re-runs
+/// and thread counts, and whenever the evaluator succeeds on a (structure,
+/// machine) its value must lie inside the reported interval. Corpus seeds
+/// are *.aspen files in the corpus directory.
+[[nodiscard]] FuzzReport fuzz_analyze(const FuzzOptions& options);
 
 /// Documented differential tolerances (relative error bounds) asserted by
 /// fuzz_oracle. Streaming single-pass traversals are predicted block-exactly;

@@ -1,0 +1,110 @@
+// The abstract domain of the static analyzer: closed intervals over the
+// non-negative extended reals, [lo, hi] with 0 <= lo <= hi <= +inf.
+//
+// Every quantity the analysis bounds (N_ha, N_error, DVF) is a non-negative
+// real, so the domain bakes the sign in: constructors clamp below at zero
+// and arithmetic never produces NaN. `top()` = [0, +inf) is the "no
+// information" element; a point interval is an exact value.
+//
+// Soundness convention: an interval produced by a transfer function must
+// CONTAIN the double the evaluator computes (not the mathematical real) for
+// every input on which the evaluator succeeds. Where an endpoint is derived
+// by re-running the evaluator's own expression the containment is exact;
+// where it is derived analytically, widened() absorbs the floating-point
+// slack (Kahan-vs-plain summation, rounding of monotone expressions).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace dvf::analysis {
+
+struct Interval {
+  double lo = 0.0;
+  double hi = std::numeric_limits<double>::infinity();
+
+  /// [0, +inf): no information beyond non-negativity.
+  [[nodiscard]] static constexpr Interval top() noexcept { return {}; }
+
+  /// Exact value (clamped into the domain; NaN collapses to top()).
+  [[nodiscard]] static Interval point(double v) noexcept {
+    if (std::isnan(v)) {
+      return top();
+    }
+    const double c = std::max(v, 0.0);
+    return {c, c};
+  }
+
+  [[nodiscard]] static Interval bounds(double lo_in, double hi_in) noexcept {
+    if (std::isnan(lo_in) || std::isnan(hi_in)) {
+      return top();
+    }
+    Interval r{std::max(lo_in, 0.0), std::max(hi_in, 0.0)};
+    if (r.lo > r.hi) {  // inconsistent endpoints: give up, stay sound
+      return top();
+    }
+    return r;
+  }
+
+  /// Domain invariant: no NaN, ordered, non-negative, finite lower end.
+  [[nodiscard]] bool valid() const noexcept {
+    return !std::isnan(lo) && !std::isnan(hi) && lo >= 0.0 && lo <= hi &&
+           std::isfinite(lo);
+  }
+
+  [[nodiscard]] bool is_point() const noexcept { return lo == hi; }
+
+  [[nodiscard]] bool contains(double v) const noexcept {
+    return !std::isnan(v) && v >= lo && v <= hi;
+  }
+
+  [[nodiscard]] bool contains(const Interval& other) const noexcept {
+    return lo <= other.lo && other.hi <= hi;
+  }
+
+  /// Outward widening by a relative and an absolute margin — the
+  /// floating-point slack allowance. Keeps the domain invariant.
+  [[nodiscard]] Interval widened(double rel, double abs) const noexcept {
+    Interval r;
+    r.lo = std::max(0.0, lo - std::abs(lo) * rel - abs);
+    r.hi = std::isinf(hi) ? hi : hi + std::abs(hi) * rel + abs;
+    return r;
+  }
+
+  /// Least upper bound (interval union hull).
+  [[nodiscard]] static Interval hull(const Interval& a,
+                                     const Interval& b) noexcept {
+    return {std::min(a.lo, b.lo), std::max(a.hi, b.hi)};
+  }
+
+  /// Greatest lower bound. Both inputs must be sound for the same value;
+  /// an empty intersection signals that assumption broke, so fall back to
+  /// the hull rather than fabricate an empty (unsound) interval.
+  [[nodiscard]] static Interval intersect(const Interval& a,
+                                          const Interval& b) noexcept {
+    Interval r{std::max(a.lo, b.lo), std::min(a.hi, b.hi)};
+    return r.lo <= r.hi ? r : hull(a, b);
+  }
+
+  /// Interval sum. 0-preserving and inf-absorbing; never NaN because both
+  /// endpoints are non-negative.
+  [[nodiscard]] Interval operator+(const Interval& other) const noexcept {
+    return {lo + other.lo, hi + other.hi};
+  }
+
+  /// Scale by a non-negative factor (N_error, iteration counts). Uses the
+  /// convention 0 * inf = 0: a zero factor provably zeroes the product.
+  [[nodiscard]] Interval scaled(double factor) const noexcept {
+    if (std::isnan(factor) || factor < 0.0) {
+      return top();
+    }
+    if (factor == 0.0) {
+      return point(0.0);
+    }
+    const double new_hi = std::isinf(hi) ? hi : hi * factor;
+    return bounds(lo * factor, new_hi);
+  }
+};
+
+}  // namespace dvf::analysis

@@ -1,0 +1,103 @@
+// The analysis IR: a typed, value-numbered view of a compiled program
+// (machines + model specs), plus canonicalization and a stable content hash.
+//
+// Lowering from the DSL has already constant-folded every expression, so the
+// IR holds plain numbers. Each distinct pattern spec becomes one PatternNode
+// and structures reference patterns by id — identical phases share a node
+// (value numbering), which is what makes the canonical form small and the
+// hash insensitive to how a phase list was spelled.
+//
+// canonicalize() rewrites the IR into the canonical form the content hash is
+// defined over:
+//   - machines, models and structures sort by name (declaration order is
+//     semantically irrelevant);
+//   - each structure's phase list sorts by the phases' canonical encoding
+//     (N_ha is a sum over phases, so composition is commutative up to
+//     floating-point summation order — the analysis intervals absorb that
+//     reordering slack, see interval.hpp);
+//   - structures with no phases are stripped (their N_ha is provably zero,
+//     so they contribute DVF exactly 0; see docs/analysis.md for why the
+//     hash identifies models up to this DVF-equivalence);
+//   - doubles are encoded by IEEE-754 bit pattern with -0.0 normalized to
+//     +0.0 and every NaN collapsed to one quiet pattern.
+//
+// content_hash() is 64-bit FNV-1a over a tagged byte encoding of the
+// canonical form. It is deterministic across runs, platforms of equal
+// endian-normalized encoding (the encoder writes little-endian bytes),
+// thread counts (hashing is single-pass and the canonical order is total),
+// and declaration orderings. It is the cache key a serve-mode compiled-model
+// cache and sweep memoization can use.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dvf/dvf/model_spec.hpp"
+#include "dvf/machine/machine.hpp"
+#include "dvf/patterns/specs.hpp"
+
+namespace dvf::analysis {
+
+/// Machine binding: the evaluation-relevant content of a dvf::Machine.
+struct MachineNode {
+  std::string name;
+  std::uint32_t associativity = 0;
+  std::uint32_t num_sets = 0;
+  std::uint32_t line_bytes = 0;
+  double fit = 0.0;  ///< resolved FIT rate (ECC schemes fold to their rate)
+};
+
+/// One access-pattern phase. Leaf node; shared by value numbering.
+struct PatternNode {
+  PatternSpec spec;
+  /// FNV-1a of the node's canonical encoding; doubles as the sort key for
+  /// phase lists and the value-numbering key.
+  std::uint64_t key = 0;
+};
+
+using PatternId = std::uint32_t;
+
+struct StructureNode {
+  std::string name;
+  std::uint64_t size_bytes = 0;
+  std::vector<PatternId> phases;
+};
+
+struct ModelNode {
+  std::string name;
+  std::optional<double> exec_time_seconds;
+  std::vector<StructureNode> structures;
+};
+
+struct ProgramIr {
+  std::vector<MachineNode> machines;
+  std::vector<PatternNode> patterns;  ///< value-numbered pool
+  std::vector<ModelNode> models;
+};
+
+/// Structural equality of two pattern specs (field-wise, bit-exact doubles
+/// up to -0.0/NaN normalization). Used to confirm value-numbering matches.
+[[nodiscard]] bool spec_equal(const PatternSpec& a,
+                              const PatternSpec& b) noexcept;
+
+/// Builds the IR from a compiled program, preserving declaration order.
+/// Identical pattern specs are value-numbered into one PatternNode.
+[[nodiscard]] ProgramIr build_ir(std::span<const Machine> machines,
+                                 std::span<const ModelSpec> models);
+
+/// Rewrites `ir` into the canonical form described above. Idempotent.
+void canonicalize(ProgramIr& ir);
+
+/// 64-bit FNV-1a over the tagged canonical encoding. Call on a
+/// canonicalized IR; hashing a non-canonical IR is deterministic too but
+/// then declaration order leaks into the hash.
+[[nodiscard]] std::uint64_t content_hash(const ProgramIr& ir);
+
+/// Convenience: build, canonicalize, hash.
+[[nodiscard]] std::uint64_t canonical_hash(std::span<const Machine> machines,
+                                           std::span<const ModelSpec> models);
+
+}  // namespace dvf::analysis

@@ -324,10 +324,22 @@ class Analyzer {
       }
     }
 
+    std::vector<PatternProvenance> provenance;
+    provenance.reserve(decl.patterns.size());
     for (const PatternDecl& pattern : decl.patterns) {
+      // The target structure's phase list grows by whatever this declaration
+      // lowers to (0..n phases); record the slice for provenance. The
+      // structures vector does not change during pattern lowering, so the
+      // pointer stays valid across the call.
+      const DataStructureSpec* target = spec.find(pattern.target);
+      const std::size_t before = target != nullptr ? target->patterns.size() : 0;
       if (!lower_pattern(decl, pattern, spec, order, element_bytes,
                          element_count)) {
         failed = true;
+      } else if (target != nullptr) {
+        provenance.push_back({decl.name, pattern.target, pattern.line,
+                              pattern.column, before,
+                              target->patterns.size() - before});
       }
     }
 
@@ -335,6 +347,9 @@ class Analyzer {
     // calculator; only clean models make it into the compiled program.
     if (!failed) {
       out_.models.push_back(std::move(spec));
+      out_.provenance.insert(out_.provenance.end(),
+                             std::make_move_iterator(provenance.begin()),
+                             std::make_move_iterator(provenance.end()));
     }
   }
 

@@ -1,0 +1,52 @@
+// Source-level driver for the semantic analysis (`dvfc analyze`): parse +
+// lower a program, run the abstract-interpretation bounds driver over the
+// compiled machines × models, and map the proved verdicts back to source
+// spans as DVF-A3xx diagnostics.
+//
+// A3xx findings are warnings and notes only: a program that parses and
+// lowers always analyzes (the bounds driver is total). Lowering errors
+// surface through the ordinary Exxx diagnostics, exactly as in lint().
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "dvf/analysis/bounds.hpp"
+#include "dvf/dsl/analyzer.hpp"
+#include "dvf/dsl/diagnostics.hpp"
+
+namespace dvf::dsl {
+
+/// The result of analyzing one source file.
+struct SemanticAnalysis {
+  std::string source;               ///< the analyzed text (for rendering)
+  CompiledProgram program;          ///< lowered machines + models
+  /// Bounds, verdicts and the canonical hash over the compiled program.
+  /// Engaged whenever the source parsed (even with lowering errors —
+  /// failed models simply do not appear in it).
+  std::optional<analysis::AnalysisReport> report;
+  std::vector<Diagnostic> diagnostics;  ///< sorted by source position
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+};
+
+/// Dataflow fact behind DVF-A302 / DVF-W107: every phase the declaration
+/// lowered to requests zero steady-state work — including the vacuous case
+/// of a declaration that emitted no phases at all (e.g. stream `repeat 0`).
+[[nodiscard]] bool provably_zero_work(const PatternProvenance& row,
+                                      const CompiledProgram& program);
+
+/// Parses, lowers and analyzes `source`, reporting A3xx findings:
+///   DVF-A301  structure provably dead (no phases: N_ha = 0, DVF = 0)
+///   DVF-A302  pattern declaration provably does zero steady-state work
+///   DVF-A303  working set provably exceeds its share on every machine
+///   DVF-A304  pattern evaluation provably rejects on every machine
+[[nodiscard]] SemanticAnalysis analyze_models(
+    std::string_view source, const analysis::AnalysisOptions& options = {});
+
+/// Reads and analyzes a model file. Throws Error when unreadable.
+[[nodiscard]] SemanticAnalysis analyze_models_file(
+    const std::string& path, const analysis::AnalysisOptions& options = {});
+
+}  // namespace dvf::dsl

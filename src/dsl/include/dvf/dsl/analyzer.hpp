@@ -14,11 +14,27 @@
 
 namespace dvf::dsl {
 
+/// Maps one pattern declaration back to the spec phases it lowered to, so
+/// consumers of analysis facts (lint, dvfc analyze) can point diagnostics at
+/// the declaration's source span. `phase_count` can be 0 (e.g. a stream
+/// with `repeat 0` emits no phases) or > 1 (template expansion).
+struct PatternProvenance {
+  std::string model;      ///< lowered ModelSpec name
+  std::string structure;  ///< target DataStructureSpec name
+  int line = 0;           ///< pattern keyword location
+  int column = 0;
+  std::size_t first_phase = 0;  ///< index into the structure's patterns
+  std::size_t phase_count = 0;
+};
+
 /// The result of compiling a DSL program.
 struct CompiledProgram {
   std::map<std::string, double> params;
   std::vector<Machine> machines;
   std::vector<ModelSpec> models;
+  /// One entry per pattern declaration of each fully-lowered model, in
+  /// declaration order. Models with lowering errors contribute none.
+  std::vector<PatternProvenance> provenance;
 
   /// Named lookups; throw SemanticError when absent.
   [[nodiscard]] const Machine& machine(std::string_view name) const;

@@ -77,6 +77,12 @@ inline constexpr const char* kTriviallyZeroDvf = "DVF-W110";
 inline constexpr const char* kEmptyModel = "DVF-W111";
 inline constexpr const char* kReuseNoInterference = "DVF-N201";
 inline constexpr const char* kTemplateExceedsShare = "DVF-N202";
+// A3xx: facts proved by the semantic analysis (dvfc analyze). Warnings and
+// notes only — a model that parses and lowers always analyzes.
+inline constexpr const char* kAnalysisDeadStructure = "DVF-A301";
+inline constexpr const char* kAnalysisZeroWork = "DVF-A302";
+inline constexpr const char* kAnalysisExceedsAllShares = "DVF-A303";
+inline constexpr const char* kAnalysisRejectsEverywhere = "DVF-A304";
 }  // namespace codes
 
 /// Collects diagnostics across a front-end pass. Never throws; callers that

@@ -11,7 +11,9 @@
 #include <sstream>
 #include <vector>
 
+#include "dvf/analysis/bounds.hpp"
 #include "dvf/common/error.hpp"
+#include "dvf/dsl/analysis.hpp"
 #include "dvf/dsl/parser.hpp"
 #include "dvf/obs/obs.hpp"
 
@@ -57,12 +59,61 @@ struct LintContext {
   const Program& ast;
   const CompiledProgram& program;
   DiagnosticEngine& diags;
+  /// Bounds and verdicts over the compiled program; the dataflow-fact rules
+  /// (W102/W107/W109/N202) consult it instead of re-deriving locally.
+  const analysis::AnalysisReport& report;
   /// Per model declaration: data name -> info. Values the analyzer already
   /// rejected stay nullopt and the rules skip them quietly.
   std::map<const ModelDecl*, std::map<std::string, DataInfo>> data;
 
   [[nodiscard]] std::optional<double> eval(const Expr& expr) const {
     return try_evaluate(expr, program.params);
+  }
+
+  /// Bounds of a compiled structure, or nullptr when the model did not
+  /// lower (AST-only fallbacks apply then).
+  [[nodiscard]] const analysis::StructureBounds* bounds_of(
+      const std::string& model, const std::string& data_name) const {
+    const analysis::ModelBounds* bounds = report.find_model(model);
+    if (bounds == nullptr) {
+      return nullptr;
+    }
+    for (const analysis::StructureBounds& s : bounds->structures) {
+      if (s.name == data_name) {
+        return &s;
+      }
+    }
+    return nullptr;
+  }
+
+  /// Lowering provenance of one pattern declaration, or nullptr when its
+  /// model did not compile.
+  [[nodiscard]] const PatternProvenance* provenance_for(
+      const std::string& model, const PatternDecl& pattern) const {
+    for (const PatternProvenance& row : program.provenance) {
+      if (row.model == model && row.line == pattern.line &&
+          row.column == pattern.column) {
+        return &row;
+      }
+    }
+    return nullptr;
+  }
+
+  /// First lowered phase of a declaration, or nullptr.
+  [[nodiscard]] const PatternSpec* lowered_phase(
+      const PatternProvenance& row) const {
+    for (const ModelSpec& model : program.models) {
+      if (model.name != row.model) {
+        continue;
+      }
+      const DataStructureSpec* target = model.find(row.structure);
+      if (target != nullptr && row.phase_count > 0 &&
+          row.first_phase < target->patterns.size()) {
+        return &target->patterns[row.first_phase];
+      }
+      return nullptr;
+    }
+    return nullptr;
   }
 
   /// First occurrence of a property key, or nullptr.
@@ -185,7 +236,15 @@ void rule_unused_param(LintContext& ctx) {
 void rule_data_never_accessed(LintContext& ctx) {
   for (const ModelDecl& model : ctx.ast.models) {
     for (const auto& [name, info] : ctx.data[&model]) {
-      if (info.pattern_count == 0) {
+      // The analysis' deadness verdict (zero lowered phases) is the ground
+      // truth for compiled models; pattern_count keeps uncompiled models
+      // covered. A structure whose declarations all lower to zero phases is
+      // dead too, but that is DVF-A302's finding, not W102's.
+      const analysis::StructureBounds* bounds =
+          ctx.bounds_of(model.name, name);
+      const bool dead = bounds != nullptr ? bounds->dead
+                                          : info.pattern_count == 0;
+      if (dead && info.pattern_count == 0) {
         ctx.diags.warning(
             codes::kDataNeverAccessed,
             {info.decl->line, info.decl->column, 4},
@@ -423,9 +482,42 @@ void rule_template_bounds(LintContext& ctx) {
       // Reuse distance vs. capacity: repeated sweeps can only hit when the
       // whole template working set fits the structure's cache share.
       const auto repeat = ctx.count_prop(pattern.properties, "repeat", 1.0);
+      if (!repeat || *repeat < 2) {
+        continue;
+      }
+      const SourceSpan note_span =
+          LintContext::prop_span(pattern.properties, "repeat", fallback);
+      const PatternProvenance* row = ctx.provenance_for(model.name, pattern);
+      const PatternSpec* phase =
+          row != nullptr ? ctx.lowered_phase(*row) : nullptr;
+      if (phase != nullptr && std::holds_alternative<TemplateSpec>(*phase)) {
+        // Compiled models: the analysis counts the distinct cache lines the
+        // reference string touches and compares against the share in block
+        // units — the exact quantity the reuse-distance argument is about.
+        if (std::get<TemplateSpec>(*phase).repetitions < 2) {
+          continue;
+        }
+        for (const Machine& machine : ctx.program.machines) {
+          const analysis::PatternFacts facts =
+              analysis::pattern_bounds(*phase, machine.llc, false);
+          if (facts.exceeds_share) {
+            ctx.diags.note(
+                codes::kTemplateExceedsShare, note_span,
+                "the template working set over '" + pattern.target + "' (" +
+                    std::to_string(facts.working_set_blocks) +
+                    " cache lines) exceeds its cache share on machine '" +
+                    machine.name + "' (" +
+                    std::to_string(facts.capacity_blocks) +
+                    " lines); repeated sweeps mostly miss (reuse distance "
+                    "beyond capacity)");
+          }
+        }
+        continue;
+      }
+      // AST fallback for models that did not lower.
       const auto ratio = ctx.prop(pattern.properties, "ratio", 1.0);
-      if (!repeat || *repeat < 2 || !ratio || !info.element_bytes ||
-          *ratio <= 0.0 || *ratio > 1.0 || min_index < 0) {
+      if (!ratio || !info.element_bytes || *ratio <= 0.0 || *ratio > 1.0 ||
+          min_index < 0) {
         continue;
       }
       const double footprint =
@@ -436,8 +528,7 @@ void rule_template_bounds(LintContext& ctx) {
             *ratio * static_cast<double>(machine.llc.capacity_bytes());
         if (footprint > share) {
           ctx.diags.note(
-              codes::kTemplateExceedsShare,
-              LintContext::prop_span(pattern.properties, "repeat", fallback),
+              codes::kTemplateExceedsShare, note_span,
               "the template working set over '" + pattern.target + "' (" +
                   bytes_str(footprint) + ") exceeds its cache share on "
                   "machine '" + machine.name + "' (" + bytes_str(share) +
@@ -461,13 +552,27 @@ void rule_reuse_footprint(LintContext& ctx) {
       }
       const DataInfo& info = it->second;
       const SourceSpan fallback{pattern.line, pattern.column, 7};
+      // Compiled models: the analysis' exceeds-share fact (footprint blocks
+      // vs cache blocks) decides; the AST footprint remains the fallback
+      // for models that did not lower, and supplies the message numbers.
+      const PatternProvenance* row = ctx.provenance_for(model.name, pattern);
+      const PatternSpec* phase =
+          row != nullptr ? ctx.lowered_phase(*row) : nullptr;
+      if (phase != nullptr && !std::holds_alternative<ReuseSpec>(*phase)) {
+        phase = nullptr;
+      }
       if (info.elements && info.element_bytes) {
         const double self = static_cast<double>(*info.elements) *
                             static_cast<double>(*info.element_bytes);
         for (const Machine& machine : ctx.program.machines) {
           const auto capacity =
               static_cast<double>(machine.llc.capacity_bytes());
-          if (self > capacity) {
+          const bool overflows =
+              phase != nullptr
+                  ? analysis::pattern_bounds(*phase, machine.llc, false)
+                        .exceeds_share
+                  : self > capacity;
+          if (overflows) {
             ctx.diags.warning(
                 codes::kReuseOverflowsCache, fallback,
                 "'" + pattern.target + "' alone (" + bytes_str(self) +
@@ -495,31 +600,39 @@ void rule_reuse_footprint(LintContext& ctx) {
 }
 
 void rule_zero_work(LintContext& ctx) {
-  const auto check = [&](const PatternDecl& pattern, const char* key,
-                         const char* meaning) {
+  const auto check = [&](const ModelDecl& model, const PatternDecl& pattern,
+                         const char* key, const char* meaning) {
     const KeyValue* kv = LintContext::find(pattern.properties, key);
     if (kv == nullptr) {
       return;
     }
     const auto v = ctx.eval(*kv->value);
-    if (v && *v == 0.0) {
-      ctx.diags.warning(codes::kZeroWorkPattern, key_span(*kv),
-                        "pattern " + pattern.kind + " on '" + pattern.target +
-                            "' has " + key + " 0; " + meaning);
+    if (!v || *v != 0.0) {
+      return;
     }
+    // Dataflow confirmation: for compiled models the declaration must be
+    // provably zero-work (zero phases, or every phase requesting zero
+    // steady-state work). Uncompiled models keep the AST heuristic.
+    const PatternProvenance* row = ctx.provenance_for(model.name, pattern);
+    if (row != nullptr && !provably_zero_work(*row, ctx.program)) {
+      return;
+    }
+    ctx.diags.warning(codes::kZeroWorkPattern, key_span(*kv),
+                      "pattern " + pattern.kind + " on '" + pattern.target +
+                          "' has " + std::string(key) + " 0; " + meaning);
   };
   for (const ModelDecl& model : ctx.ast.models) {
     for (const PatternDecl& pattern : model.patterns) {
       if (pattern.kind == "stream") {
-        check(pattern, "repeat", "it emits no phases at all");
+        check(model, pattern, "repeat", "it emits no phases at all");
       } else if (pattern.kind == "random") {
-        check(pattern, "iterations", "it performs no accesses");
-        check(pattern, "visits", "it performs no accesses");
+        check(model, pattern, "iterations", "it performs no accesses");
+        check(model, pattern, "visits", "it performs no accesses");
       } else if (pattern.kind == "template") {
-        check(pattern, "count", "the reference string is empty");
-        check(pattern, "repeat", "the template is never replayed");
+        check(model, pattern, "count", "the reference string is empty");
+        check(model, pattern, "repeat", "the template is never replayed");
       } else if (pattern.kind == "reuse") {
-        check(pattern, "rounds", "nothing is ever re-read");
+        check(model, pattern, "rounds", "nothing is ever re-read");
       }
     }
   }
@@ -608,7 +721,13 @@ LintResult lint(std::string_view source) {
 
   if (parsed) {
     result.program = analyze(ast, diags);
-    LintContext ctx{ast, result.program, diags, {}};
+    // Facts only, no exact-refinement runs: lint never evaluates a model,
+    // it just reads the analysis' verdict bits.
+    analysis::AnalysisOptions options;
+    options.refine_exact = false;
+    const analysis::AnalysisReport report = analysis::analyze(
+        result.program.machines, result.program.models, options);
+    LintContext ctx{ast, result.program, diags, report, {}};
     collect_data_info(ctx);
     const obs::ScopedSpan span("dsl.lint_rules");
     for (const LintRule& rule : kRules) {

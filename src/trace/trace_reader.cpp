@@ -1,5 +1,6 @@
 #include "dvf/trace/trace_reader.hpp"
 
+#include <bit>
 #include <cstring>
 #include <fstream>
 #include <istream>
@@ -8,6 +9,15 @@
 #include "wire_format.hpp"
 
 namespace dvf {
+
+namespace {
+
+std::uint32_t byte_swapped(std::uint32_t v) {
+  return ((v >> 24) & 0xFFu) | ((v >> 8) & 0xFF00u) | ((v << 8) & 0xFF0000u) |
+         (v << 24);
+}
+
+}  // namespace
 
 TraceReader::TraceReader(std::istream& in) : in_(&in) { read_header(); }
 
@@ -68,10 +78,28 @@ void TraceReader::read_header() {
   } else {
     std::uint32_t native;
     std::memcpy(&native, version_bytes, sizeof(native));
-    if (native != wire::kVersion1) {
+    if (native == wire::kVersion1) {
+      if constexpr (std::endian::native != std::endian::little) {
+        // A v1 stream carries no endianness marker: on a big-endian host
+        // every later u32/u64 field would be read with this host's byte
+        // order, which matches the producer's only by coincidence. Refuse
+        // instead of silently misreading.
+        throw Error(
+            "v1 traces are producer-native-endian and not supported on "
+            "big-endian hosts; re-record with --format v2");
+      }
+      version_ = wire::kVersion1;
+    } else if (byte_swapped(native) == wire::kVersion1 ||
+               byte_swapped(native) == wire::kVersion2) {
+      // The version field decodes correctly only with the opposite byte
+      // order: the trace was written by a host of foreign endianness.
+      throw Error(
+          "trace header is byte-swapped (written on a host of opposite "
+          "endianness); v1 traces are producer-native — re-record with "
+          "--format v2");
+    } else {
       throw Error("unsupported trace version " + std::to_string(native));
     }
-    version_ = wire::kVersion1;
   }
 
   const std::uint32_t n_structures = get_u32();

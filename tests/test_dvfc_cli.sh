@@ -88,6 +88,63 @@ else
 fi
 rm -f "$TMP_MODEL" "$stderr_file"
 
+# --- the analyze exit-code contract (0 clean / 1 findings / 2 usage) --------
+# Mirrors lint: notes keep exit 0, --werror promotes warnings, bad flags and
+# unreadable files are usage errors.
+if [ -f "$MODEL" ]; then
+  expect_exit 0 - analyze "$MODEL"
+  expect_exit 0 - analyze "$MODEL" --json --threads 2
+  expect_exit 2 "unknown option" analyze "$MODEL" --csv
+else
+  echo "skip: $MODEL not found" >&2
+fi
+expect_exit 2 "usage:" analyze
+expect_exit 2 "cannot open" analyze /nonexistent/model.aspen
+TMP_MODEL=$(mktemp --suffix=.aspen)
+# A dead structure is a provable A301 warning: clean exit without --werror,
+# failure with it.
+printf 'model "M" { time 1.0; data idle { elements 8; element_size 8; } }\n' \
+  >"$TMP_MODEL"
+expect_exit 0 - analyze "$TMP_MODEL"
+expect_exit 1 - analyze "$TMP_MODEL" --werror
+stderr_file=$(mktemp)
+"$DVFC" analyze "$TMP_MODEL" >"$stderr_file" 2>&1
+if ! grep -q "DVF-A301" "$stderr_file"; then
+  echo "FAIL: dvfc analyze did not report DVF-A301 for a dead structure" >&2
+  sed 's/^/  out: /' "$stderr_file" >&2
+  FAILURES=$((FAILURES + 1))
+else
+  echo "ok: dvfc analyze reports DVF-A301 for a dead structure"
+fi
+# Lowering errors keep the lint contract: exit 1 with the Exxx code.
+printf 'model "M" { pattern Z stream { stride 1; } }\n' >"$TMP_MODEL"
+"$DVFC" analyze "$TMP_MODEL" >"$stderr_file" 2>&1
+code=$?
+if [ "$code" -ne 1 ]; then
+  echo "FAIL: dvfc analyze (E009 case) -> exit $code, want 1" >&2
+  FAILURES=$((FAILURES + 1))
+elif ! grep -q "DVF-E009" "$stderr_file"; then
+  echo "FAIL: dvfc analyze (E009 case) did not report DVF-E009" >&2
+  sed 's/^/  out: /' "$stderr_file" >&2
+  FAILURES=$((FAILURES + 1))
+else
+  echo "ok: dvfc analyze reports lowering errors with exit 1"
+fi
+# The canonical hash is printed and stable across thread counts.
+printf 'model "M" { time 1.0; data A { elements 64; element_size 8; }
+pattern A stream { stride 1; } }\n' >"$TMP_MODEL"
+hash1=$("$DVFC" analyze "$TMP_MODEL" --threads 1 | grep "canonical hash")
+hash4=$("$DVFC" analyze "$TMP_MODEL" --threads 4 | grep "canonical hash")
+if [ -z "$hash1" ] || [ "$hash1" != "$hash4" ]; then
+  echo "FAIL: canonical hash missing or unstable across --threads" >&2
+  echo "  threads 1: $hash1" >&2
+  echo "  threads 4: $hash4" >&2
+  FAILURES=$((FAILURES + 1))
+else
+  echo "ok: dvfc analyze canonical hash stable across --threads"
+fi
+rm -f "$TMP_MODEL" "$stderr_file"
+
 # --- no-argument invocation prints usage and exits 2 ------------------------
 "$DVFC" >/dev/null 2>&1
 if [ $? -ne 2 ]; then

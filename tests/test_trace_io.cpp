@@ -81,6 +81,32 @@ TEST(TraceIo, MissingFileThrows) {
   EXPECT_THROW((void)read_trace_file("/nonexistent/path.dvft"), Error);
 }
 
+TEST(TraceIo, ByteSwappedHeaderIsRejectedWithAClearError) {
+  // A version field that decodes only with the opposite byte order marks a
+  // trace written by a host of foreign endianness (v1 is producer-native).
+  // The reader must say so instead of misreading every following field or
+  // reporting a baffling "unsupported version 16777216".
+  for (const char low : {'\x01', '\x02'}) {
+    std::stringstream stream;
+    write_trace(stream, DataStructureRegistry{}, {}, TraceFormat::kV2);
+    std::string bytes = stream.str();
+    bytes[4] = '\x00';
+    bytes[5] = '\x00';
+    bytes[6] = '\x00';
+    bytes[7] = low;  // u32 version written big-endian
+    std::stringstream swapped(bytes);
+    try {
+      TraceReader reader(swapped);
+      FAIL() << "byte-swapped header was accepted as version "
+             << reader.version();
+    } catch (const Error& err) {
+      EXPECT_NE(std::string(err.what()).find("byte-swapped"),
+                std::string::npos)
+          << err.what();
+    }
+  }
+}
+
 // --- Format v2 -------------------------------------------------------------
 
 std::vector<MemoryRecord> v2_sample_records() {

@@ -4,6 +4,10 @@
 //                                             (fail-fast: first error each)
 //   dvfc lint <file>... [--json] [--werror]   collect ALL diagnostics plus
 //                                             model-sanity lint rules
+//   dvfc analyze <file>... [--json] [--werror] [--threads N]
+//                                             semantic analysis: provable
+//                                             N_ha/DVF bounds, A3xx verdicts
+//                                             and a canonical model hash
 //   dvfc fmt <file>                           print canonical formatting
 //   dvfc eval <file> [--model N] [--machine N] [--csv]
 //                                             evaluate models on machines
@@ -18,6 +22,7 @@
 #include <charconv>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -29,6 +34,7 @@
 #include "dvf/common/budget.hpp"
 #include "dvf/common/error.hpp"
 #include "dvf/common/math.hpp"
+#include "dvf/dsl/analysis.hpp"
 #include "dvf/dsl/analyzer.hpp"
 #include "dvf/dsl/diagnostics.hpp"
 #include "dvf/dsl/lint.hpp"
@@ -219,6 +225,7 @@ bool options_recognized(const Args& args) {
   static const std::map<std::string, std::vector<std::string>> kAllowed = {
       {"check", {"json"}},
       {"lint", {"json", "werror"}},
+      {"analyze", {"json", "werror", "threads"}},
       {"fmt", {}},
       {"eval", {"model", "machine", "csv"}},
       {"caches", {"model"}},
@@ -323,6 +330,12 @@ int usage() {
       "                                        pass, plus model-sanity lint\n"
       "                                        rules; --werror promotes\n"
       "                                        warnings to failures\n"
+      "  analyze <file>... [--json] [--werror] [--threads N]\n"
+      "                                        semantic analysis: provable\n"
+      "                                        per-structure N_ha/DVF bounds,\n"
+      "                                        A3xx verdicts and a canonical\n"
+      "                                        64-bit model hash; --werror\n"
+      "                                        promotes warnings to failures\n"
       "  fmt <file>                            canonical formatting\n"
       "  eval <file> [--model N] [--machine N] [--csv]\n"
       "  caches <file> --model N               profiling-cache sweep\n"
@@ -462,6 +475,160 @@ int cmd_lint(const Args& args) {
       std::cout << file << ": " << result.errors << " error(s), "
                 << result.warnings << " warning(s)\n";
     }
+  }
+  if (json) {
+    print_json_array(objects);
+  }
+  return errors > 0 || (werror && warnings > 0) ? 1 : 0;
+}
+
+// Interval endpoint as JSON; infinite bounds (unbounded above) render as
+// null so consumers never meet a bare `inf` token.
+std::string json_bound(double v) {
+  if (!std::isfinite(v)) {
+    return "null";
+  }
+  std::ostringstream out;
+  out.precision(17);
+  out << v;
+  return out.str();
+}
+
+std::string json_interval(const dvf::analysis::Interval& iv) {
+  return "{\"lo\":" + json_bound(iv.lo) + ",\"hi\":" + json_bound(iv.hi) +
+         ",\"exact\":" + (iv.is_point() ? "true" : "false") + "}";
+}
+
+std::string hash_hex(std::uint64_t hash) {
+  char text[19] = {};
+  std::snprintf(text, sizeof text, "0x%016llx",
+                static_cast<unsigned long long>(hash));
+  return text;
+}
+
+// Human-readable interval: a point prints as "= x", an unbounded interval
+// as "[lo, inf)".
+std::string show_interval(const dvf::analysis::Interval& iv) {
+  if (iv.is_point()) {
+    return "= " + dvf::num(iv.lo);
+  }
+  return "in [" + dvf::num(iv.lo) + ", " +
+         (std::isfinite(iv.hi) ? dvf::num(iv.hi) : "inf") +
+         (std::isfinite(iv.hi) ? "]" : ")");
+}
+
+// One analyzed file as a JSON object: the canonical hash, per-model /
+// per-structure bounds and verdicts, and the diagnostics. When the file
+// failed to parse there is no report — only "diagnostics" appears.
+std::string analyze_json_object(const std::string& file,
+                                const dvf::dsl::SemanticAnalysis& result) {
+  std::ostringstream out;
+  out << "{\"file\":\"" << dvf::dsl::json_escape(file) << "\"";
+  if (result.report.has_value()) {
+    const dvf::analysis::AnalysisReport& report = *result.report;
+    out << ",\"canonical_hash\":\"" << hash_hex(report.canonical_hash) << "\"";
+    out << ",\"machines\":[";
+    for (std::size_t i = 0; i < report.machines.size(); ++i) {
+      out << (i == 0 ? "" : ",") << "\""
+          << dvf::dsl::json_escape(report.machines[i]) << "\"";
+    }
+    out << "],\"models\":[";
+    for (std::size_t m = 0; m < report.models.size(); ++m) {
+      const dvf::analysis::ModelBounds& model = report.models[m];
+      out << (m == 0 ? "" : ",") << "{\"name\":\""
+          << dvf::dsl::json_escape(model.name) << "\",\"dvf\":"
+          << json_interval(model.dvf) << ",\"structures\":[";
+      for (std::size_t s = 0; s < model.structures.size(); ++s) {
+        const dvf::analysis::StructureBounds& ds = model.structures[s];
+        bool exact = !ds.per_machine.empty();
+        for (const auto& pm : ds.per_machine) {
+          exact = exact && pm.exact;
+        }
+        out << (s == 0 ? "" : ",") << "{\"name\":\""
+            << dvf::dsl::json_escape(ds.name) << "\""
+            << ",\"size_bytes\":" << ds.size_bytes
+            << ",\"n_ha\":" << json_interval(ds.n_ha)
+            << ",\"dvf\":" << json_interval(ds.dvf)
+            << ",\"exact\":" << (exact ? "true" : "false")
+            << ",\"dead\":" << (ds.dead ? "true" : "false")
+            << ",\"exceeds_all_shares\":"
+            << (ds.exceeds_all_shares ? "true" : "false")
+            << ",\"rejects_everywhere\":"
+            << (ds.rejects_everywhere ? "true" : "false")
+            << ",\"monotone_in_capacity\":"
+            << (ds.monotone_in_capacity ? "true" : "false") << "}";
+      }
+      out << "]}";
+    }
+    out << "]";
+  }
+  out << ",\"clean\":" << (result.diagnostics.empty() ? "true" : "false");
+  out << ",\"diagnostics\":[";
+  for (std::size_t i = 0; i < result.diagnostics.size(); ++i) {
+    out << (i == 0 ? "" : ",")
+        << dvf::dsl::render_json_object(result.diagnostics[i], file);
+  }
+  out << "]}";
+  return out.str();
+}
+
+void print_analysis_report(const dvf::analysis::AnalysisReport& report) {
+  for (const dvf::analysis::ModelBounds& model : report.models) {
+    std::cout << "model " << model.name << ": DVF "
+              << show_interval(model.dvf) << "\n";
+    for (const dvf::analysis::StructureBounds& ds : model.structures) {
+      std::cout << "  data " << ds.name << ": N_ha "
+                << show_interval(ds.n_ha) << ", DVF "
+                << show_interval(ds.dvf);
+      if (ds.dead) {
+        std::cout << " [dead]";
+      }
+      if (ds.exceeds_all_shares) {
+        std::cout << " [exceeds-share]";
+      }
+      if (ds.rejects_everywhere && !ds.per_machine.empty()) {
+        std::cout << " [rejects: "
+                  << dvf::to_string(ds.per_machine.front().reject_kind)
+                  << "]";
+      }
+      std::cout << "\n";
+    }
+  }
+  std::cout << "canonical hash: " << hash_hex(report.canonical_hash) << "\n";
+}
+
+int cmd_analyze(const Args& args) {
+  if (args.positional.empty()) {
+    return usage();
+  }
+  const bool json = args.flag("json");
+  const bool werror = args.flag("werror");
+  dvf::analysis::AnalysisOptions options;
+  options.threads = numeric_option(args, "threads", 1);
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  std::vector<std::string> objects;
+  for (const std::string& file : args.positional) {
+    dvf::dsl::SemanticAnalysis result;
+    try {
+      result = dvf::dsl::analyze_models_file(file, options);
+    } catch (const dvf::Error& err) {
+      std::cerr << "dvfc: " << err.what() << "\n";
+      return 2;
+    }
+    errors += result.errors;
+    warnings += result.warnings;
+    if (json) {
+      objects.push_back(analyze_json_object(file, result));
+      continue;
+    }
+    std::cout << dvf::dsl::render_human(result.diagnostics, result.source,
+                                        file);
+    if (result.report.has_value()) {
+      print_analysis_report(*result.report);
+    }
+    std::cout << file << ": " << result.errors << " error(s), "
+              << result.warnings << " warning(s)\n";
   }
   if (json) {
     print_json_array(objects);
@@ -798,6 +965,9 @@ int run_command(const Args& args) {
     }
     if (args.command == "lint") {
       return cmd_lint(args);
+    }
+    if (args.command == "analyze") {
+      return cmd_analyze(args);
     }
     if (args.command == "fmt") {
       return cmd_fmt(args);
