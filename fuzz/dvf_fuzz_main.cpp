@@ -20,7 +20,7 @@ namespace {
 int usage() {
   std::cerr <<
       "usage: dvf_fuzz [options]\n"
-      "  --target roundtrip|eval|oracle|trace|analyze|all\n"
+      "  --target roundtrip|eval|oracle|trace|analyze|serve_proto|all\n"
       "                                        harness to run (default all)\n"
       "  --cases N                             generated cases per target\n"
       "                                        (default 1000)\n"
@@ -65,7 +65,8 @@ int main(int argc, char** argv) {
       if (v == nullptr) return usage();
       target = v;
       if (target != "roundtrip" && target != "eval" && target != "oracle" &&
-          target != "trace" && target != "analyze" && target != "all") {
+          target != "trace" && target != "analyze" &&
+          target != "serve_proto" && target != "all") {
         std::cerr << "dvf_fuzz: unknown target '" << target << "'\n";
         return usage();
       }
@@ -110,6 +111,9 @@ int main(int argc, char** argv) {
   }
   if (target == "analyze" || target == "all") {
     run("analyze", dvf::fuzz::fuzz_analyze);
+  }
+  if (target == "serve_proto" || target == "all") {
+    run("serve_proto", dvf::fuzz::fuzz_serve_proto);
   }
 
   if (!report.ok()) {

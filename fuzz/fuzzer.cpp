@@ -36,6 +36,9 @@
 #include "dvf/patterns/reuse.hpp"
 #include "dvf/patterns/streaming.hpp"
 #include "dvf/patterns/template_access.hpp"
+#include "dvf/serve/engine.hpp"
+#include "dvf/serve/json.hpp"
+#include "dvf/serve/protocol.hpp"
 #include "dvf/trace/trace_io.hpp"
 
 namespace dvf::fuzz {
@@ -1003,6 +1006,209 @@ std::vector<std::string> load_trace_corpus(const std::string& dir) {
   return traces;
 }
 
+// ---- serve_proto target ---------------------------------------------------
+
+/// Corpus frames: every line of every *.ndjson file in the corpus dir.
+std::vector<std::string> load_ndjson_corpus(const std::string& dir) {
+  std::vector<std::string> lines;
+  if (dir.empty()) {
+    return lines;
+  }
+  std::error_code ec;
+  std::vector<std::filesystem::path> paths;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.path().extension() == ".ndjson") {
+      paths.push_back(entry.path());
+    }
+  }
+  std::sort(paths.begin(), paths.end());  // deterministic corpus order
+  for (const auto& path : paths) {
+    std::ifstream in(path, std::ios::binary);
+    std::string line;
+    while (std::getline(in, line)) {
+      lines.push_back(line);
+    }
+  }
+  return lines;
+}
+
+/// Tight engine guardrails, the serve analog of case_limits(): a hostile
+/// frame degrades into a typed error within milliseconds.
+serve::EngineConfig serve_case_config() {
+  serve::EngineConfig config;
+  config.cache_capacity = 8;
+  config.max_request_bytes = 4096;
+  config.default_deadline_s = 0.25;
+  config.max_deadline_s = 0.25;
+  config.max_references = std::uint64_t{1} << 20;
+  config.max_expansion = std::uint64_t{1} << 18;
+  config.span_drop_interval = 64;
+  return config;
+}
+
+/// A structurally valid request frame around random content — the happy
+/// paths the mutator then corrupts.
+std::string random_request_frame(Xoshiro256& rng) {
+  std::string out = "{";
+  switch (rng.below(4)) {
+    case 0: out += "\"id\":" + std::to_string(rng.below(1000)) + ","; break;
+    case 1:
+      out += "\"id\":\"req-" + std::to_string(rng.below(1000)) + "\",";
+      break;
+    case 2: out += "\"id\":null,"; break;
+    default: break;  // no id
+  }
+  switch (rng.below(8)) {
+    case 0: out += "\"op\":\"ping\""; break;
+    case 1: out += "\"op\":\"metrics\""; break;
+    case 2: out += "\"op\":\"restart\""; break;  // unknown op: bad_request
+    case 3:  // hash-only eval; almost always unknown_hash
+      out += "\"op\":\"eval\",\"hash\":\"" + serve::hash_hex(rng()) + "\"";
+      break;
+    default: {
+      out += "\"op\":\"eval\",\"source\":" +
+             serve::json_escape_string(generate_program(rng));
+      if (rng.below(3) == 0) {
+        out += ",\"deadline_s\":0.05";
+      }
+      if (rng.below(4) == 0) {
+        out += ",\"exec_time_s\":" + std::to_string(rng.below(100)) + ".5";
+      }
+      if (rng.below(4) == 0) {
+        out += ",\"model\":\"M1\"";
+      }
+      if (rng.below(4) == 0) {
+        out += ",\"machine\":\"m1\"";
+      }
+      break;
+    }
+  }
+  out += "}";
+  return out;
+}
+
+bool known_wire_error_kind(const std::string& kind) {
+  static const char* const kKinds[] = {
+      serve::wire::kParseError,
+      serve::wire::kBadRequest,
+      serve::wire::kTooLarge,
+      serve::wire::kModelError,
+      serve::wire::kUnknownHash,
+      serve::wire::kOverloaded,
+      to_string(ErrorKind::kDomainError),
+      to_string(ErrorKind::kOverflow),
+      to_string(ErrorKind::kNonFinite),
+      to_string(ErrorKind::kResourceLimit),
+      to_string(ErrorKind::kDeadlineExceeded),
+  };
+  for (const char* known : kKinds) {
+    if (kind == known) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// One frame through the engine: never throws, and the response is a JSON
+/// object with boolean "ok", an "id", and on failure a known typed error
+/// kind. `internal` counts as a finding — no input should reach the
+/// engine's catch-all.
+void check_serve_case(serve::Engine& engine, const std::string& input,
+                      const std::string& label, FuzzReport& report,
+                      const FuzzOptions& options) {
+  std::string response;
+  try {
+    response = engine.handle_line(input);
+  } catch (const std::exception& err) {
+    record(report, options, label + ": handle_line threw: " + err.what());
+    return;
+  } catch (...) {
+    record(report, options, label + ": handle_line threw a non-exception");
+    return;
+  }
+  const bool blank =
+      input.find_first_not_of(" \t\r\n") == std::string::npos;
+  if (blank) {
+    if (!response.empty()) {
+      record(report, options, label + ": blank frame produced a response");
+    }
+    return;
+  }
+  if (response.empty()) {
+    record(report, options, label + ": non-blank frame got no response");
+    return;
+  }
+  const serve::JsonParsed parsed = serve::parse_json(response);
+  if (!parsed.ok || !parsed.value.is_object()) {
+    record(report, options,
+           label + ": response is not a JSON object: " + response);
+    return;
+  }
+  if (parsed.value.find("id") == nullptr) {
+    record(report, options, label + ": response lacks 'id': " + response);
+  }
+  const serve::JsonValue* ok = parsed.value.find("ok");
+  if (ok == nullptr || !ok->is_bool()) {
+    record(report, options,
+           label + ": response lacks boolean 'ok': " + response);
+    return;
+  }
+  if (ok->boolean) {
+    return;
+  }
+  const serve::JsonValue* error = parsed.value.find("error");
+  const serve::JsonValue* kind =
+      error != nullptr ? error->find("kind") : nullptr;
+  if (kind == nullptr || !kind->is_string()) {
+    record(report, options,
+           label + ": error response lacks 'error.kind': " + response);
+    return;
+  }
+  if (kind->string == serve::wire::kInternal) {
+    record(report, options,
+           label + ": input reached the internal catch-all: " + response);
+    return;
+  }
+  if (!known_wire_error_kind(kind->string)) {
+    record(report, options,
+           label + ": unknown error kind '" + kind->string + "'");
+  }
+}
+
+std::string hostile_frame(Xoshiro256& rng) {
+  switch (rng.below(6)) {
+    case 0: {  // nesting bomb: must hit the depth cap, not the stack guard
+      const std::size_t depth = 65 + rng.below(1000);
+      std::string out(depth, '[');
+      if (rng.below(2) == 0) {
+        out.append(depth, ']');  // balanced and hostile
+      }
+      return out;
+    }
+    case 1: {  // oversized frame: too_large without parsing
+      return std::string(4097 + rng.below(4096), 'x');
+    }
+    case 2: {  // raw bytes, including NUL and high bits
+      std::string out;
+      const std::size_t len = rng.below(64);
+      for (std::size_t i = 0; i < len; ++i) {
+        out.push_back(static_cast<char>(rng.below(256)));
+      }
+      return out;
+    }
+    case 3:  // truncated valid request
+      {
+        std::string frame = random_request_frame(rng);
+        frame.resize(rng.below(frame.size() + 1));
+        return frame;
+      }
+    case 4:  // valid JSON, wrong shape
+      return rng.below(2) == 0 ? "[1,2,3]" : "\"just a string\"";
+    default:  // whitespace soup
+      return std::string(rng.below(8), ' ') + "\t\r";
+  }
+}
+
 }  // namespace
 
 void FuzzReport::merge(FuzzReport other) {
@@ -1101,6 +1307,44 @@ FuzzReport fuzz_analyze(const FuzzOptions& options) {
                        report, options);
     if (bases.size() < 64 && rng.below(8) == 0) {
       bases.push_back(std::move(source));
+    }
+    ++report.cases_run;
+  }
+  return report;
+}
+
+FuzzReport fuzz_serve_proto(const FuzzOptions& options) {
+  FuzzReport report;
+  const TimeBox box(options.max_seconds);
+  Xoshiro256 rng(options.seed ^ 0xE7037ED1A0B428DBULL);
+
+  // One engine across the whole run, like a real daemon: cache state and
+  // counters carry over between frames, so a frame corrupted by an earlier
+  // one would surface here.
+  serve::Engine engine(serve_case_config());
+
+  std::vector<std::string> bases = load_ndjson_corpus(options.corpus_dir);
+  for (std::size_t i = 0; i < bases.size(); ++i) {
+    check_serve_case(engine, bases[i],
+                     "[serve_proto corpus " + std::to_string(i) + "]", report,
+                     options);
+  }
+
+  for (std::uint64_t c = 0; c < options.cases && !box.expired(); ++c) {
+    const std::string label = "[serve_proto case " + std::to_string(c) + "]";
+    std::string frame;
+    switch (rng.below(4)) {
+      case 0:
+        frame = !bases.empty() && rng.below(2) == 0
+                    ? mutate(bases[rng.below(bases.size())], rng)
+                    : mutate(random_request_frame(rng), rng);
+        break;
+      case 1: frame = hostile_frame(rng); break;
+      default: frame = random_request_frame(rng); break;
+    }
+    check_serve_case(engine, frame, label, report, options);
+    if (bases.size() < 64 && rng.below(8) == 0) {
+      bases.push_back(std::move(frame));
     }
     ++report.cases_run;
   }

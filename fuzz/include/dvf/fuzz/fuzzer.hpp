@@ -76,6 +76,16 @@ struct FuzzReport {
 /// Corpus seeds are *.dvft files in the corpus directory.
 [[nodiscard]] FuzzReport fuzz_trace(const FuzzOptions& options);
 
+/// Serve wire-protocol totality: every NDJSON frame — corpus lines,
+/// generated requests, byte-mutated, truncated, deeply nested, oversized —
+/// driven through serve::Engine::handle_line must yield a well-formed JSON
+/// response with a boolean "ok" and, on failure, a *known* typed error
+/// kind; `internal` (the catch-all) counts as a finding, as does any
+/// exception, crash or hang (tight per-request budgets bound every case).
+/// Corpus seeds are *.ndjson files (one frame per line) in the corpus
+/// directory.
+[[nodiscard]] FuzzReport fuzz_serve_proto(const FuzzOptions& options);
+
 /// Semantic-analysis totality and soundness: analyze_models must not throw,
 /// every reported interval must be valid (finite non-negative lower bound,
 /// no NaN, lo <= hi), the canonical hash must be identical across re-runs

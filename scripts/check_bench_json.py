@@ -13,7 +13,12 @@ downstream trajectory tooling can rely on:
     the harness double-reported);
   - for the cachesim harness specifically: the sharded scenarios carry
     ``threads``/``policy``/``hardware_threads``, and the trace-size records
-    carry consistent ``v1_bytes``/``v2_bytes``/``v1_over_v2``.
+    carry consistent ``v1_bytes``/``v2_bytes``/``v1_over_v2``;
+  - for the serve harness: cold_compile/cache_hit/shed_2x scenarios are all
+    present, latency records carry positive ``requests``/``mean_us``, the
+    cache-hit record proves the cache actually served hits, and the shed
+    record's counts are internally consistent (every offered frame
+    answered, shed_rate == shed / offered).
 """
 
 import json
@@ -65,6 +70,27 @@ def check_file(path: str) -> int:
             require(record.get("accesses_per_s", 0) > 0,
                     f"{where}: timed records need accesses_per_s > 0")
 
+        if doc["benchmark"] == "serve":
+            if scenario in ("cold_compile", "cache_hit"):
+                require(record.get("requests", 0) > 0,
+                        f"{where}: latency records need requests > 0")
+                require(record.get("mean_us", 0) > 0,
+                        f"{where}: latency records need mean_us > 0")
+            if scenario == "cache_hit":
+                require(record.get("cache_hits", 0) >= record["requests"],
+                        f"{where}: cache_hits must cover every hit request")
+            if scenario == "shed_2x":
+                for key in ("offered", "answered", "shed", "shed_rate"):
+                    require(key in record, f"{where}: shed_2x needs '{key}'")
+                require(record["answered"] == record["offered"],
+                        f"{where}: every offered frame must be answered")
+                require(0 <= record["shed"] <= record["offered"],
+                        f"{where}: shed out of range")
+                expected_rate = (record["shed"] / record["offered"]
+                                 if record["offered"] else 0.0)
+                require(abs(record["shed_rate"] - expected_rate) < 1e-6,
+                        f"{where}: shed_rate inconsistent with counts")
+
         if doc["benchmark"] == "cachesim":
             if "sharded" in scenario:
                 for key in ("threads", "policy", "hardware_threads"):
@@ -78,6 +104,11 @@ def check_file(path: str) -> int:
                 ratio = record["v1_bytes"] / record["v2_bytes"]
                 require(abs(ratio - record["v1_over_v2"]) < 0.01,
                         f"{where}: v1_over_v2 inconsistent with byte counts")
+
+    if doc["benchmark"] == "serve":
+        for scenario in ("cold_compile", "cache_hit", "shed_2x"):
+            require(scenario in seen_scenarios,
+                    f"{path}: serve bench missing scenario '{scenario}'")
 
     if "metrics" in doc:
         require(isinstance(doc["metrics"], dict),

@@ -1,0 +1,230 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test for `dvfc serve` (wired into the CI serve-smoke job).
+
+    check_serve_smoke.py PATH_TO_DVFC
+
+Starts a real daemon on a Unix socket and drives the robustness contract
+documented in docs/serve.md:
+
+  1. a valid eval is answered ok with cache "miss" and a canonical hash;
+  2. the identical source is answered bit-identically with cache "hit",
+     and the metrics op reports a positive cache-hit counter;
+  3. a hash-only request (reusing the miss response's hash) is served from
+     the cache without resending the source; an unknown hash is the typed
+     `unknown_hash` error;
+  4. malformed, oversized and impossible-deadline frames get typed errors
+     (parse_error / too_large / deadline_exceeded), never a crash;
+  5. a mid-request disconnect (half a frame, then close) leaves the daemon
+     healthy for the next connection;
+  6. SIGTERM drains gracefully: exit code 0.
+
+Every response must parse as one JSON object of the documented shape.
+The same script runs against sanitizer builds; it asserts nothing about
+latency, only about behavior.
+"""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+
+ERROR_KINDS = {
+    "parse_error", "bad_request", "too_large", "model_error",
+    "unknown_hash", "overloaded", "internal", "domain_error", "overflow",
+    "non_finite", "resource_limit", "deadline_exceeded",
+}
+
+SOURCE = ('model "smoke" { time 1; '
+          'data A { elements 64; element_size 8; } '
+          'pattern A stream { stride 1; repeat 2; } }')
+
+# Big enough that evaluation crosses a deadline checkpoint; an impossible
+# request deadline must come back as the typed deadline_exceeded error.
+SLOW_SOURCE = ('model "slow" { time 1; '
+               'data T { elements 262144; element_size 8; } '
+               'pattern T template { start (0); step 1; count 262144; '
+               'repeat 4; } }')
+
+
+def fail(message: str) -> None:
+    sys.exit(f"check_serve_smoke: FAIL: {message}")
+
+
+def require(condition: bool, message: str) -> None:
+    if not condition:
+        fail(message)
+
+
+def connect(path: str, deadline_s: float = 10.0) -> socket.socket:
+    end = time.monotonic() + deadline_s
+    while True:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            sock.connect(path)
+            return sock
+        except OSError:
+            sock.close()
+            if time.monotonic() >= end:
+                fail(f"daemon never answered on {path}")
+            time.sleep(0.05)
+
+
+def read_line(sock: socket.socket, deadline_s: float = 30.0) -> str:
+    sock.settimeout(deadline_s)
+    buffer = b""
+    while b"\n" not in buffer:
+        try:
+            chunk = sock.recv(4096)
+        except socket.timeout:
+            fail("timed out waiting for a response line")
+        require(bool(chunk), "connection closed before a full response")
+        buffer += chunk
+    return buffer.split(b"\n", 1)[0].decode("utf-8")
+
+
+def check_shape(line: str) -> dict:
+    try:
+        doc = json.loads(line)
+    except json.JSONDecodeError as error:
+        fail(f"response is not JSON ({error}): {line[:200]}")
+    require(isinstance(doc, dict), f"response not an object: {line[:200]}")
+    require("id" in doc and "ok" in doc, f"response missing id/ok: {line[:200]}")
+    if doc["ok"]:
+        require(doc.get("op") in ("ping", "eval", "metrics"),
+                f"ok response has bad op: {line[:200]}")
+    else:
+        error = doc.get("error")
+        require(isinstance(error, dict), f"error response lacks error object: {line[:200]}")
+        require(error.get("kind") in ERROR_KINDS,
+                f"unknown error kind {error.get('kind')!r}: {line[:200]}")
+        require(isinstance(error.get("message"), str) and error["message"],
+                f"error response lacks a message: {line[:200]}")
+    return doc
+
+
+def roundtrip(sock: socket.socket, frame: str) -> dict:
+    sock.sendall(frame.encode("utf-8") + b"\n")
+    return check_shape(read_line(sock))
+
+
+def main() -> None:
+    if len(sys.argv) != 2:
+        sys.exit(__doc__.strip().splitlines()[2].strip())
+    dvfc = sys.argv[1]
+    path = f"/tmp/dvf_serve_smoke_{os.getpid()}.sock"
+    proc = subprocess.Popen(
+        [dvfc, "serve", "--socket", path, "--workers", "2",
+         "--max-request-bytes", str(64 * 1024)],
+        stdout=subprocess.DEVNULL, stderr=subprocess.PIPE)
+    try:
+        sock = connect(path)
+
+        # 1. Valid eval: a miss that compiles and evaluates the model.
+        miss = roundtrip(sock, json.dumps(
+            {"id": 1, "op": "eval", "source": SOURCE}))
+        require(miss["ok"] and miss["id"] == 1, f"eval failed: {miss}")
+        require(miss.get("cache") == "miss", f"first eval should miss: {miss}")
+        model_hash = miss.get("hash", "")
+        require(model_hash.startswith("0x"), f"eval lacks canonical hash: {miss}")
+        results = miss.get("results")
+        require(isinstance(results, list) and results
+                and results[0].get("structures"),
+                f"eval lacks per-structure results: {miss}")
+        print("check_serve_smoke: ok: eval miss with hash and results")
+
+        # 2. Identical source: a hit, bit-identical numbers.
+        hit = roundtrip(sock, json.dumps(
+            {"id": 2, "op": "eval", "source": SOURCE}))
+        require(hit["ok"] and hit.get("cache") == "hit",
+                f"duplicate source should hit the cache: {hit}")
+        require(hit.get("hash") == model_hash, f"hash changed on hit: {hit}")
+        require(hit.get("results") == results,
+                "hit results differ from miss results")
+        print("check_serve_smoke: ok: duplicate source hits, bit-identical")
+
+        # 3. Hash-only requests reuse the compiled model; unknown hashes are
+        # the typed unknown_hash error.
+        by_hash = roundtrip(sock, json.dumps(
+            {"id": 3, "op": "eval", "hash": model_hash}))
+        require(by_hash["ok"] and by_hash.get("cache") == "hit",
+                f"hash-only request should hit: {by_hash}")
+        require(by_hash.get("results") == results,
+                "hash-only results differ from source results")
+        unknown = roundtrip(sock, json.dumps(
+            {"id": 4, "op": "eval", "hash": "0xdeadbeefdeadbeef"}))
+        require(not unknown["ok"]
+                and unknown["error"]["kind"] == "unknown_hash",
+                f"bogus hash should be unknown_hash: {unknown}")
+        print("check_serve_smoke: ok: hash-only eval and unknown_hash")
+
+        # 4a. Malformed frame: typed parse_error, daemon stays up.
+        garbage = roundtrip(sock, "this is not json")
+        require(not garbage["ok"]
+                and garbage["error"]["kind"] == "parse_error",
+                f"garbage should be parse_error: {garbage}")
+
+        # 4b. Oversized frame: typed too_large from the reader.
+        big = roundtrip(sock, json.dumps(
+            {"id": 5, "op": "eval", "source": "x" * (80 * 1024)}))
+        require(not big["ok"] and big["error"]["kind"] == "too_large",
+                f"oversized frame should be too_large: {big}")
+
+        # 4c. Impossible per-request deadline: typed deadline_exceeded.
+        late = roundtrip(sock, json.dumps(
+            {"id": 6, "op": "eval", "source": SLOW_SOURCE,
+             "deadline_s": 1e-6}))
+        require(not late["ok"]
+                and late["error"]["kind"] == "deadline_exceeded",
+                f"impossible deadline should be deadline_exceeded: {late}")
+        print("check_serve_smoke: ok: typed errors for malformed/oversized/"
+              "late frames")
+
+        # Metrics op: the duplicate traffic above must show up as hits.
+        metrics = roundtrip(sock, json.dumps({"id": 7, "op": "metrics"}))
+        require(metrics["ok"] and metrics.get("op") == "metrics",
+                f"metrics op failed: {metrics}")
+        cache = metrics.get("serve", {}).get("cache", {})
+        require(cache.get("hits", 0) > 0,
+                f"cache-hit counter not positive after duplicates: {metrics}")
+        print(f"check_serve_smoke: ok: metrics report "
+              f"{cache['hits']} cache hit(s)")
+        sock.close()
+
+        # 5. Mid-request disconnect: half a frame, then vanish. The daemon
+        # must shrug and answer the next connection.
+        half = connect(path)
+        half.sendall(b'{"id":99,"op":"eval","sou')
+        half.close()
+        again = connect(path)
+        pong = roundtrip(again, json.dumps({"id": 8, "op": "ping"}))
+        require(pong["ok"] and pong.get("op") == "ping",
+                f"daemon unhealthy after disconnect: {pong}")
+        again.close()
+        print("check_serve_smoke: ok: healthy after mid-request disconnect")
+
+        # 6. Graceful drain: SIGTERM -> exit 0.
+        proc.send_signal(signal.SIGTERM)
+        try:
+            code = proc.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            fail("daemon did not exit within 30s of SIGTERM")
+        stderr = proc.stderr.read().decode("utf-8", "replace")
+        require(code == 0,
+                f"SIGTERM drain exited {code}, want 0; stderr:\n{stderr}")
+        print("check_serve_smoke: ok: SIGTERM drain exited 0")
+        print("check_serve_smoke: OK: all serve smoke checks passed")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+
+if __name__ == "__main__":
+    main()

@@ -1,6 +1,7 @@
 #include "dvf/common/budget.hpp"
 
 #include <chrono>
+#include <limits>
 #include <string>
 
 namespace dvf {
@@ -72,6 +73,9 @@ Result<void> EvalBudget::charge_expansion(std::uint64_t n) noexcept {
 }
 
 Result<void> EvalBudget::check_deadline() noexcept {
+  if (cancelled_.load(std::memory_order_relaxed)) {
+    return EvalError{ErrorKind::kDeadlineExceeded, "evaluation cancelled"};
+  }
   const std::uint64_t deadline = deadline_ns_.load(std::memory_order_relaxed);
   if (deadline == 0) {
     return {};
@@ -85,9 +89,26 @@ Result<void> EvalBudget::check_deadline() noexcept {
   return {};
 }
 
+void EvalBudget::cancel() noexcept {
+  cancelled_.store(true, std::memory_order_relaxed);
+}
+
+double EvalBudget::wall_remaining_seconds() const noexcept {
+  if (cancelled_.load(std::memory_order_relaxed)) {
+    return 0.0;
+  }
+  const std::uint64_t deadline = deadline_ns_.load(std::memory_order_relaxed);
+  if (deadline == 0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const std::uint64_t now = steady_now_ns();
+  return now >= deadline ? 0.0 : static_cast<double>(deadline - now) * 1e-9;
+}
+
 void EvalBudget::reset() noexcept {
   references_.store(0, std::memory_order_relaxed);
   expansion_.store(0, std::memory_order_relaxed);
+  cancelled_.store(false, std::memory_order_relaxed);
   arm_deadline();
 }
 

@@ -71,6 +71,21 @@ class EvalBudget {
   /// one load otherwise).
   [[nodiscard]] Result<void> check_deadline() noexcept;
 
+  /// Cooperative cancellation: every subsequent charge or deadline check
+  /// returns a deadline_exceeded error, regardless of the wall clock. Safe
+  /// to call from any thread while evaluators are charging (the daemon's
+  /// drain path cancels in-flight requests this way). Irreversible until
+  /// reset().
+  void cancel() noexcept;
+  [[nodiscard]] bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// Wall-clock seconds until the armed deadline: +inf when no deadline is
+  /// armed, 0 once it passed (or the budget was cancelled). Used by the
+  /// serve daemon for retry-after hints and drain decisions.
+  [[nodiscard]] double wall_remaining_seconds() const noexcept;
+
   /// Resets the meters (not the limits); re-arms the deadline.
   void reset() noexcept;
 
@@ -98,6 +113,7 @@ class EvalBudget {
   std::atomic<std::uint64_t> references_{0};
   std::atomic<std::uint64_t> expansion_{0};
   std::atomic<std::uint64_t> deadline_ns_{0};  ///< steady-clock ns; 0 = none
+  std::atomic<bool> cancelled_{false};
 };
 
 /// `budget` if non-null, else EvalBudget::process_default().

@@ -55,6 +55,12 @@ void set_enabled(bool on) noexcept;
 /// counter restarts. Intended for tests and long-lived embedders.
 void reset();
 
+/// Drops every recorded span but keeps all metric values and the span id
+/// counter. Long-lived processes (the `dvfc serve` daemon) call this
+/// periodically so span storage stays bounded while counters keep
+/// accumulating across the process lifetime.
+void drop_spans();
+
 /// Nanoseconds since the process-wide observability epoch (fixed on first
 /// use; steady clock).
 [[nodiscard]] std::uint64_t now_ns() noexcept;

@@ -184,6 +184,16 @@ void reset() {
   reg.next_span_id.store(1, std::memory_order_relaxed);
 }
 
+void drop_spans() {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  for (auto& sh : reg.shards) {
+    const std::lock_guard<std::mutex> span_lock(sh->spans_mutex);
+    sh->spans.clear();
+    sh->spans.shrink_to_fit();  // bound the daemon's steady-state footprint
+  }
+}
+
 // --------------------------------------------------------------------------
 // Metric handles.
 

@@ -1,0 +1,92 @@
+// The serve wire protocol: newline-delimited JSON requests and responses
+// (docs/serve.md). One request per line, one response line per request;
+// responses may arrive out of order relative to submission, so clients
+// correlate by the echoed `id`.
+//
+// Every failure a request can provoke maps onto a *typed* wire error. The
+// kinds extend dvf::ErrorKind's evaluation taxonomy (domain_error /
+// overflow / non_finite / resource_limit / deadline_exceeded) with the
+// transport- and service-level failure modes a daemon adds:
+//
+//   parse_error   the frame is not a JSON object (decoder error attached)
+//   bad_request   valid JSON, invalid request (missing/ill-typed fields,
+//                 unknown op, unknown model/machine name)
+//   too_large     the frame exceeds max_request_bytes (the transport sheds
+//                 it without buffering or parsing the rest)
+//   model_error   the DSL source failed to compile; the first diagnostic
+//                 (stable DVF-Exxx code + span) is attached
+//   unknown_hash  a hash-only request named a canonical hash the compiled-
+//                 model cache does not currently hold
+//   overloaded    admission control shed the request (queue full); the
+//                 response carries a retry_after_ms hint
+//   internal      anything else — a bug, never expected in steady state
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "dvf/serve/json.hpp"
+
+namespace dvf::serve {
+
+/// Service-level wire error kinds (evaluation failures reuse
+/// dvf::to_string(ErrorKind) directly).
+namespace wire {
+inline constexpr const char* kParseError = "parse_error";
+inline constexpr const char* kBadRequest = "bad_request";
+inline constexpr const char* kTooLarge = "too_large";
+inline constexpr const char* kModelError = "model_error";
+inline constexpr const char* kUnknownHash = "unknown_hash";
+inline constexpr const char* kOverloaded = "overloaded";
+inline constexpr const char* kInternal = "internal";
+}  // namespace wire
+
+/// One decoded evaluation request. String fields left empty / optionals
+/// disengaged mean "not supplied".
+struct EvalRequest {
+  /// The client's `id`, re-serialized (string, number or null only). Echoed
+  /// verbatim in the response; "null" when absent.
+  std::string id_json = "null";
+  std::string op = "eval";  ///< "eval" | "ping" | "metrics"
+  std::string source;       ///< DSL text (eval; exclusive with `hash`)
+  std::optional<std::uint64_t> hash;  ///< canonical model hash (cache key)
+  std::string model;        ///< evaluate only this model (default: all)
+  std::string machine;      ///< evaluate only on this machine (default: all)
+  double deadline_s = 0.0;  ///< 0 = server default; clamped to server max
+  std::optional<double> exec_time_s;  ///< override the model's `time`
+};
+
+/// Outcome of decoding one request line. When !ok, `kind`/`message` are the
+/// typed wire error to respond with and `id_json` is the request id as far
+/// as it could be recovered (so even a rejected request's response
+/// correlates when the id itself parsed).
+struct RequestParse {
+  bool ok = false;
+  EvalRequest request;
+  std::string kind;
+  std::string message;
+  std::string id_json = "null";
+};
+
+/// Decodes one NDJSON frame into an EvalRequest. Total: any input yields
+/// either ok or a typed (kind, message). Unknown object members are
+/// ignored for forward compatibility.
+[[nodiscard]] RequestParse parse_request(std::string_view line);
+
+/// "0x%016x" — the canonical-hash rendering shared with `dvfc analyze`.
+[[nodiscard]] std::string hash_hex(std::uint64_t hash);
+
+/// Parses "0x..." / bare-hex into a canonical hash value.
+[[nodiscard]] std::optional<std::uint64_t> parse_hash_hex(
+    std::string_view text);
+
+/// {"id":<id>,"ok":false,"error":{"kind":...,"message":...}} with an
+/// optional retry_after_ms hint (emitted when >= 0).
+[[nodiscard]] std::string error_response(std::string_view id_json,
+                                         std::string_view kind,
+                                         std::string_view message,
+                                         long retry_after_ms = -1);
+
+}  // namespace dvf::serve

@@ -1,0 +1,88 @@
+// The `dvfc serve` transport layer: Unix-domain socket (or stdio pipe)
+// acceptors feeding a bounded job queue drained by worker threads, each job
+// one Engine::handle_line call.
+//
+// Robustness contract (docs/serve.md):
+//
+//   - **Bounded everything.** The job queue holds at most queue_capacity
+//     frames; when it is full the reader sheds the frame immediately with
+//     an `overloaded` response carrying a retry_after_ms hint — it never
+//     blocks the socket and never buffers unboundedly. Connections beyond
+//     max_connections are answered with `overloaded` and closed. Frames
+//     longer than max_request_bytes are discarded as they stream in (the
+//     reader keeps no more than the limit in memory) and answered with
+//     `too_large`.
+//   - **Misbehaving clients cost one connection.** A client that
+//     disconnects mid-request, writes garbage, or stops reading its
+//     responses only ever affects its own connection (writes are
+//     EPIPE-tolerant, SIGPIPE is suppressed).
+//   - **Graceful drain.** request_stop() (wired to SIGTERM/SIGINT) stops
+//     accepting, lets queued and in-flight requests finish under their own
+//     deadlines capped by drain_grace_s, cancels whatever is still running
+//     after the grace window, flushes a final metrics dump and returns 0.
+//
+// stdio mode (socket_path empty) runs the same queue/worker/drain machinery
+// over fd 0 → fd 1, which is what the CLI tests, the chaos harness and CI
+// smoke use; responses are serialized by a write mutex so concurrent
+// workers never interleave lines.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "dvf/serve/engine.hpp"
+
+namespace dvf::serve {
+
+struct ServerConfig {
+  EngineConfig engine;
+  /// Unix-domain socket path; empty = stdio mode (read fd 0, write fd 1).
+  std::string socket_path;
+  unsigned workers = 2;
+  std::size_t queue_capacity = 64;    ///< pending frames before shedding
+  std::size_t max_connections = 64;   ///< concurrent client connections
+  long retry_after_ms = 100;          ///< hint attached to shed responses
+  double drain_grace_s = 5.0;         ///< in-flight allowance after stop
+  /// Period of the metrics dump to stderr (one JSON line); 0 disables.
+  double metrics_interval_s = 0.0;
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig config);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Runs until request_stop(). Returns 0 on a clean drain, 1 when the
+  /// transport could not start (socket path unusable). Blocks the caller.
+  int run();
+
+  /// Initiates graceful drain; safe from any thread (the signal watcher).
+  /// Idempotent.
+  void request_stop();
+
+  [[nodiscard]] Engine& engine() noexcept { return engine_; }
+  [[nodiscard]] const ServerConfig& config() const noexcept {
+    return config_;
+  }
+  /// Frames shed by admission control (queue full / too many connections).
+  [[nodiscard]] std::uint64_t shed_count() const noexcept {
+    return shed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend struct ServerImpl;
+  /// One JSON line with serve stats + obs metrics to stderr (the periodic
+  /// dump and the final drain flush).
+  void dump_metrics_line();
+
+  ServerConfig config_;
+  Engine engine_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> shed_{0};
+  int stop_pipe_[2] = {-1, -1};  ///< wakes poll() when request_stop fires
+};
+
+}  // namespace dvf::serve

@@ -1,0 +1,47 @@
+// Async-signal-safe SIGINT/SIGTERM handling via the self-pipe trick.
+//
+// A signal handler may only touch async-signal-safe primitives, which rules
+// out flushing observability sinks or draining a server directly from the
+// handler. SignalGuard installs handlers that write the signal number to a
+// pipe; a single watcher thread reads the pipe and runs the registered
+// callback in ordinary thread context, where everything is allowed.
+//
+// Two consumers share this path (the ISSUE's satellite 1 and the daemon):
+//
+//   - `dvfc` wraps every command in a SignalGuard that flushes --trace /
+//     --metrics output before exiting, so a Ctrl-C mid-campaign no longer
+//     loses the observability data collected so far.
+//   - `dvfc serve` swaps in a drain callback: the first signal starts a
+//     graceful drain (stop accepting, finish in-flight), a second signal
+//     force-exits.
+//
+// Guards nest: constructing one saves the previous callback and the
+// destructor restores it, so the serve command can temporarily override the
+// CLI-level flush handler and hand it back on return.
+#pragma once
+
+#include <functional>
+
+namespace dvf::serve {
+
+class SignalGuard {
+ public:
+  /// Installs SIGINT/SIGTERM handlers (first guard process-wide) and makes
+  /// `callback(signo)` the current handler action. The callback runs on a
+  /// dedicated watcher thread — never in signal context — so it may
+  /// allocate, lock and perform I/O. It should be idempotent: signals can
+  /// arrive repeatedly.
+  explicit SignalGuard(std::function<void(int)> callback);
+
+  /// Restores the previously registered callback (or none).
+  ~SignalGuard();
+
+  SignalGuard(const SignalGuard&) = delete;
+  SignalGuard& operator=(const SignalGuard&) = delete;
+
+  /// Signals received since the process-wide handlers were installed.
+  /// Monotonic; lets a drain loop detect "second signal while draining".
+  [[nodiscard]] static unsigned long long signals_seen() noexcept;
+};
+
+}  // namespace dvf::serve

@@ -1,0 +1,455 @@
+#include "dvf/serve/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "dvf/obs/obs.hpp"
+#include "dvf/serve/protocol.hpp"
+
+namespace dvf::serve {
+
+namespace {
+
+constexpr int kPollMs = 100;  ///< stop-flag latency bound for readers
+
+/// One response channel. write_line serializes whole lines under a mutex so
+/// concurrent workers never interleave; a client that stopped reading (or
+/// disconnected) flips the sink dead and every later write is a cheap no-op.
+class Sink {
+ public:
+  /// Does not own `fd` when `owns` is false (stdio mode's fd 1).
+  Sink(int fd, bool owns) : fd_(fd), owns_(owns) {}
+  ~Sink() {
+    if (owns_ && fd_ >= 0) {
+      close(fd_);
+    }
+  }
+  Sink(const Sink&) = delete;
+  Sink& operator=(const Sink&) = delete;
+
+  void write_line(std::string_view line) {
+    if (line.empty()) {
+      return;
+    }
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (dead_) {
+      return;
+    }
+    std::string frame(line);
+    frame += '\n';
+    std::size_t sent = 0;
+    while (sent < frame.size()) {
+      const ssize_t n = write(fd_, frame.data() + sent, frame.size() - sent);
+      if (n > 0) {
+        sent += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      dead_ = true;  // EPIPE, ECONNRESET, ... — the client's problem only
+      return;
+    }
+  }
+
+ private:
+  const int fd_;
+  const bool owns_;
+  std::mutex mutex_;
+  bool dead_ = false;
+};
+
+struct Job {
+  std::string line;
+  std::shared_ptr<Sink> sink;
+};
+
+/// Fixed-capacity MPMC queue. try_push never blocks (admission control
+/// sheds instead); pop blocks until a job or close-and-empty.
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  bool try_push(Job job) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || jobs_.size() >= capacity_) {
+        return false;
+      }
+      jobs_.push_back(std::move(job));
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  bool pop(Job& out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait(lock, [&] { return closed_ || !jobs_.empty(); });
+    if (jobs_.empty()) {
+      return false;
+    }
+    out = std::move(jobs_.front());
+    jobs_.pop_front();
+    return true;
+  }
+
+  void close() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+ private:
+  const std::size_t capacity_;
+  std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<Job> jobs_;
+  bool closed_ = false;
+};
+
+/// Reads newline-delimited frames from `fd`, enforcing the frame-size limit
+/// as bytes stream in: an overlong frame is discarded (never buffered past
+/// the limit) and reported through on_oversize once. Polls so the stop flag
+/// is honored within kPollMs. Returns on EOF, error or stop.
+template <typename OnLine, typename OnOversize>
+void read_frames(int fd, std::size_t max_bytes,
+                 const std::atomic<bool>& stop, OnLine on_line,
+                 OnOversize on_oversize) {
+  std::string current;
+  bool discarding = false;
+  char chunk[4096];
+  while (!stop.load(std::memory_order_relaxed)) {
+    struct pollfd pfd = {fd, POLLIN, 0};
+    const int ready = poll(&pfd, 1, kPollMs);
+    if (ready < 0 && errno != EINTR) {
+      return;
+    }
+    if (ready <= 0) {
+      continue;
+    }
+    const ssize_t n = read(fd, chunk, sizeof chunk);
+    if (n == 0) {
+      if (!current.empty() && !discarding) {
+        on_line(current);  // final unterminated frame
+      }
+      return;
+    }
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) {
+        continue;
+      }
+      return;
+    }
+    std::size_t begin = 0;
+    for (ssize_t i = 0; i < n; ++i) {
+      if (chunk[i] != '\n') {
+        continue;
+      }
+      if (discarding) {
+        discarding = false;
+      } else {
+        current.append(chunk + begin, chunk + i);
+        on_line(current);
+      }
+      current.clear();
+      begin = static_cast<std::size_t>(i) + 1;
+    }
+    if (!discarding) {
+      current.append(chunk + begin, chunk + static_cast<std::size_t>(n));
+      if (current.size() > max_bytes) {
+        on_oversize(current.size());
+        current.clear();
+        current.shrink_to_fit();
+        discarding = true;
+      }
+    }
+  }
+}
+
+int make_listen_socket(const std::string& path, std::string& error) {
+  struct sockaddr_un addr = {};
+  if (path.size() >= sizeof(addr.sun_path)) {
+    error = "socket path too long: " + path;
+    return -1;
+  }
+  const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    error = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  unlink(path.c_str());  // replace a stale socket from a crashed run
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof addr) != 0) {
+    error = "bind " + path + ": " + std::strerror(errno);
+    close(fd);
+    return -1;
+  }
+  if (listen(fd, 64) != 0) {
+    error = "listen " + path + ": " + std::strerror(errno);
+    close(fd);
+    unlink(path.c_str());
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace
+
+/// State shared with detached reader threads. shared_ptr-held so a reader
+/// finishing a hair after run() returns never touches freed memory.
+struct ServerImpl {
+  explicit ServerImpl(Server& server)
+      : config(server.config_),
+        engine(server.engine_),
+        stop(server.stop_),
+        shed(server.shed_),
+        queue(server.config_.queue_capacity) {}
+
+  const ServerConfig& config;
+  Engine& engine;
+  std::atomic<bool>& stop;
+  std::atomic<std::uint64_t>& shed;
+  BoundedQueue queue;
+
+  std::mutex readers_mutex;
+  std::condition_variable readers_done;
+  std::size_t active_readers = 0;
+
+  void shed_frame(Sink& sink) {
+    shed.fetch_add(1, std::memory_order_relaxed);
+    obs::counter("serve.shed").add();
+    sink.write_line(error_response(
+        "null", wire::kOverloaded,
+        "request queue is full; retry after the hinted delay",
+        config.retry_after_ms));
+  }
+
+  /// One connection's read loop: frame → queue (or shed), oversize → typed
+  /// error. The final frames of a connection still get responses: the sink
+  /// outlives the reader via the queued jobs' shared_ptr.
+  void serve_connection(const std::shared_ptr<Sink>& sink, int read_fd) {
+    read_frames(
+        read_fd, config.engine.max_request_bytes, stop,
+        [&](const std::string& line) {
+          if (line.find_first_not_of(" \t\r") == std::string::npos) {
+            return;
+          }
+          if (!queue.try_push(Job{line, sink})) {
+            shed_frame(*sink);
+          }
+        },
+        [&](std::size_t size) {
+          sink->write_line(error_response(
+              "null", wire::kTooLarge,
+              "request of at least " + std::to_string(size) +
+                  " bytes exceeds the limit of " +
+                  std::to_string(config.engine.max_request_bytes) +
+                  " bytes"));
+        });
+  }
+
+  void reader_started() {
+    const std::lock_guard<std::mutex> lock(readers_mutex);
+    ++active_readers;
+  }
+
+  void reader_finished() {
+    {
+      const std::lock_guard<std::mutex> lock(readers_mutex);
+      --active_readers;
+    }
+    readers_done.notify_all();
+  }
+
+  void wait_for_readers() {
+    std::unique_lock<std::mutex> lock(readers_mutex);
+    readers_done.wait(lock, [&] { return active_readers == 0; });
+  }
+
+  std::size_t reader_count() {
+    const std::lock_guard<std::mutex> lock(readers_mutex);
+    return active_readers;
+  }
+};
+
+Server::Server(ServerConfig config)
+    : config_(std::move(config)), engine_(config_.engine) {
+  if (pipe(stop_pipe_) != 0) {
+    stop_pipe_[0] = stop_pipe_[1] = -1;
+  }
+}
+
+Server::~Server() {
+  for (const int fd : stop_pipe_) {
+    if (fd >= 0) {
+      close(fd);
+    }
+  }
+}
+
+void Server::request_stop() {
+  if (stop_.exchange(true)) {
+    return;
+  }
+  if (stop_pipe_[1] >= 0) {
+    const unsigned char byte = 1;
+    [[maybe_unused]] const ssize_t n = write(stop_pipe_[1], &byte, 1);
+  }
+}
+
+int Server::run() {
+  std::signal(SIGPIPE, SIG_IGN);  // a gone client must not kill the daemon
+
+  auto impl = std::make_shared<ServerImpl>(*this);
+
+  // Workers: drain the queue through the engine. They keep running during
+  // drain until the queue is closed and empty.
+  std::vector<std::thread> workers;
+  const unsigned worker_count = config_.workers == 0 ? 1 : config_.workers;
+  std::atomic<unsigned> workers_busy{0};
+  for (unsigned i = 0; i < worker_count; ++i) {
+    workers.emplace_back([impl, &workers_busy] {
+      obs::set_thread_name("serve-worker");
+      while (true) {
+        // Scoped per iteration: the job's sink reference must drop before
+        // the worker blocks in pop() again, or an idle worker would hold a
+        // finished connection's fd open and its client would never see EOF.
+        Job job;
+        if (!impl->queue.pop(job)) {
+          break;
+        }
+        workers_busy.fetch_add(1, std::memory_order_relaxed);
+        const std::string response = impl->engine.handle_line(job.line);
+        job.sink->write_line(response);
+        workers_busy.fetch_sub(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // Periodic metrics dump (one JSON line to stderr) doubles as the span
+  // garbage collector for very long runs.
+  std::thread metrics_thread;
+  std::mutex metrics_mutex;
+  std::condition_variable metrics_wake;
+  if (config_.metrics_interval_s > 0.0) {
+    metrics_thread = std::thread([this, &metrics_mutex, &metrics_wake] {
+      const auto interval = std::chrono::duration<double>(
+          config_.metrics_interval_s);
+      std::unique_lock<std::mutex> lock(metrics_mutex);
+      while (!metrics_wake.wait_for(lock, interval, [this] {
+        return stop_.load(std::memory_order_relaxed);
+      })) {
+        dump_metrics_line();
+        obs::drop_spans();
+      }
+    });
+  }
+
+  int exit_code = 0;
+  if (config_.socket_path.empty()) {
+    // stdio mode: fd 0 is the one connection; EOF initiates drain.
+    auto sink = std::make_shared<Sink>(STDOUT_FILENO, /*owns=*/false);
+    impl->reader_started();
+    impl->serve_connection(sink, STDIN_FILENO);
+    impl->reader_finished();
+    request_stop();
+  } else {
+    std::string error;
+    const int listen_fd = make_listen_socket(config_.socket_path, error);
+    if (listen_fd < 0) {
+      std::fprintf(stderr, "dvfc serve: %s\n", error.c_str());
+      stop_.store(true, std::memory_order_relaxed);
+      exit_code = 1;
+    } else {
+      while (!stop_.load(std::memory_order_relaxed)) {
+        struct pollfd pfds[2] = {{listen_fd, POLLIN, 0},
+                                 {stop_pipe_[0], POLLIN, 0}};
+        const int ready = poll(pfds, stop_pipe_[0] >= 0 ? 2 : 1, kPollMs);
+        if (ready < 0 && errno != EINTR) {
+          break;
+        }
+        if (ready <= 0 || (pfds[0].revents & POLLIN) == 0) {
+          continue;
+        }
+        const int conn_fd = accept(listen_fd, nullptr, nullptr);
+        if (conn_fd < 0) {
+          continue;
+        }
+        auto sink = std::make_shared<Sink>(conn_fd, /*owns=*/true);
+        if (impl->reader_count() >= config_.max_connections) {
+          shed_.fetch_add(1, std::memory_order_relaxed);
+          obs::counter("serve.shed").add();
+          sink->write_line(error_response(
+              "null", wire::kOverloaded,
+              "connection limit reached; retry after the hinted delay",
+              config_.retry_after_ms));
+          continue;  // sink destructor closes the connection
+        }
+        impl->reader_started();
+        std::thread([impl, sink, conn_fd] {
+          obs::set_thread_name("serve-reader");
+          impl->serve_connection(sink, conn_fd);
+          impl->reader_finished();
+        }).detach();
+      }
+      close(listen_fd);
+      unlink(config_.socket_path.c_str());
+    }
+  }
+
+  // Drain: no new frames arrive (listener closed / stdin at EOF; readers
+  // notice the stop flag within kPollMs). Queued and in-flight requests
+  // finish under their own deadlines capped by the remaining grace window;
+  // whatever still runs when the window closes is cancelled and returns
+  // deadline_exceeded.
+  engine_.begin_drain(config_.drain_grace_s);
+  impl->wait_for_readers();
+  impl->queue.close();
+  const auto grace_end =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(config_.drain_grace_s));
+  while (workers_busy.load(std::memory_order_relaxed) != 0 &&
+         std::chrono::steady_clock::now() < grace_end) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  engine_.cancel_in_flight();
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+  if (metrics_thread.joinable()) {
+    metrics_wake.notify_all();
+    metrics_thread.join();
+  }
+  dump_metrics_line();
+  return exit_code;
+}
+
+void Server::dump_metrics_line() {
+  std::string line = "{\"serve\":" + engine_.stats_json() + ",\"shed\":" +
+                     std::to_string(shed_count()) + ",\"metrics\":" +
+                     obs::render_metrics_json(obs::snapshot_metrics()) + "}";
+  std::fprintf(stderr, "%s\n", line.c_str());
+  std::fflush(stderr);
+}
+
+}  // namespace dvf::serve

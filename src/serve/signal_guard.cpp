@@ -1,0 +1,99 @@
+#include "dvf/serve/signal_guard.hpp"
+
+#include <cerrno>
+#include <csignal>
+#include <unistd.h>
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace dvf::serve {
+
+namespace {
+
+// Process-wide signal plumbing. The pipe and the watcher thread are
+// installed once (first SignalGuard) and live until process exit: POSIX
+// offers no safe way to tear down a signal handler racing with delivery,
+// and a parked watcher thread costs nothing.
+int g_pipe_write_fd = -1;
+std::atomic<unsigned long long> g_signals_seen{0};
+
+std::mutex g_stack_mutex;
+std::vector<std::function<void(int)>>& callback_stack() {
+  static std::vector<std::function<void(int)>> stack;
+  return stack;
+}
+
+extern "C" void on_signal(int signo) {
+  // Async-signal-safe only: one write. If the pipe is full the byte is
+  // dropped — the watcher is already awake and signals_seen still advances.
+  g_signals_seen.fetch_add(1, std::memory_order_relaxed);
+  const unsigned char byte = static_cast<unsigned char>(signo);
+  [[maybe_unused]] const ssize_t n = write(g_pipe_write_fd, &byte, 1);
+}
+
+void watcher_loop(int read_fd) {
+  for (;;) {
+    unsigned char byte = 0;
+    const ssize_t n = read(read_fd, &byte, 1);
+    if (n == 1) {
+      std::function<void(int)> callback;
+      {
+        const std::lock_guard<std::mutex> lock(g_stack_mutex);
+        if (!callback_stack().empty()) {
+          callback = callback_stack().back();
+        }
+      }
+      if (callback) {
+        callback(static_cast<int>(byte));
+      }
+      continue;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    return;  // pipe closed — process is exiting
+  }
+}
+
+void install_once() {
+  static std::once_flag flag;
+  std::call_once(flag, [] {
+    int fds[2] = {-1, -1};
+    if (pipe(fds) != 0) {
+      return;  // degrade: signals keep their default disposition
+    }
+    g_pipe_write_fd = fds[1];
+    std::thread(watcher_loop, fds[0]).detach();
+    struct sigaction action = {};
+    action.sa_handler = on_signal;
+    sigemptyset(&action.sa_mask);
+    action.sa_flags = SA_RESTART;
+    sigaction(SIGINT, &action, nullptr);
+    sigaction(SIGTERM, &action, nullptr);
+  });
+}
+
+}  // namespace
+
+SignalGuard::SignalGuard(std::function<void(int)> callback) {
+  install_once();
+  const std::lock_guard<std::mutex> lock(g_stack_mutex);
+  callback_stack().push_back(std::move(callback));
+}
+
+SignalGuard::~SignalGuard() {
+  const std::lock_guard<std::mutex> lock(g_stack_mutex);
+  if (!callback_stack().empty()) {
+    callback_stack().pop_back();
+  }
+}
+
+unsigned long long SignalGuard::signals_seen() noexcept {
+  return g_signals_seen.load(std::memory_order_relaxed);
+}
+
+}  // namespace dvf::serve

@@ -1,0 +1,152 @@
+// EvalBudget under concurrent chargers: the serve daemon shares one
+// request-scoped budget across DvfCalculator's parallel fan-out, so the
+// wall-clock deadline and cooperative cancellation must behave identically
+// no matter how many threads are charging — same verdict taxonomy, bounded
+// observation window, no lost wake-ups.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "dvf/common/budget.hpp"
+
+namespace {
+
+using dvf::ErrorKind;
+using dvf::EvalBudget;
+using dvf::EvalLimits;
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Runs `threads` chargers against one budget armed with `wall_seconds`.
+/// Each charger hammers charge_references until the budget errors, then
+/// reports (kind, when). The 10 s failsafe turns a lost deadline into a
+/// test failure rather than a hung suite.
+struct ChargerOutcome {
+  ErrorKind kind = ErrorKind::kDomainError;
+  double observed_at_s = 0.0;
+  bool errored = false;
+};
+
+std::vector<ChargerOutcome> run_chargers(unsigned threads,
+                                         double wall_seconds) {
+  EvalLimits limits;
+  limits.max_references = 0;  // disabled: only the deadline can fire
+  limits.max_expansion = 0;
+  limits.wall_seconds = wall_seconds;
+  EvalBudget budget(limits);
+
+  std::vector<ChargerOutcome> outcomes(threads);
+  const Clock::time_point start = Clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    workers.emplace_back([&budget, &outcomes, start, t] {
+      while (seconds_since(start) < 10.0) {
+        const dvf::Result<void> charged = budget.charge_references(128);
+        if (!charged.ok()) {
+          outcomes[t] = {charged.error().kind, seconds_since(start), true};
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+  return outcomes;
+}
+
+// Every charger observes the expired deadline, with the same classified
+// verdict, within a bounded window after expiry — across thread counts.
+TEST(BudgetConcurrency, AllChargersObserveDeadline) {
+  constexpr double kWall = 0.05;
+  // Generous bound: the loop re-checks every charge, so observation lag is
+  // scheduling noise, not algorithmic delay.
+  constexpr double kWindow = 2.0;
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    const std::vector<ChargerOutcome> outcomes =
+        run_chargers(threads, kWall);
+    for (unsigned t = 0; t < threads; ++t) {
+      SCOPED_TRACE("charger=" + std::to_string(t));
+      ASSERT_TRUE(outcomes[t].errored);
+      // Bit-identical taxonomy: deadline_exceeded for every charger at
+      // every thread count — never resource_limit, never a mixed verdict.
+      EXPECT_EQ(outcomes[t].kind, ErrorKind::kDeadlineExceeded);
+      EXPECT_GE(outcomes[t].observed_at_s, kWall);
+      EXPECT_LT(outcomes[t].observed_at_s, kWall + kWindow);
+    }
+  }
+}
+
+// cancel() from an unrelated thread is observed by every charger as the
+// same deadline_exceeded verdict an expired wall clock produces.
+TEST(BudgetConcurrency, CancelStopsConcurrentChargers) {
+  EvalLimits limits;
+  limits.max_references = 0;
+  limits.max_expansion = 0;
+  limits.wall_seconds = 0.0;  // no deadline: only cancel() can stop them
+  EvalBudget budget(limits);
+
+  constexpr unsigned kThreads = 4;
+  std::vector<ChargerOutcome> outcomes(kThreads);
+  const Clock::time_point start = Clock::now();
+  std::vector<std::thread> workers;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&budget, &outcomes, start, t] {
+      while (seconds_since(start) < 10.0) {
+        const dvf::Result<void> charged = budget.charge_references(1);
+        if (!charged.ok()) {
+          outcomes[t] = {charged.error().kind, seconds_since(start), true};
+          return;
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  budget.cancel();
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+  EXPECT_TRUE(budget.cancelled());
+  EXPECT_EQ(budget.wall_remaining_seconds(), 0.0);
+  for (unsigned t = 0; t < kThreads; ++t) {
+    SCOPED_TRACE("charger=" + std::to_string(t));
+    ASSERT_TRUE(outcomes[t].errored);
+    EXPECT_EQ(outcomes[t].kind, ErrorKind::kDeadlineExceeded);
+    EXPECT_LT(outcomes[t].observed_at_s, 5.0);
+  }
+}
+
+TEST(BudgetConcurrency, WallRemainingSeconds) {
+  EvalBudget unarmed;
+  EXPECT_TRUE(std::isinf(unarmed.wall_remaining_seconds()));
+
+  EvalLimits limits;
+  limits.wall_seconds = 30.0;
+  EvalBudget armed(limits);
+  const double remaining = armed.wall_remaining_seconds();
+  EXPECT_GT(remaining, 0.0);
+  EXPECT_LE(remaining, 30.0);
+
+  armed.cancel();
+  EXPECT_EQ(armed.wall_remaining_seconds(), 0.0);
+}
+
+TEST(BudgetConcurrency, ResetClearsCancellation) {
+  EvalBudget budget;
+  budget.cancel();
+  EXPECT_FALSE(budget.check_deadline().ok());
+  budget.reset();
+  EXPECT_FALSE(budget.cancelled());
+  EXPECT_TRUE(budget.check_deadline().ok());
+}
+
+}  // namespace

@@ -145,6 +145,45 @@ else
 fi
 rm -f "$TMP_MODEL" "$stderr_file"
 
+# --- dvfc serve: transport selection is bad usage, stdio batch works --------
+# Exactly one of --socket/--stdio must be given.
+expect_exit 2 "exactly one transport" serve
+expect_exit 2 "exactly one transport" serve --stdio --socket /tmp/x.sock
+expect_exit 2 "unknown option" serve --stdio --frobnicate 1
+expect_exit 2 "must be positive" serve --stdio --queue 0
+expect_exit 2 "must be positive" serve --stdio --max-connections 0
+# A stdio batch: every frame gets a response line, EOF drains cleanly (exit
+# 0), and the duplicate source is served from the compiled-model cache.
+stderr_file=$(mktemp)
+out_file=$(mktemp)
+printf '%s\n%s\n%s\n%s\n' \
+  '{"id":1,"op":"ping"}' \
+  '{"id":2,"op":"eval","source":"model \"m\" { time 1; data A { elements 8; element_size 8; } pattern A stream { stride 1; } }"}' \
+  '{"id":3,"op":"eval","source":"model \"m\" { time 1; data A { elements 8; element_size 8; } pattern A stream { stride 1; } }"}' \
+  'this is not json' \
+  | "$DVFC" serve --stdio --workers 2 >"$out_file" 2>"$stderr_file"
+code=$?
+if [ "$code" -ne 0 ]; then
+  echo "FAIL: dvfc serve --stdio batch -> exit $code, want 0" >&2
+  sed 's/^/  stderr: /' "$stderr_file" >&2
+  FAILURES=$((FAILURES + 1))
+elif [ "$(wc -l <"$out_file")" -ne 4 ]; then
+  echo "FAIL: dvfc serve --stdio batch: want 4 response lines" >&2
+  sed 's/^/  out: /' "$out_file" >&2
+  FAILURES=$((FAILURES + 1))
+elif ! grep -q '"cache":"hit"' "$out_file"; then
+  echo "FAIL: dvfc serve --stdio batch: duplicate source did not hit cache" >&2
+  sed 's/^/  out: /' "$out_file" >&2
+  FAILURES=$((FAILURES + 1))
+elif ! grep -q '"kind":"parse_error"' "$out_file"; then
+  echo "FAIL: dvfc serve --stdio batch: garbage frame not a parse_error" >&2
+  sed 's/^/  out: /' "$out_file" >&2
+  FAILURES=$((FAILURES + 1))
+else
+  echo "ok: dvfc serve --stdio batch (4 responses, cache hit, typed errors)"
+fi
+rm -f "$out_file" "$stderr_file"
+
 # --- no-argument invocation prints usage and exits 2 ------------------------
 "$DVFC" >/dev/null 2>&1
 if [ $? -ne 2 ]; then

@@ -18,7 +18,10 @@
 //                                             DVF-profile the built-in
 //                                             kernel suite (N workers; 0 =
 //                                             DVF_THREADS env or hardware)
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <charconv>
 #include <cmath>
 #include <cstdint>
@@ -27,6 +30,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -53,6 +57,8 @@
 #include "dvf/patterns/estimate.hpp"
 #include "dvf/machine/cache_config.hpp"
 #include "dvf/report/table.hpp"
+#include "dvf/serve/server.hpp"
+#include "dvf/serve/signal_guard.hpp"
 #include "dvf/trace/trace_io.hpp"
 #include "dvf/trace/trace_reader.hpp"
 
@@ -93,7 +99,7 @@ struct Args {
 /// its optional mode is attached with `=` (--metrics=json).
 bool is_boolean_flag(const std::string& name) {
   return name == "json" || name == "werror" || name == "csv" ||
-         name == "resume" || name == "metrics";
+         name == "resume" || name == "metrics" || name == "stdio";
 }
 
 Args parse_args(int argc, char** argv) {
@@ -237,6 +243,10 @@ bool options_recognized(const Args& args) {
       {"campaign",
        {"trials", "seed", "threads", "journal", "resume", "ci-width",
         "hang-factor", "batch", "json"}},
+      {"serve",
+       {"socket", "stdio", "workers", "queue", "cache", "max-request-bytes",
+        "default-deadline", "max-deadline", "max-connections",
+        "retry-after-ms", "drain-grace", "metrics-interval"}},
   };
   const auto it = kAllowed.find(args.command);
   if (it == kAllowed.end()) {
@@ -370,6 +380,18 @@ int usage() {
       "                                        derive pattern specs from a\n"
       "                                        trace and compare estimates\n"
       "                                        against its replay\n"
+      "  serve [--socket PATH | --stdio] [--workers N] [--queue N]\n"
+      "        [--cache N] [--max-request-bytes N] [--default-deadline S]\n"
+      "        [--max-deadline S] [--max-connections N] [--retry-after-ms N]\n"
+      "        [--drain-grace S] [--metrics-interval S]\n"
+      "                                        evaluation daemon speaking\n"
+      "                                        newline-delimited JSON over a\n"
+      "                                        Unix socket (--stdio: stdin/\n"
+      "                                        stdout pipe mode); bounded\n"
+      "                                        queue with overload shedding,\n"
+      "                                        per-request deadlines, LRU\n"
+      "                                        compiled-model cache, graceful\n"
+      "                                        SIGTERM drain (docs/serve.md)\n"
       "global options (every command):\n"
       "  --trace FILE                          write a Chrome trace-event\n"
       "                                        JSON file (chrome://tracing,\n"
@@ -955,6 +977,53 @@ int cmd_infer(const Args& args) {
   return 0;
 }
 
+// dvfc serve — the evaluation daemon (docs/serve.md). Runs until SIGTERM/
+// SIGINT (graceful drain) or, in --stdio mode, until stdin reaches EOF.
+int cmd_serve(const Args& args) {
+  const bool stdio = args.flag("stdio");
+  const std::string socket_path = args.option("socket", "");
+  if (stdio == !socket_path.empty()) {
+    throw BadUsage{"serve needs exactly one transport: --socket PATH or "
+                   "--stdio"};
+  }
+
+  dvf::serve::ServerConfig config;
+  config.socket_path = socket_path;
+  config.workers = numeric_option(args, "workers", 2);
+  config.queue_capacity = numeric_option(args, "queue", 64);
+  config.max_connections = numeric_option(args, "max-connections", 64);
+  config.retry_after_ms = numeric_option(args, "retry-after-ms", 100);
+  config.drain_grace_s = real_option(args, "drain-grace", 5.0);
+  config.metrics_interval_s = real_option(args, "metrics-interval", 0.0);
+  config.engine.cache_capacity = numeric_option(args, "cache", 256);
+  config.engine.max_request_bytes =
+      numeric_option(args, "max-request-bytes", 1u << 20);
+  config.engine.default_deadline_s =
+      real_option(args, "default-deadline", 10.0);
+  config.engine.max_deadline_s = real_option(args, "max-deadline", 60.0);
+  if (config.queue_capacity == 0 || config.max_connections == 0 ||
+      config.engine.max_request_bytes == 0) {
+    throw BadUsage{"--queue, --max-connections and --max-request-bytes must "
+                   "be positive"};
+  }
+
+  // The daemon's counters (cache hit/miss, shed, per-kind errors) are the
+  // product, not a debugging aid: always record.
+  dvf::obs::set_enabled(true);
+
+  dvf::serve::Server server(config);
+  // First signal: graceful drain. Second: the operator means it — exit now.
+  auto signals = std::make_shared<std::atomic<int>>(0);
+  dvf::serve::SignalGuard guard([&server, signals](int signo) {
+    if (signals->fetch_add(1) == 0) {
+      server.request_stop();
+    } else {
+      _exit(128 + signo);
+    }
+  });
+  return server.run();
+}
+
 int run_command(const Args& args) {
   try {
     if (!options_recognized(args)) {
@@ -996,6 +1065,9 @@ int run_command(const Args& args) {
     if (args.command == "infer") {
       return cmd_infer(args);
     }
+    if (args.command == "serve") {
+      return cmd_serve(args);
+    }
     return usage();
   } catch (const BadUsage& err) {
     std::cerr << "dvfc: " << err.message
@@ -1029,6 +1101,17 @@ int main(int argc, char** argv) {
   dvf::EvalBudget deadline_budget(limits);  // arms the deadline when > 0
   if (deadline.seconds > 0.0) {
     g_eval_budget = &deadline_budget;
+  }
+  // A SIGINT/SIGTERM mid-run must not lose the observability data collected
+  // so far: flush the requested trace/metrics sinks, then exit with the
+  // conventional signal code. `dvfc serve` pushes its own drain handler on
+  // top of this one and pops it when the drain completes.
+  std::optional<dvf::serve::SignalGuard> flush_guard;
+  if (obs_request.active()) {
+    flush_guard.emplace([&obs_request, &args](int signo) {
+      emit_obs(obs_request, args.command);
+      _exit(128 + signo);
+    });
   }
   int code = run_command(args);
   // Flush trace/metrics even when the command failed (code 1/3): a failing
