@@ -36,6 +36,7 @@
 #include "dvf/patterns/reuse.hpp"
 #include "dvf/patterns/streaming.hpp"
 #include "dvf/patterns/template_access.hpp"
+#include "dvf/patterns/tiled.hpp"
 #include "dvf/serve/engine.hpp"
 #include "dvf/serve/json.hpp"
 #include "dvf/serve/protocol.hpp"
@@ -156,8 +157,8 @@ std::string random_expr(Xoshiro256& rng, int depth) {
 void append_pattern(std::string& out, const std::string& data,
                     Xoshiro256& rng) {
   static const char* const kKinds[] = {"stream", "random", "template",
-                                       "reuse", "stream", "banana"};
-  const std::string kind = kKinds[rng.below(6)];
+                                       "reuse",  "tiled",  "stream", "banana"};
+  const std::string kind = kKinds[rng.below(7)];
   out += "  pattern " + data + " " + kind + " { ";
   if (kind == "stream") {
     out += "stride " + random_expr(rng, 1) + "; ";
@@ -177,6 +178,18 @@ void append_pattern(std::string& out, const std::string& data,
     out += "rounds " + random_number_literal(rng) + "; ";
     if (rng.below(2) == 0) {
       out += "other_bytes " + random_number_literal(rng) + "; ";
+    }
+  } else if (kind == "tiled") {
+    out += "tile (" + random_number_literal(rng) + ", " +
+           random_number_literal(rng) + "); ";
+    out += "rows " + random_expr(rng, 1) + "; ";
+    if (rng.below(2) == 0) out += "cols " + random_number_literal(rng) + "; ";
+    if (rng.below(2) == 0) out += "passes " + random_number_literal(rng) + "; ";
+    if (rng.below(3) == 0) {
+      out += "intra_reuse " + random_number_literal(rng) + "; ";
+    }
+    if (rng.below(3) == 0) {
+      out += "ratio 0." + std::to_string(rng.below(10)) + "; ";
     }
   } else {
     out += random_name(rng) + " " + random_number_literal(rng) + "; ";
@@ -363,7 +376,7 @@ std::uint32_t adversarial_u32(Xoshiro256& rng) {
 }
 
 PatternSpec adversarial_spec(Xoshiro256& rng) {
-  switch (rng.below(4)) {
+  switch (rng.below(5)) {
     case 0: {
       StreamingSpec s;
       s.element_bytes = adversarial_u32(rng);
@@ -394,6 +407,18 @@ PatternSpec adversarial_spec(Xoshiro256& rng) {
       for (std::uint64_t i = rng.below(64); i > 0; --i) {
         s.element_indices.push_back(adversarial_u64(rng));
       }
+      return s;
+    }
+    case 3: {
+      TiledSpec s;
+      s.element_bytes = adversarial_u32(rng);
+      s.rows = adversarial_u64(rng);
+      s.cols = adversarial_u64(rng);
+      s.tile_rows = adversarial_u64(rng);
+      s.tile_cols = adversarial_u64(rng);
+      s.intra_reuse = adversarial_u64(rng);
+      s.passes = adversarial_u64(rng);
+      s.cache_ratio = adversarial_double(rng);
       return s;
     }
     default: {
@@ -702,6 +727,83 @@ void check_oracle_reuse(const std::string& label, Xoshiro256& rng,
                        " other=" + std::to_string(spec.other_bytes) +
                        " rounds=" + std::to_string(spec.reuse_rounds),
                    "reuse", predicted, simulated, kReuseOracleTolerance);
+  }
+}
+
+void check_oracle_tiled(const std::string& label, Xoshiro256& rng,
+                        FuzzReport& report, const FuzzOptions& options) {
+  // The three closed-form regimes of the tiled model, each kept away from
+  // the capacity boundary (docs/resilience.md "Differential oracle"):
+  // the whole matrix fits (compulsory misses only), a small tile sweeping
+  // a matrix several times the cache (each pass re-streams the footprint,
+  // intra-tile re-reads hit), and a single tile that itself exceeds the
+  // cache (the LRU cyclic-scan pathology: every sweep misses fully). Tile
+  // widths are line-aligned (tc * 8 a multiple of the 32-byte line) and
+  // column counts stay below 256 so row strides never alias whole sets.
+  TiledSpec spec;
+  spec.element_bytes = 8;
+  std::uint64_t tiles_r = 1;
+  std::uint64_t tiles_c = 1;
+  switch (rng.below(3)) {
+    case 0: {  // matrix fits in half the 8 KiB cache
+      spec.tile_rows = 1 + rng.below(4);          // 1..4
+      spec.tile_cols = 4 * (1 + rng.below(3));    // 4, 8, 12
+      tiles_r = 1 + rng.below(3);
+      tiles_c = 1 + rng.below(2);
+      spec.passes = 1 + rng.below(2);
+      spec.intra_reuse = rng.below(3);
+      break;
+    }
+    case 1: {  // cache-fitting tile, matrix >= 4x the cache
+      spec.tile_rows = 2 + rng.below(7);          // 2..8
+      spec.tile_cols = 4 * (1 + rng.below(4));    // 4..16
+      tiles_c = 4 + rng.below(8);                 // cols 16..176 (< 256)
+      const std::uint64_t cols = spec.tile_cols * tiles_c;
+      const std::uint64_t min_rows = 4096 / cols + 1;  // footprint > 32 KiB
+      tiles_r = min_rows / spec.tile_rows + 1 + rng.below(3);
+      spec.passes = 1 + rng.below(2);
+      spec.intra_reuse = rng.below(3);
+      break;
+    }
+    default: {  // one whole-matrix tile >= 2x the cache
+      spec.tile_rows = 32 + rng.below(33);          // 32..64
+      spec.tile_cols = 4 * (16 + rng.below(16));    // 64..124 (< 256)
+      spec.passes = 1 + rng.below(2);
+      spec.intra_reuse = rng.below(3);
+      break;
+    }
+  }
+  spec.rows = spec.tile_rows * tiles_r;
+  spec.cols = spec.tile_cols * tiles_c;
+
+  const CacheConfig cache = cache8k();
+  CacheSimulator sim(cache);
+  for (std::uint64_t pass = 0; pass < spec.passes; ++pass) {
+    for (std::uint64_t bi = 0; bi < tiles_r; ++bi) {
+      for (std::uint64_t bj = 0; bj < tiles_c; ++bj) {
+        for (std::uint64_t sweep = 0; sweep <= spec.intra_reuse; ++sweep) {
+          for (std::uint64_t r = 0; r < spec.tile_rows; ++r) {
+            const std::uint64_t row = bi * spec.tile_rows + r;
+            for (std::uint64_t c = 0; c < spec.tile_cols; ++c) {
+              const std::uint64_t col = bj * spec.tile_cols + c;
+              sim.on_load(0, (row * spec.cols + col) * 8, 8);
+            }
+          }
+        }
+      }
+    }
+  }
+  const double predicted = try_estimate_tiled(spec, cache).value_or_throw();
+  const double simulated = static_cast<double>(sim.stats(0).misses);
+  if (math::relative_error(predicted, simulated) > kTiledOracleTolerance) {
+    oracle_finding(report, options,
+                   label + " rows=" + std::to_string(spec.rows) +
+                       " cols=" + std::to_string(spec.cols) + " tile=" +
+                       std::to_string(spec.tile_rows) + "x" +
+                       std::to_string(spec.tile_cols) +
+                       " passes=" + std::to_string(spec.passes) +
+                       " intra=" + std::to_string(spec.intra_reuse),
+                   "tiled", predicted, simulated, kTiledOracleTolerance);
   }
 }
 
@@ -1267,10 +1369,11 @@ FuzzReport fuzz_oracle(const FuzzOptions& options) {
   for (std::uint64_t c = 0; c < options.cases && !box.expired(); ++c) {
     const std::string label = "[oracle case " + std::to_string(c) + "]";
     try {
-      switch (rng.below(4)) {
+      switch (rng.below(5)) {
         case 0: check_oracle_streaming(label, rng, report, options); break;
         case 1: check_oracle_random(label, rng, report, options); break;
         case 2: check_oracle_template(label, rng, report, options); break;
+        case 3: check_oracle_tiled(label, rng, report, options); break;
         default: check_oracle_reuse(label, rng, report, options); break;
       }
     } catch (const std::exception& err) {

@@ -1,17 +1,23 @@
 #!/usr/bin/env python3
 """Documentation consistency checker (wired into CI).
 
-Two passes over every tracked ``*.md`` file:
+Three passes:
 
-1. **Links** — every relative markdown link ``[text](target)`` must point
-   at a file (or directory) that exists, anchors stripped. Absolute URLs
-   (``http(s):``, ``mailto:``) and pure in-page anchors are skipped, as
-   are links inside fenced code blocks.
+1. **Links** — every relative markdown link ``[text](target)`` in every
+   tracked ``*.md`` file must point at a file (or directory) that
+   exists, anchors stripped. Absolute URLs (``http(s):``, ``mailto:``)
+   and pure in-page anchors are skipped, as are links inside fenced
+   code blocks.
 
 2. **dvfc flags** — every ``--flag`` token that appears after the word
    ``dvfc`` inside inline code or a fenced code block must be reported by
    ``dvfc help`` (the usage text; flag set passed via --dvfc). Docs
    drifting ahead of (or behind) the CLI fail the build.
+
+3. **README doc index** — the README's "Documentation" section must link
+   every tracked ``docs/*.md`` file and must not link a ``docs/`` path
+   that does not exist: a new doc nobody indexed, or a stale entry for a
+   deleted one, fails the build.
 
 Usage:
     scripts/check_docs.py [--dvfc PATH_TO_DVFC] [FILES...]
@@ -92,6 +98,46 @@ def check_file(path: pathlib.Path, root: pathlib.Path,
     return errors
 
 
+def check_readme_doc_index(root: pathlib.Path) -> list[str]:
+    """Pass 3: README's Documentation section vs the docs/ files on disk."""
+    readme = root / "README.md"
+    if not readme.exists():
+        return ["README.md: missing (cannot check the doc index)"]
+    on_disk = {
+        f"docs/{p.name}"
+        for p in git_markdown_files(root)
+        if p.parent == root / "docs"
+    }
+    listed: set[str] = set()
+    in_section = False
+    section_line = None
+    for lineno, line in enumerate(
+            readme.read_text(encoding="utf-8").splitlines(), start=1):
+        if line.startswith("#"):
+            in_section = line.lstrip("#").strip() == "Documentation"
+            if in_section:
+                section_line = lineno
+            continue
+        if not in_section:
+            continue
+        for target in LINK_RE.findall(line):
+            clean = target.split("#")[0]
+            if clean.startswith("docs/") and clean.endswith(".md"):
+                listed.add(clean)
+    if section_line is None:
+        return ["README.md: no 'Documentation' section found"]
+    errors = []
+    for missing in sorted(on_disk - listed):
+        errors.append(
+            f"README.md:{section_line}: Documentation section does not "
+            f"list {missing}")
+    for stale in sorted(listed - on_disk):
+        errors.append(
+            f"README.md:{section_line}: Documentation section links "
+            f"{stale}, which is not a tracked docs/ file")
+    return errors
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--dvfc", type=pathlib.Path, default=None,
@@ -112,9 +158,11 @@ def main() -> int:
     errors = []
     for path in files:
         errors.extend(check_file(path, root, known_flags))
+    errors.extend(check_readme_doc_index(root))
     for error in errors:
         print(error, file=sys.stderr)
-    checked = "links+flags" if known_flags is not None else "links"
+    checked = ("links+flags" if known_flags is not None else "links") + \
+        "+doc-index"
     print(f"check_docs: {len(files)} file(s), {checked}: "
           f"{'FAIL' if errors else 'OK'} ({len(errors)} error(s))")
     return 1 if errors else 0

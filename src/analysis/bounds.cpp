@@ -382,6 +382,47 @@ PatternFacts bounds_reuse(const ReuseSpec& spec, const CacheConfig& cache,
   return facts;
 }
 
+// ---- tiled ---------------------------------------------------------------
+//
+// Like streaming, the closed form is O(1) (its only budget use is the
+// deadline check and a single reference charge), so the transfer function
+// runs it outright: success is a point, failure under the quiet budget is a
+// budget-independent precondition, hence a provable rejection.
+PatternFacts bounds_tiled(const TiledSpec& spec, const CacheConfig& cache) {
+  PatternFacts facts;
+
+  EvalBudget quiet(quiet_limits());
+  const Result<double> r =
+      try_estimate_accesses(PatternSpec{spec}, cache, &quiet);
+  if (!r.ok()) {
+    mark_reject(facts, r.error().kind);
+    return facts;
+  }
+  facts.n_ha = Interval::point(*r);
+  facts.exact = true;
+
+  // The steady-state working set is one tile (clamped to the matrix edge,
+  // as the evaluator clamps); the share is the structure's cache_ratio
+  // slice. exceeds_share mirrors the evaluator's case-3 test: not even one
+  // tile fits, so every intra-tile re-read misses.
+  const std::uint64_t tr = std::min(spec.tile_rows, spec.rows);
+  const std::uint64_t tc = std::min(spec.tile_cols, spec.cols);
+  const std::uint64_t e = spec.element_bytes;
+  facts.capacity_blocks = to_u64_clamped(
+      static_cast<double>(cache.total_blocks()) * spec.cache_ratio);
+  if (tc <= kU64Max / e) {
+    const std::uint64_t seg_lines = math::ceil_div(tc * e, cache.line_bytes());
+    facts.working_set_blocks = tr <= kU64Max / seg_lines ? tr * seg_lines
+                                                         : kU64Max;
+    if (tr <= kU64Max / (tc * e)) {
+      const double share =
+          static_cast<double>(cache.capacity_bytes()) * spec.cache_ratio;
+      facts.exceeds_share = static_cast<double>(tr * tc * e) > share;
+    }
+  }
+  return facts;
+}
+
 PatternFacts facts_for(const PatternSpec& spec, const CacheConfig& cache,
                        bool refine_exact) {
   return std::visit(
@@ -393,6 +434,8 @@ PatternFacts facts_for(const PatternSpec& spec, const CacheConfig& cache,
           return bounds_random(s, cache, refine_exact);
         } else if constexpr (std::is_same_v<T, TemplateSpec>) {
           return bounds_template(s, cache, refine_exact);
+        } else if constexpr (std::is_same_v<T, TiledSpec>) {
+          return bounds_tiled(s, cache);
         } else {
           return bounds_reuse(s, cache, refine_exact);
         }
@@ -554,6 +597,8 @@ bool zero_steady_work(const PatternSpec& spec) noexcept {
                   s.sorted_visit_fractions.empty());
         } else if constexpr (std::is_same_v<T, TemplateSpec>) {
           return s.element_indices.empty() || s.repetitions == 0;
+        } else if constexpr (std::is_same_v<T, TiledSpec>) {
+          return false;  // passes >= 1 is a precondition; a sweep is work
         } else {
           return s.reuse_rounds == 0;
         }

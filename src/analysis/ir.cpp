@@ -61,6 +61,7 @@ enum : std::uint8_t {
   kTagRandom = 2,
   kTagTemplate = 3,
   kTagReuse = 4,
+  kTagTiled = 5,
 };
 
 void encode_spec(Fnv1a& h, const StreamingSpec& s) {
@@ -102,6 +103,18 @@ void encode_spec(Fnv1a& h, const ReuseSpec& s) {
   h.u64(s.reuse_rounds);
   h.byte(static_cast<std::uint8_t>(s.scenario));
   h.byte(static_cast<std::uint8_t>(s.occupancy));
+}
+
+void encode_spec(Fnv1a& h, const TiledSpec& s) {
+  h.byte(kTagTiled);
+  h.u32(s.element_bytes);
+  h.u64(s.rows);
+  h.u64(s.cols);
+  h.u64(s.tile_rows);
+  h.u64(s.tile_cols);
+  h.u64(s.intra_reuse);
+  h.u64(s.passes);
+  h.f64(s.cache_ratio);
 }
 
 std::uint64_t spec_key(const PatternSpec& spec) {
@@ -152,6 +165,14 @@ bool spec_equal(const PatternSpec& a, const PatternSpec& b) noexcept {
            ta->repetitions == tb.repetitions &&
            f64_equal(ta->cache_ratio, tb.cache_ratio) &&
            ta->distance == tb.distance;
+  }
+  if (const auto* ba = std::get_if<TiledSpec>(&a)) {
+    const auto& bb = std::get<TiledSpec>(b);
+    return ba->element_bytes == bb.element_bytes && ba->rows == bb.rows &&
+           ba->cols == bb.cols && ba->tile_rows == bb.tile_rows &&
+           ba->tile_cols == bb.tile_cols &&
+           ba->intra_reuse == bb.intra_reuse && ba->passes == bb.passes &&
+           f64_equal(ba->cache_ratio, bb.cache_ratio);
   }
   const auto& ua = std::get<ReuseSpec>(a);
   const auto& ub = std::get<ReuseSpec>(b);

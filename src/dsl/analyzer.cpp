@@ -550,9 +550,15 @@ class Analyzer {
       return true;
     }
 
+    if (pattern.kind == "tiled") {
+      return lower_tiled(pattern, props, context, decl_span, target,
+                         element_bytes.at(pattern.target),
+                         element_count.at(pattern.target));
+    }
+
     diags_.error(codes::kUnknownPatternKind, decl_span,
                  context + ": unknown pattern kind '" + pattern.kind +
-                     "' (expected stream|random|template|reuse)");
+                     "' (expected stream|random|template|reuse|tiled)");
     return false;
   }
 
@@ -646,6 +652,108 @@ class Analyzer {
     t.repetitions = *repeats;
     t.cache_ratio = *ratio;
     target->patterns.emplace_back(std::move(t));
+    return true;
+  }
+
+  bool lower_tiled(const PatternDecl& pattern, Properties& props,
+                   const std::string& context, SourceSpan decl_span,
+                   DataStructureSpec* target, std::uint32_t esize,
+                   std::uint64_t elements) {
+    // tile (TR, TC) — the blocking geometry; the only tuple tiled takes.
+    const KeyTuple* tile_tuple = nullptr;
+    bool tuples_ok = true;
+    for (const KeyTuple& tuple : pattern.tuples) {
+      if (tuple.key == "tile") {
+        tile_tuple = &tuple;
+      } else {
+        diags_.error(codes::kUnknownProperty, tuple_span(tuple),
+                     context + ": unknown tuple '" + tuple.key + "'",
+                     "tiled takes one 'tile (rows, cols)' tuple");
+        tuples_ok = false;
+      }
+    }
+    std::optional<std::uint64_t> tile_rows;
+    std::optional<std::uint64_t> tile_cols;
+    if (tile_tuple == nullptr) {
+      diags_.error(codes::kMissingProperty, decl_span,
+                   context + ": tiled needs a 'tile (rows, cols)' tuple");
+      tuples_ok = false;
+    } else if (tile_tuple->values.size() != 2) {
+      diags_.error(codes::kBadTuple, tuple_span(*tile_tuple),
+                   context + ": 'tile' takes exactly two components "
+                             "(rows, cols)");
+      tuples_ok = false;
+    } else {
+      const auto tr = eval(*tile_tuple->values[0]);
+      const auto tc = eval(*tile_tuple->values[1]);
+      if (tr && tc) {
+        tile_rows = count_of(tr, "tile rows", tuple_span(*tile_tuple));
+        tile_cols = count_of(tc, "tile cols", tuple_span(*tile_tuple));
+      }
+      if (!tile_rows || !tile_cols) {
+        tuples_ok = false;
+      } else if (*tile_rows == 0 || *tile_cols == 0) {
+        diags_.error(codes::kTiledGeometry, tuple_span(*tile_tuple),
+                     context + ": tile dimensions must be at least 1");
+        tuples_ok = false;
+      }
+    }
+
+    const auto rows = count_of(props.require("rows", decl_span), "rows",
+                               props.span("rows", decl_span));
+    std::optional<std::uint64_t> cols;
+    const bool cols_given = props.has("cols");
+    if (cols_given) {
+      cols = count_of(props.require("cols", decl_span), "cols",
+                      props.span("cols", decl_span));
+    }
+    const auto intra = count_of(props.get("intra_reuse", 0.0), "intra_reuse",
+                                props.span("intra_reuse", decl_span));
+    const auto passes = count_of(props.get("passes", 1.0), "passes",
+                                 props.span("passes", decl_span));
+    const auto ratio = props.get("ratio", 1.0);
+    props.reject_unknown();
+    if (!tuples_ok || !rows || (cols_given && !cols) || !intra || !passes ||
+        !ratio) {
+      return false;
+    }
+
+    // The matrix must tile the declared footprint exactly: rows * cols ==
+    // elements, with cols derived from the element count when omitted.
+    if (*rows == 0) {
+      diags_.error(codes::kTiledGeometry, props.span("rows", decl_span),
+                   context + ": rows must be at least 1");
+      return false;
+    }
+    if (!cols_given) {
+      if (elements % *rows != 0) {
+        diags_.error(codes::kTiledGeometry, props.span("rows", decl_span),
+                     context + ": rows (" + std::to_string(*rows) +
+                         ") does not divide the element count (" +
+                         std::to_string(elements) + ")",
+                     "give 'cols' explicitly or pick a divisor of the count");
+        return false;
+      }
+      cols = elements / *rows;
+    } else if (*cols == 0 || *rows > elements / *cols ||
+               *rows * *cols != elements) {
+      diags_.error(codes::kTiledGeometry, props.span("cols", decl_span),
+                   context + ": rows * cols must equal the declared element "
+                             "count (" +
+                       std::to_string(elements) + ")");
+      return false;
+    }
+
+    TiledSpec b;
+    b.element_bytes = esize;
+    b.rows = *rows;
+    b.cols = *cols;
+    b.tile_rows = *tile_rows;
+    b.tile_cols = *tile_cols;
+    b.intra_reuse = *intra;
+    b.passes = *passes;
+    b.cache_ratio = *ratio;
+    target->patterns.emplace_back(b);
     return true;
   }
 

@@ -64,6 +64,7 @@ inline constexpr const char* kInconsistentSize = "DVF-E015";
 inline constexpr const char* kConflictingMemorySpec = "DVF-E016";
 inline constexpr const char* kNegativeQuantity = "DVF-E017";
 inline constexpr const char* kNumberOverflow = "DVF-E018";
+inline constexpr const char* kTiledGeometry = "DVF-E019";
 inline constexpr const char* kUnusedParam = "DVF-W101";
 inline constexpr const char* kDataNeverAccessed = "DVF-W102";
 inline constexpr const char* kNoMachine = "DVF-W103";
@@ -75,8 +76,11 @@ inline constexpr const char* kCacheShareBelowElement = "DVF-W108";
 inline constexpr const char* kReuseOverflowsCache = "DVF-W109";
 inline constexpr const char* kTriviallyZeroDvf = "DVF-W110";
 inline constexpr const char* kEmptyModel = "DVF-W111";
+inline constexpr const char* kTileExceedsFootprint = "DVF-W112";
+inline constexpr const char* kTileNoReuse = "DVF-W113";
 inline constexpr const char* kReuseNoInterference = "DVF-N201";
 inline constexpr const char* kTemplateExceedsShare = "DVF-N202";
+inline constexpr const char* kTileExceedsShare = "DVF-N203";
 // A3xx: facts proved by the semantic analysis (dvfc analyze). Warnings and
 // notes only — a model that parses and lowers always analyzes.
 inline constexpr const char* kAnalysisDeadStructure = "DVF-A301";

@@ -252,7 +252,7 @@ void rule_data_never_accessed(LintContext& ctx) {
                 "' has no access pattern; it contributes footprint S_d but "
                 "zero N_ha",
             "attach a 'pattern " + name +
-                " <stream|random|template|reuse> { ... }' or drop it");
+                " <stream|random|template|reuse|tiled> { ... }' or drop it");
       }
     }
   }
@@ -386,7 +386,8 @@ void rule_random_feasibility(LintContext& ctx) {
 void rule_cache_share_range(LintContext& ctx) {
   for (const ModelDecl& model : ctx.ast.models) {
     for (const PatternDecl& pattern : model.patterns) {
-      if (pattern.kind != "random" && pattern.kind != "template") {
+      if (pattern.kind != "random" && pattern.kind != "template" &&
+          pattern.kind != "tiled") {
         continue;
       }
       const KeyValue* ratio_kv =
@@ -599,6 +600,128 @@ void rule_reuse_footprint(LintContext& ctx) {
   }
 }
 
+void rule_tiled_geometry(LintContext& ctx) {
+  for (const ModelDecl& model : ctx.ast.models) {
+    for (const PatternDecl& pattern : model.patterns) {
+      if (pattern.kind != "tiled") {
+        continue;
+      }
+      const auto it = ctx.data[&model].find(pattern.target);
+      if (it == ctx.data[&model].end()) {
+        continue;
+      }
+      const DataInfo& info = it->second;
+      const SourceSpan fallback{pattern.line, pattern.column, 7};
+
+      const KeyTuple* tile_tuple = nullptr;
+      for (const KeyTuple& tuple : pattern.tuples) {
+        if (tuple.key == "tile") tile_tuple = &tuple;
+      }
+      std::optional<std::uint64_t> tile_rows;
+      std::optional<std::uint64_t> tile_cols;
+      if (tile_tuple != nullptr && tile_tuple->values.size() == 2) {
+        const auto tr = ctx.eval(*tile_tuple->values[0]);
+        const auto tc = ctx.eval(*tile_tuple->values[1]);
+        if (tr && *tr >= 1.0 && *tr == std::floor(*tr) && *tr <= 9.0e15) {
+          tile_rows = static_cast<std::uint64_t>(*tr);
+        }
+        if (tc && *tc >= 1.0 && *tc == std::floor(*tc) && *tc <= 9.0e15) {
+          tile_cols = static_cast<std::uint64_t>(*tc);
+        }
+      }
+
+      const auto rows = ctx.count_prop(pattern.properties, "rows", 0.0);
+      std::optional<std::uint64_t> cols;
+      if (LintContext::find(pattern.properties, "cols") != nullptr) {
+        cols = ctx.count_prop(pattern.properties, "cols", 0.0);
+      } else if (rows && *rows > 0 && info.elements &&
+                 *info.elements % *rows == 0) {
+        cols = *info.elements / *rows;
+      }
+
+      // W112: a tile wider or taller than the matrix is vacuous blocking —
+      // the evaluator clamps to the matrix edge, so the declared geometry
+      // buys nothing.
+      if (tile_tuple != nullptr && tile_rows && tile_cols && rows && cols &&
+          *rows > 0 && *cols > 0 &&
+          (*tile_rows > *rows || *tile_cols > *cols)) {
+        ctx.diags.warning(
+            codes::kTileExceedsFootprint, tuple_span(*tile_tuple),
+            "tile (" + std::to_string(*tile_rows) + ", " +
+                std::to_string(*tile_cols) + ") over '" + pattern.target +
+                "' exceeds the " + std::to_string(*rows) + " x " +
+                std::to_string(*cols) +
+                " matrix; the tiling degenerates to a whole-matrix sweep",
+            "shrink the tile to at most the matrix dimensions");
+      }
+
+      // W113: a tile never re-read (one pass, no intra-tile reuse) gets no
+      // benefit from blocking; the streaming model says the same thing with
+      // fewer parameters.
+      const auto intra =
+          ctx.count_prop(pattern.properties, "intra_reuse", 0.0);
+      const auto passes = ctx.count_prop(pattern.properties, "passes", 1.0);
+      if (intra && passes && *intra == 0 && *passes == 1) {
+        ctx.diags.warning(
+            codes::kTileNoReuse, fallback,
+            "tiled pattern on '" + pattern.target +
+                "' has no reuse (passes 1, intra_reuse 0): a single cold "
+                "sweep that a stream pattern models with fewer parameters",
+            "add 'passes'/'intra_reuse', or use 'pattern " + pattern.target +
+                " stream { ... }'");
+      }
+
+      // N203: the tile itself overflows the structure's cache share — the
+      // blocking is mis-sized for the machine and every intra-tile re-read
+      // misses. The analysis' exceeds-share fact decides for compiled
+      // models; the AST footprint is the fallback.
+      const PatternProvenance* row = ctx.provenance_for(model.name, pattern);
+      const PatternSpec* phase =
+          row != nullptr ? ctx.lowered_phase(*row) : nullptr;
+      if (phase != nullptr && !std::holds_alternative<TiledSpec>(*phase)) {
+        phase = nullptr;
+      }
+      const SourceSpan note_span =
+          tile_tuple != nullptr ? tuple_span(*tile_tuple) : fallback;
+      const auto ratio = ctx.prop(pattern.properties, "ratio", 1.0);
+      for (const Machine& machine : ctx.program.machines) {
+        bool overflows = false;
+        std::uint64_t ws_blocks = 0;
+        std::uint64_t cap_blocks = 0;
+        if (phase != nullptr) {
+          const analysis::PatternFacts facts =
+              analysis::pattern_bounds(*phase, machine.llc, false);
+          overflows = facts.exceeds_share;
+          ws_blocks = facts.working_set_blocks;
+          cap_blocks = facts.capacity_blocks;
+        } else if (tile_rows && tile_cols && info.element_bytes && ratio &&
+                   *ratio > 0.0 && *ratio <= 1.0) {
+          const double tile_bytes = static_cast<double>(*tile_rows) *
+                                    static_cast<double>(*tile_cols) *
+                                    static_cast<double>(*info.element_bytes);
+          const double share =
+              *ratio * static_cast<double>(machine.llc.capacity_bytes());
+          overflows = tile_bytes > share;
+          ws_blocks = static_cast<std::uint64_t>(
+              std::ceil(tile_bytes / machine.llc.line_bytes()));
+          cap_blocks = static_cast<std::uint64_t>(
+              static_cast<double>(machine.llc.total_blocks()) * *ratio);
+        }
+        if (overflows) {
+          ctx.diags.note(
+              codes::kTileExceedsShare, note_span,
+              "one tile of '" + pattern.target + "' (" +
+                  std::to_string(ws_blocks) +
+                  " cache lines) exceeds its cache share on machine '" +
+                  machine.name + "' (" + std::to_string(cap_blocks) +
+                  " lines); every intra-tile re-read misses",
+              "shrink the tile or raise 'ratio'");
+        }
+      }
+    }
+  }
+}
+
 void rule_zero_work(LintContext& ctx) {
   const auto check = [&](const ModelDecl& model, const PatternDecl& pattern,
                          const char* key, const char* meaning) {
@@ -674,6 +797,7 @@ constexpr LintRule kRules[] = {
     {{"cache-share-range", "DVF-E014"}, rule_cache_share_range},
     {{"template-bounds", "DVF-E013,DVF-N202"}, rule_template_bounds},
     {{"reuse-footprint", "DVF-W109,DVF-N201"}, rule_reuse_footprint},
+    {{"tiled-geometry", "DVF-W112,DVF-W113,DVF-N203"}, rule_tiled_geometry},
     {{"zero-work", "DVF-W107"}, rule_zero_work},
     {{"unit-sanity", "DVF-W110"}, rule_unit_sanity},
 };

@@ -256,8 +256,9 @@ class KernelCaseAdapter final : public KernelCase {
 /// Table VI: the profiling-size instances of all six kernels.
 [[nodiscard]] std::vector<std::unique_ptr<KernelCase>> make_profiling_suite();
 
-/// The verification suite plus the beyond-paper kernels (currently CGS, the
-/// CSR sparse CG) — what the interactive tools expose.
+/// The verification suite plus the beyond-paper kernels (CGS, the CSR
+/// sparse CG, and GEMM, the tiled matmul) — what the interactive tools
+/// expose.
 [[nodiscard]] std::vector<std::unique_ptr<KernelCase>> make_extended_suite();
 
 /// One kernel's end-to-end DVF evaluation: measured execution time plus the

@@ -1,0 +1,92 @@
+// Tiled (blocked) dense matrix multiply C = A * B — the GEMM-style loop
+// nest behind the tiled/blocked access-pattern family. The ii/kk/jj tile
+// loops give each matrix a distinct tile-reuse signature the streaming and
+// reuse families cannot express:
+//   A: each (ii, kk) tile is held hot and re-read once per jj tile,
+//   B: the whole matrix is re-swept once per ii tile row, the hot tile
+//      re-read by every row of the C tile being produced,
+//   C: the accumulator tile is re-read/written once per kk step.
+#pragma once
+
+#include <cstdint>
+
+#include "dvf/dvf/model_spec.hpp"
+#include "dvf/kernels/kernel_common.hpp"
+#include "dvf/trace/aligned_buffer.hpp"
+#include "dvf/trace/registry.hpp"
+
+namespace dvf::kernels {
+
+class TiledMatmul {
+ public:
+  struct Config {
+    std::uint64_t n = 64;    ///< matrix order (n x n, row-major doubles)
+    std::uint64_t tile = 8;  ///< square tile edge; must divide n
+    std::uint64_t seed = 23;
+  };
+
+  explicit TiledMatmul(const Config& config);
+
+  /// C := A * B with the blocked ii/kk/jj nest; records every element
+  /// reference including the C-initialization sweep.
+  template <RecorderLike R>
+  void run(R& rec);
+
+  /// Aspen model: one tiled pattern per matrix (plus C's init stream),
+  /// with passes/intra_reuse read off the loop nest.
+  [[nodiscard]] ModelSpec model_spec() const;
+
+  [[nodiscard]] const DataStructureRegistry& registry() const noexcept {
+    return registry_;
+  }
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+  /// max_ij |C[i][j] - reference| — 0 on a clean run (the blocked nest
+  /// accumulates each element in the same k order as the reference).
+  [[nodiscard]] double solution_error() const;
+
+  void reset() noexcept {}  // run() rebuilds C from scratch
+  [[nodiscard]] double output_signature() const { return solution_error(); }
+
+ private:
+  Config config_;
+  AlignedBuffer<double> a_;
+  AlignedBuffer<double> b_;
+  AlignedBuffer<double> c_;
+  AlignedBuffer<double> exact_;
+  DataStructureRegistry registry_;
+  DsId a_id_ = 0;
+  DsId b_id_ = 0;
+  DsId c_id_ = 0;
+};
+
+template <RecorderLike R>
+void TiledMatmul::run(R& rec) {
+  const std::size_t n = config_.n;
+  const std::size_t t = config_.tile;
+
+  for (std::size_t idx = 0; idx < n * n; ++idx) {
+    c_[idx] = 0.0;
+    store(rec, c_id_, c_, idx);
+  }
+
+  for (std::size_t ii = 0; ii < n; ii += t) {
+    for (std::size_t kk = 0; kk < n; kk += t) {
+      for (std::size_t jj = 0; jj < n; jj += t) {
+        for (std::size_t i = ii; i < ii + t; ++i) {
+          for (std::size_t k = kk; k < kk + t; ++k) {
+            load(rec, a_id_, a_, i * n + k);
+            const double a = a_[i * n + k];
+            for (std::size_t j = jj; j < jj + t; ++j) {
+              load(rec, b_id_, b_, k * n + j);
+              load(rec, c_id_, c_, i * n + j);
+              c_[i * n + j] += a * b_[k * n + j];
+              store(rec, c_id_, c_, i * n + j);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace dvf::kernels

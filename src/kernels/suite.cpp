@@ -7,6 +7,7 @@
 #include "dvf/kernels/multigrid.hpp"
 #include "dvf/kernels/nbody.hpp"
 #include "dvf/kernels/sparse_cg.hpp"
+#include "dvf/kernels/tiled_matmul.hpp"
 #include "dvf/kernels/vm.hpp"
 
 namespace dvf::kernels {
@@ -140,6 +141,12 @@ std::vector<std::unique_ptr<KernelCase>> make_extended_suite() {
   cgs.max_iterations = 20;
   suite.push_back(make_case<SparseConjugateGradient>(
       "CGS", "Sparse linear algebra (CSR)", cgs));
+
+  TiledMatmul::Config gemm;
+  gemm.n = 64;
+  gemm.tile = 8;
+  suite.push_back(
+      make_case<TiledMatmul>("GEMM", "Dense linear algebra (blocked)", gemm));
 
   return suite;
 }

@@ -18,6 +18,8 @@ char pattern_letter(const PatternSpec& spec) noexcept {
           return 'r';
         } else if constexpr (std::is_same_v<T, TemplateSpec>) {
           return 't';
+        } else if constexpr (std::is_same_v<T, TiledSpec>) {
+          return 'b';
         } else {
           return 'u';
         }
@@ -38,6 +40,8 @@ Result<double> try_estimate_accesses(const PatternSpec& spec,
             return try_estimate_random(s, cache, budget);
           } else if constexpr (std::is_same_v<T, TemplateSpec>) {
             return try_estimate_template(s, cache, budget);
+          } else if constexpr (std::is_same_v<T, TiledSpec>) {
+            return try_estimate_tiled(s, cache, budget);
           } else {
             return try_estimate_reuse(s, cache, budget);
           }

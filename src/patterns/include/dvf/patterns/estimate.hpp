@@ -10,6 +10,7 @@
 #include "dvf/patterns/specs.hpp"
 #include "dvf/patterns/streaming.hpp"
 #include "dvf/patterns/template_access.hpp"
+#include "dvf/patterns/tiled.hpp"
 
 namespace dvf {
 

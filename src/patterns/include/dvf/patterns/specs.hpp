@@ -1,4 +1,5 @@
-// Parameter records for the four CGPMAC access-pattern classes (§III-C).
+// Parameter records for the CGPMAC access-pattern classes: the paper's four
+// (§III-C) plus the tiled/blocked extension for loop-nest kernels.
 //
 // A data structure's access behaviour is a composition of these specs; the
 // DVF engine sums the estimated main-memory accesses over the composition
@@ -110,12 +111,32 @@ struct ReuseSpec {
   ReuseOccupancy occupancy = ReuseOccupancy::kBernoulli;
 };
 
+/// Tiled/blocked access (extension beyond the paper): a row-major
+/// `rows × cols` matrix traversed tile by tile, the loop-nest shape of
+/// blocked GEMM and convolution kernels. Each of `passes` full sweeps
+/// visits every `tile_rows × tile_cols` tile once; while a tile is hot it
+/// is re-read `intra_reuse` extra times (the reuse a blocked inner loop
+/// buys). Whether those re-reads hit depends on whether one tile fits the
+/// structure's `cache_ratio` share of the LLC; whether later passes hit
+/// depends on whether the whole footprint does.
+struct TiledSpec {
+  std::uint32_t element_bytes = 8;  ///< E
+  std::uint64_t rows = 0;           ///< matrix rows (R)
+  std::uint64_t cols = 0;           ///< matrix columns (C)
+  std::uint64_t tile_rows = 1;      ///< tile height (TR)
+  std::uint64_t tile_cols = 1;      ///< tile width (TC)
+  std::uint64_t intra_reuse = 0;    ///< Q — extra re-reads of a hot tile
+  std::uint64_t passes = 1;         ///< P — full sweeps over the tile grid
+  double cache_ratio = 1.0;         ///< r in (0, 1]
+};
+
 /// One access-pattern phase of a data structure.
 using PatternSpec =
-    std::variant<StreamingSpec, RandomSpec, TemplateSpec, ReuseSpec>;
+    std::variant<StreamingSpec, RandomSpec, TemplateSpec, ReuseSpec,
+                 TiledSpec>;
 
 /// Pattern-class letter as used in the paper's Aspen programs
-/// (s = streaming, r = random, t = template, u = reuse).
+/// (s = streaming, r = random, t = template, u = reuse, b = tiled/blocked).
 [[nodiscard]] char pattern_letter(const PatternSpec& spec) noexcept;
 
 }  // namespace dvf

@@ -67,16 +67,19 @@ TEST(CacheReferences, ReuseCountsLineGranularTraversals) {
   EXPECT_DOUBLE_EQ(cache_references(PatternSpec{u}), 100.0 * 5);
 }
 
-TEST(ExtendedSuite, AddsSparseCgToTheSixKernels) {
+TEST(ExtendedSuite, AddsSparseCgAndGemmToTheSixKernels) {
   const auto suite = kernels::make_extended_suite();
-  ASSERT_EQ(suite.size(), 7u);
-  EXPECT_EQ(suite.back()->name(), "CGS");
-  EXPECT_EQ(suite.back()->method_class(), "Sparse linear algebra (CSR)");
-  // The extension kernel is a full citizen: model + registry line up.
-  const ModelSpec spec = suite.back()->model_spec();
-  for (const auto& ds : spec.structures) {
-    EXPECT_TRUE(suite.back()->registry().find(ds.name).has_value())
-        << ds.name;
+  ASSERT_EQ(suite.size(), 8u);
+  EXPECT_EQ(suite[6]->name(), "CGS");
+  EXPECT_EQ(suite[6]->method_class(), "Sparse linear algebra (CSR)");
+  EXPECT_EQ(suite.back()->name(), "GEMM");
+  EXPECT_EQ(suite.back()->method_class(), "Dense linear algebra (blocked)");
+  // The extension kernels are full citizens: model + registry line up.
+  for (auto* k : {suite[6].get(), suite.back().get()}) {
+    const ModelSpec spec = k->model_spec();
+    for (const auto& ds : spec.structures) {
+      EXPECT_TRUE(k->registry().find(ds.name).has_value()) << ds.name;
+    }
   }
 }
 

@@ -107,6 +107,7 @@ TEST(FuzzSmoke, DocumentedTolerancesMatchTheResilienceDoc) {
   EXPECT_DOUBLE_EQ(kRandomOracleTolerance, 0.15);
   EXPECT_DOUBLE_EQ(kTemplateOracleTolerance, 0.15);
   EXPECT_DOUBLE_EQ(kReuseOracleTolerance, 0.15);
+  EXPECT_DOUBLE_EQ(kTiledOracleTolerance, 0.15);
 }
 
 }  // namespace
