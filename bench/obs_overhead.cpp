@@ -17,6 +17,7 @@
 
 #include "bench_json.hpp"
 #include "dvf/cachesim/cache_simulator.hpp"
+#include "dvf/common/failpoint.hpp"
 #include "dvf/common/rng.hpp"
 #include "dvf/kernels/kernel_common.hpp"
 #include "dvf/machine/cache_config.hpp"
@@ -108,6 +109,19 @@ int main() {
       span_watch.seconds() * 1e9 / static_cast<double>(kSpanOps);
   dvf::obs::set_enabled(false);
 
+  // The failpoint subsystem makes the same disabled-path promise as obs:
+  // one relaxed atomic load per DVF_FAILPOINT site when no schedule is
+  // configured (docs/resilience.md "Environment-fault injection").
+  dvf::failpoint::clear();
+  volatile bool fp_sink = false;
+  dvf::kernels::Stopwatch failpoint_watch;
+  for (std::uint64_t i = 0; i < kHookOps; ++i) {
+    fp_sink = static_cast<bool>(DVF_FAILPOINT("test.bench_cost"));
+  }
+  const double failpoint_ns =
+      failpoint_watch.seconds() * 1e9 / static_cast<double>(kHookOps);
+  (void)fp_sink;
+
   dvf::Table table({"measure", "value"});
   table.add_row({"replay off (Macc/s)", dvf::num(rate_off / 1e6, 2)});
   table.add_row({"replay on (Macc/s)", dvf::num(rate_on / 1e6, 2)});
@@ -116,6 +130,7 @@ int main() {
   table.add_row({"counter add (ns)", dvf::num(counter_ns, 2)});
   table.add_row({"histogram record (ns)", dvf::num(hist_ns, 2)});
   table.add_row({"span open+close (ns)", dvf::num(span_ns, 2)});
+  table.add_row({"failpoint disabled (ns)", dvf::num(failpoint_ns, 2)});
   std::cout << table << "\n";
 
   dvf::bench::JsonRecords json;
@@ -133,7 +148,8 @@ int main() {
                .field("disabled_branch_ns", branch_ns)
                .field("counter_add_ns", counter_ns)
                .field("histogram_record_ns", hist_ns)
-               .field("span_ns", span_ns));
+               .field("span_ns", span_ns)
+               .field("failpoint_disabled_ns", failpoint_ns));
   json.set_metrics(dvf::obs::render_metrics_json(dvf::obs::snapshot_metrics()));
   json.write("obs_overhead");
   return 0;

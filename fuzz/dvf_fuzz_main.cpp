@@ -1,6 +1,7 @@
 // dvf_fuzz — deterministic fuzz + differential-oracle harness driver.
 //
-//   dvf_fuzz [--target roundtrip|eval|oracle|trace|analyze|all] [--cases N]
+//   dvf_fuzz [--target roundtrip|eval|oracle|trace|analyze|serve_proto|
+//             chaos|all] [--cases N]
 //            [--seed S]
 //            [--max-seconds T] [--corpus DIR] [--verbose]
 //
@@ -20,7 +21,7 @@ namespace {
 int usage() {
   std::cerr <<
       "usage: dvf_fuzz [options]\n"
-      "  --target roundtrip|eval|oracle|trace|analyze|serve_proto|all\n"
+      "  --target roundtrip|eval|oracle|trace|analyze|serve_proto|chaos|all\n"
       "                                        harness to run (default all)\n"
       "  --cases N                             generated cases per target\n"
       "                                        (default 1000)\n"
@@ -66,7 +67,7 @@ int main(int argc, char** argv) {
       target = v;
       if (target != "roundtrip" && target != "eval" && target != "oracle" &&
           target != "trace" && target != "analyze" &&
-          target != "serve_proto" && target != "all") {
+          target != "serve_proto" && target != "chaos" && target != "all") {
         std::cerr << "dvf_fuzz: unknown target '" << target << "'\n";
         return usage();
       }
@@ -114,6 +115,9 @@ int main(int argc, char** argv) {
   }
   if (target == "serve_proto" || target == "all") {
     run("serve_proto", dvf::fuzz::fuzz_serve_proto);
+  }
+  if (target == "chaos" || target == "all") {
+    run("chaos", dvf::fuzz::fuzz_chaos);
   }
 
   if (!report.ok()) {

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -19,6 +20,7 @@
 #include "dvf/cachesim/cache_simulator.hpp"
 #include "dvf/common/budget.hpp"
 #include "dvf/common/error.hpp"
+#include "dvf/common/failpoint.hpp"
 #include "dvf/common/math.hpp"
 #include "dvf/common/result.hpp"
 #include "dvf/common/rng.hpp"
@@ -29,6 +31,10 @@
 #include "dvf/dsl/printer.hpp"
 #include "dvf/dsl/template_expander.hpp"
 #include "dvf/dvf/calculator.hpp"
+#include "dvf/kernels/injection_campaign.hpp"
+#include "dvf/kernels/campaign_journal.hpp"
+#include "dvf/kernels/suite.hpp"
+#include "dvf/kernels/vm.hpp"
 #include "dvf/machine/cache_config.hpp"
 #include "dvf/machine/machine.hpp"
 #include "dvf/patterns/estimate.hpp"
@@ -1486,6 +1492,291 @@ FuzzReport fuzz_trace(const FuzzOptions& options) {
       record(report, options,
              label + ": well-formed trace path threw: " + err.what());
     }
+    ++report.cases_run;
+  }
+  return report;
+}
+
+namespace {
+
+// --- chaos target ----------------------------------------------------------
+
+/// A random trigger suffix for a schedule entry: Nth-hit, every-Kth,
+/// seeded-probability, or always. The probability seed is derived from the
+/// case index so every case draws a distinct but replayable pattern.
+std::string chaos_trigger(Xoshiro256& rng, std::uint64_t case_index) {
+  switch (rng.below(4)) {
+    case 0: return "@" + std::to_string(1 + rng.below(30));
+    case 1: return "/" + std::to_string(1 + rng.below(8));
+    case 2:
+      return "%0." + std::to_string(1 + rng.below(9)) + ":" +
+             std::to_string(case_index + 1);
+    default: return "";  // fire on every hit
+  }
+}
+
+std::string chaos_path(const FuzzOptions& options, std::uint64_t case_index,
+                       const char* suffix) {
+  return (std::filesystem::temp_directory_path() /
+          ("dvf_fuzz_chaos_" + std::to_string(options.seed) + "_" +
+           std::to_string(case_index) + suffix))
+      .string();
+}
+
+kernels::KernelCaseAdapter<kernels::VectorMultiply> chaos_vm() {
+  return kernels::KernelCaseAdapter<kernels::VectorMultiply>(
+      "VM", "dense", kernels::VectorMultiply::Config{.iterations = 120});
+}
+
+std::string stats_mismatch(
+    const std::vector<kernels::StructureInjectionStats>& got,
+    const std::vector<kernels::StructureInjectionStats>& want) {
+  if (got.size() != want.size()) {
+    return "structure count " + std::to_string(got.size()) + " != " +
+           std::to_string(want.size());
+  }
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    const auto& a = got[i];
+    const auto& b = want[i];
+    if (a.structure != b.structure || a.trials != b.trials ||
+        a.injected != b.injected || a.masked != b.masked || a.sdc != b.sdc ||
+        a.due_exception != b.due_exception || a.due_hang != b.due_hang ||
+        a.due_invalid != b.due_invalid || a.corrupted != b.corrupted ||
+        a.early_stopped != b.early_stopped) {
+      return "structure '" + a.structure + "' diverged (trials " +
+             std::to_string(a.trials) + "/" + std::to_string(b.trials) +
+             ", sdc " + std::to_string(a.sdc) + "/" + std::to_string(b.sdc) +
+             ")";
+    }
+  }
+  return "";
+}
+
+/// Campaign under a randomized journal/pool fault schedule: the run must
+/// complete with statistics bit-identical to the fault-free reference
+/// (journaling degrades, results never change), and whatever journal
+/// survived — absent, torn, partial or complete — must resume to the same
+/// reference after the simulated kill.
+void check_chaos_campaign(
+    std::uint64_t case_index, Xoshiro256& rng,
+    const std::vector<kernels::StructureInjectionStats>& reference,
+    const kernels::CampaignConfig& base, const std::string& label,
+    FuzzReport& report, const FuzzOptions& options) {
+  std::string spec;
+  const auto add = [&spec](const std::string& entry) {
+    if (!spec.empty()) {
+      spec += ";";
+    }
+    spec += entry;
+  };
+  if (rng.below(2) == 0) {
+    add(std::string("campaign.journal.write=") +
+        (rng.below(2) == 0 ? "error(28)" : "short") +
+        chaos_trigger(rng, case_index));
+  }
+  if (rng.below(4) == 0) {
+    add("campaign.journal.open=error(13)" + chaos_trigger(rng, case_index));
+  }
+  if (rng.below(4) == 0) {
+    add("campaign.journal.truncate=error(28)" +
+        chaos_trigger(rng, case_index));
+  }
+  if (rng.below(4) == 0) {
+    add("pool.spawn=error(11)" + chaos_trigger(rng, case_index));
+  }
+  const Result<void> configured = failpoint::configure(spec);
+  if (!configured.ok()) {
+    record(report, options,
+           label + ": generated spec '" + spec + "' rejected: " +
+               configured.error().describe());
+    return;
+  }
+
+  const std::string path = chaos_path(options, case_index, ".journal");
+  kernels::CampaignConfig config = base;
+  config.threads = 1 + static_cast<unsigned>(rng.below(4));
+  config.journal_path = path;
+  config.resume = false;
+
+  std::vector<kernels::StructureInjectionStats> stats;
+  try {
+    auto kernel = chaos_vm();
+    stats = kernels::run_injection_campaign(kernel, config);
+  } catch (const std::exception& err) {
+    record(report, options,
+           label + ": campaign under schedule '" + spec + "' threw: " +
+               err.what());
+    failpoint::clear();
+    std::remove(path.c_str());
+    return;
+  }
+  std::string mismatch = stats_mismatch(stats, reference);
+  if (!mismatch.empty()) {
+    record(report, options,
+           label + ": schedule '" + spec + "' changed campaign results: " +
+               mismatch);
+  }
+  failpoint::clear();
+
+  // Kill/resume: a journal the faults prevented from ever existing is the
+  // one legitimate reason not to resume; anything readable must resume
+  // bit-identically and leave a complete journal behind.
+  try {
+    (void)kernels::read_campaign_journal(path);
+  } catch (const Error&) {
+    std::remove(path.c_str());
+    return;
+  }
+  config.resume = true;
+  try {
+    auto kernel = chaos_vm();
+    const auto resumed = kernels::run_injection_campaign(kernel, config);
+    mismatch = stats_mismatch(resumed, reference);
+    if (!mismatch.empty()) {
+      record(report, options,
+             label + ": resume after schedule '" + spec +
+                 "' diverged: " + mismatch);
+    }
+  } catch (const std::exception& err) {
+    record(report, options,
+           label + ": resume after schedule '" + spec + "' threw: " +
+               err.what());
+  }
+  std::remove(path.c_str());
+}
+
+/// Serve request storm under allocation-failure schedules: every frame gets
+/// exactly one well-formed typed response (check_serve_case) and the
+/// request counters stay conserved (requests == ok + error).
+void check_chaos_serve(std::uint64_t case_index, Xoshiro256& rng,
+                       const std::string& label, FuzzReport& report,
+                       const FuzzOptions& options) {
+  const std::string spec =
+      "eval.alloc=badalloc" + chaos_trigger(rng, case_index);
+  const Result<void> configured = failpoint::configure(spec);
+  if (!configured.ok()) {
+    record(report, options,
+           label + ": generated spec '" + spec + "' rejected: " +
+               configured.error().describe());
+    return;
+  }
+  serve::Engine engine(serve_case_config());
+  const std::uint64_t storm = 8 + rng.below(9);
+  for (std::uint64_t i = 0; i < storm; ++i) {
+    check_serve_case(engine, random_request_frame(rng),
+                     label + "[frame " + std::to_string(i) + "]", report,
+                     options);
+  }
+  if (engine.requests_handled() != storm) {
+    record(report, options,
+           label + ": " + std::to_string(storm) + " frames but " +
+               std::to_string(engine.requests_handled()) +
+               " requests counted");
+  }
+  if (engine.responses_ok() + engine.responses_error() !=
+      engine.requests_handled()) {
+    record(report, options,
+           label + ": counters not conserved (ok " +
+               std::to_string(engine.responses_ok()) + " + error " +
+               std::to_string(engine.responses_error()) + " != requests " +
+               std::to_string(engine.requests_handled()) + ")");
+  }
+}
+
+/// Trace artifact writes under write/rename fault schedules: the file under
+/// the final name is always a complete, readable trace — the old one when
+/// the write failed (with a typed dvf::Error), the new one when it
+/// succeeded; never a torn prefix.
+void check_chaos_trace(std::uint64_t case_index, Xoshiro256& rng,
+                       const std::string& label, FuzzReport& report,
+                       const FuzzOptions& options) {
+  static std::int64_t buffer[16] = {};
+  DataStructureRegistry registry;
+  const DsId id = registry.register_structure("A", buffer, sizeof(buffer),
+                                              sizeof(buffer[0]));
+  const std::uint64_t baseline_count = 4 + rng.below(12);
+  std::vector<MemoryRecord> records;
+  for (std::uint64_t i = 0; i < baseline_count; ++i) {
+    records.push_back({i * 8, 8, id, false});
+  }
+  const std::string path = chaos_path(options, case_index, ".dvft");
+  try {
+    write_trace_file(path, registry, records);
+  } catch (const std::exception& err) {
+    record(report, options,
+           label + ": fault-free baseline write threw: " + err.what());
+    return;
+  }
+
+  const std::string spec =
+      (rng.below(2) == 0 ? "trace.write=throw" : "io.write_file=error(28)") +
+      chaos_trigger(rng, case_index);
+  const Result<void> configured = failpoint::configure(spec);
+  if (!configured.ok()) {
+    record(report, options,
+           label + ": generated spec '" + spec + "' rejected: " +
+               configured.error().describe());
+    std::remove(path.c_str());
+    return;
+  }
+  records.push_back({baseline_count * 8, 8, id, true});
+  bool failed = false;
+  try {
+    write_trace_file(path, registry, records);
+  } catch (const Error&) {
+    failed = true;  // typed failure: the only acceptable way to not write
+  } catch (const std::exception& err) {
+    record(report, options,
+           label + ": write under schedule '" + spec +
+               "' threw an untyped exception: " + err.what());
+    failed = true;
+  }
+  failpoint::clear();
+
+  try {
+    const TraceFile readback = read_trace_file(path);
+    const std::uint64_t expected =
+        failed ? baseline_count : baseline_count + 1;
+    if (readback.records.size() != expected) {
+      record(report, options,
+             label + ": artifact under schedule '" + spec + "' holds " +
+                 std::to_string(readback.records.size()) +
+                 " records, expected " + std::to_string(expected));
+    }
+  } catch (const std::exception& err) {
+    record(report, options,
+           label + ": artifact under schedule '" + spec +
+               "' is not readable (torn?): " + err.what());
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+
+FuzzReport fuzz_chaos(const FuzzOptions& options) {
+  FuzzReport report;
+  const TimeBox box(options.max_seconds);
+  Xoshiro256 rng(options.seed ^ 0x94D049BB133111EBULL);
+  failpoint::clear();  // a leftover schedule would poison determinism
+
+  // Fault-free reference statistics, computed once: every campaign case
+  // must reproduce these exactly, whatever the environment does.
+  kernels::CampaignConfig base;
+  base.trials_per_structure = 6;
+  auto reference_kernel = chaos_vm();
+  const auto reference =
+      kernels::run_injection_campaign(reference_kernel, base);
+
+  for (std::uint64_t c = 0; c < options.cases && !box.expired(); ++c) {
+    const std::string label = "[chaos case " + std::to_string(c) + "]";
+    switch (c % 3) {
+      case 0:
+        check_chaos_campaign(c, rng, reference, base, label, report, options);
+        break;
+      case 1: check_chaos_serve(c, rng, label, report, options); break;
+      default: check_chaos_trace(c, rng, label, report, options); break;
+    }
+    failpoint::clear();
     ++report.cases_run;
   }
   return report;

@@ -31,6 +31,15 @@
 //               (across re-runs and thread counts), and every interval must
 //               contain the value the evaluator actually computes.
 //
+//   chaos     — randomized-but-seeded environment-fault schedules (the
+//               failpoint subsystem: journal writes, thread spawn, serve
+//               allocation, artifact writes) over campaigns with
+//               kill/resume, serve request storms and trace artifacts; the
+//               standing invariants — no crash, campaign statistics
+//               bit-identical to the fault-free reference, resume exact,
+//               one typed response per request, counters conserved — must
+//               hold under every schedule.
+//
 // The harness uses the library's own xoshiro256** so runs are reproducible
 // across platforms; a failing case can be replayed from its seed alone.
 #pragma once
@@ -93,6 +102,15 @@ struct FuzzReport {
 /// machine) its value must lie inside the reported interval. Corpus seeds
 /// are *.aspen files in the corpus directory.
 [[nodiscard]] FuzzReport fuzz_analyze(const FuzzOptions& options);
+
+/// Environment-fault chaos: deterministic failpoint schedules (derived from
+/// the seed) fired into the journal, thread-pool, serve and artifact-write
+/// paths while campaigns (with kill/resume), serve storms and trace writes
+/// run on top. Asserts the hardening invariants documented in
+/// docs/resilience.md "Environment-fault injection"; any crash, statistic
+/// drift, torn artifact or unconserved counter is a finding. Clears the
+/// failpoint table before and after every case.
+[[nodiscard]] FuzzReport fuzz_chaos(const FuzzOptions& options);
 
 /// Documented differential tolerances (relative error bounds) asserted by
 /// fuzz_oracle. Streaming single-pass traversals are predicted block-exactly;

@@ -16,7 +16,11 @@ documented in docs/serve.md:
      (parse_error / too_large / deadline_exceeded), never a crash;
   5. a mid-request disconnect (half a frame, then close) leaves the daemon
      healthy for the next connection;
-  6. SIGTERM drains gracefully: exit code 0.
+  6. SIGTERM drains gracefully: exit code 0;
+  7. a daemon launched with --failpoints sheds the scheduled evaluation
+     with a typed resource_limit error, keeps serving afterwards, and the
+     metrics op exports the failpoint hit counters
+     (failpoint.<name>.hits / .fired).
 
 Every response must parse as one JSON object of the documented shape.
 The same script runs against sanitizer builds; it asserts nothing about
@@ -34,7 +38,7 @@ import time
 ERROR_KINDS = {
     "parse_error", "bad_request", "too_large", "model_error",
     "unknown_hash", "overloaded", "internal", "domain_error", "overflow",
-    "non_finite", "resource_limit", "deadline_exceeded",
+    "non_finite", "resource_limit", "deadline_exceeded", "io_error",
 }
 
 SOURCE = ('model "smoke" { time 1; '
@@ -108,6 +112,76 @@ def check_shape(line: str) -> dict:
 def roundtrip(sock: socket.socket, frame: str) -> dict:
     sock.sendall(frame.encode("utf-8") + b"\n")
     return check_shape(read_line(sock))
+
+
+def check_failpoint_daemon(dvfc: str) -> None:
+    """Phase 7: --failpoints scheduling and the hit-counter metrics schema.
+
+    A daemon armed with `eval.alloc=badalloc@1` must shed exactly the first
+    evaluation as the typed resource_limit error, serve the second normally,
+    and export `failpoint.eval.alloc.hits` / `.fired` counters through the
+    metrics op.
+    """
+    path = f"/tmp/dvf_serve_smoke_fp_{os.getpid()}.sock"
+    proc = subprocess.Popen(
+        [dvfc, "serve", "--socket", path, "--workers", "1",
+         "--failpoints", "eval.alloc=badalloc@1"],
+        stdout=subprocess.DEVNULL, stderr=subprocess.PIPE)
+    try:
+        sock = connect(path)
+
+        shed = roundtrip(sock, json.dumps(
+            {"id": 20, "op": "eval", "source": SOURCE}))
+        require(not shed["ok"]
+                and shed["error"]["kind"] == "resource_limit",
+                f"scheduled eval.alloc fault should shed with "
+                f"resource_limit: {shed}")
+
+        served = roundtrip(sock, json.dumps(
+            {"id": 21, "op": "eval", "source": SOURCE}))
+        require(served["ok"] and served.get("hash", "").startswith("0x"),
+                f"daemon should recover after the scheduled fault: {served}")
+
+        metrics = roundtrip(sock, json.dumps({"id": 22, "op": "metrics"}))
+        require(metrics["ok"], f"metrics op failed under failpoints: {metrics}")
+        counters = metrics.get("metrics", {}).get("counters", {})
+        require(isinstance(counters, dict),
+                f"metrics response lacks a counters object: {metrics}")
+        hits = counters.get("failpoint.eval.alloc.hits")
+        fired = counters.get("failpoint.eval.alloc.fired")
+        require(isinstance(hits, int) and hits >= 2,
+                f"failpoint.eval.alloc.hits should count both evals: "
+                f"{counters}")
+        require(fired == 1,
+                f"failpoint.eval.alloc.fired should be exactly 1 (@1 "
+                f"trigger): {counters}")
+        require(all(isinstance(v, int) and v >= 0
+                    for k, v in counters.items()
+                    if k.startswith("failpoint.")),
+                f"failpoint counters must be non-negative integers: "
+                f"{counters}")
+        print(f"check_serve_smoke: ok: failpoint counters exported "
+              f"(hits={hits}, fired={fired})")
+        sock.close()
+
+        proc.send_signal(signal.SIGTERM)
+        try:
+            code = proc.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            fail("failpoint daemon did not exit within 30s of SIGTERM")
+        stderr = proc.stderr.read().decode("utf-8", "replace")
+        require(code == 0,
+                f"failpoint daemon drain exited {code}, want 0; "
+                f"stderr:\n{stderr}")
+        print("check_serve_smoke: ok: failpoint daemon drained cleanly")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
 
 
 def main() -> None:
@@ -215,7 +289,6 @@ def main() -> None:
         require(code == 0,
                 f"SIGTERM drain exited {code}, want 0; stderr:\n{stderr}")
         print("check_serve_smoke: ok: SIGTERM drain exited 0")
-        print("check_serve_smoke: OK: all serve smoke checks passed")
     finally:
         if proc.poll() is None:
             proc.kill()
@@ -224,6 +297,11 @@ def main() -> None:
             os.unlink(path)
         except OSError:
             pass
+
+    # 7. Fault-injection schema: a second, short-lived daemon under a
+    # scheduled allocation fault.
+    check_failpoint_daemon(dvfc)
+    print("check_serve_smoke: OK: all serve smoke checks passed")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,331 @@
+#include "dvf/common/failpoint.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cerrno>
+#include <cstdlib>
+#include <mutex>
+#include <new>
+
+#include "dvf/common/error.hpp"
+#include "dvf/common/rng.hpp"
+
+namespace dvf::failpoint {
+
+namespace {
+
+enum class TriggerKind : std::uint8_t {
+  kAlways = 0,
+  kOnNth,    ///< fire on hit number `arg` exactly (1-based)
+  kEveryK,   ///< fire on every `arg`-th hit
+  kProb,     ///< fire with probability bit_cast<double>(prob_bits) per hit
+};
+
+/// Per-point state. All mutable fields are relaxed atomics: configure()
+/// writes them, the lock-free hit path reads them, and the counters are
+/// order-independent sums — the same discipline as the obs shards.
+struct PointState {
+  std::string name;  // written once under the registry mutex, before the
+                     // slot index is published; read-only afterwards
+  std::atomic<std::uint8_t> action{0};
+  std::atomic<int> error_code{0};
+  std::atomic<std::uint8_t> trigger{0};
+  std::atomic<std::uint64_t> trigger_arg{0};
+  std::atomic<std::uint64_t> prob_bits{0};
+  std::atomic<std::uint64_t> prob_seed{0};
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> fired{0};
+};
+
+constexpr std::uint32_t kMaxPoints = 64;
+
+struct Registry {
+  std::mutex mutex;
+  std::array<PointState, kMaxPoints> points;
+  std::atomic<std::uint32_t> count{0};
+};
+
+Registry& registry() {
+  static Registry r;  // leaked-on-exit by construction order; no dtor races
+  return r;
+}
+
+/// Slot lookup/allocation. Caller holds no lock.
+std::uint32_t intern(std::string_view name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  const std::uint32_t n = r.count.load(std::memory_order_relaxed);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (r.points[i].name == name) {
+      return i;
+    }
+  }
+  if (n >= kMaxPoints) {
+    throw Error("failpoint registry full (max " + std::to_string(kMaxPoints) +
+                " points)");
+  }
+  r.points[n].name.assign(name);
+  r.count.store(n + 1, std::memory_order_release);
+  return n;
+}
+
+EvalError spec_error(std::string_view spec, const std::string& why) {
+  return EvalError{ErrorKind::kDomainError,
+                   "bad failpoint spec '" + std::string(spec) + "': " + why};
+}
+
+}  // namespace
+
+namespace detail {
+
+std::atomic<bool> g_armed{false};
+
+std::uint32_t register_point(std::string_view name) { return intern(name); }
+
+Action hit(std::uint32_t slot) {
+  PointState& p = registry().points[slot];
+  const std::uint64_t n = p.hits.fetch_add(1, std::memory_order_relaxed) + 1;
+  const auto action =
+      static_cast<ActionKind>(p.action.load(std::memory_order_relaxed));
+  if (action == ActionKind::kNone) {
+    return {};
+  }
+  bool fire = false;
+  switch (static_cast<TriggerKind>(p.trigger.load(std::memory_order_relaxed))) {
+    case TriggerKind::kAlways:
+      fire = true;
+      break;
+    case TriggerKind::kOnNth:
+      fire = (n == p.trigger_arg.load(std::memory_order_relaxed));
+      break;
+    case TriggerKind::kEveryK: {
+      const std::uint64_t k = p.trigger_arg.load(std::memory_order_relaxed);
+      fire = (k != 0 && n % k == 0);
+      break;
+    }
+    case TriggerKind::kProb: {
+      // Stateless per-hit draw: the hit ordinal keys a SplitMix64 stream, so
+      // the decision for hit n is deterministic however threads interleave.
+      const double prob = std::bit_cast<double>(
+          p.prob_bits.load(std::memory_order_relaxed));
+      SplitMix64 sm(p.prob_seed.load(std::memory_order_relaxed) ^
+                    (n * 0x9E3779B97F4A7C15ULL));
+      const double draw =
+          static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
+      fire = draw < prob;
+      break;
+    }
+  }
+  if (!fire) {
+    return {};
+  }
+  p.fired.fetch_add(1, std::memory_order_relaxed);
+  switch (action) {
+    case ActionKind::kThrow:
+      throw Error("failpoint " + p.name + " injected failure");
+    case ActionKind::kBadAlloc:
+      throw std::bad_alloc();
+    default:
+      return Action{action, p.error_code.load(std::memory_order_relaxed)};
+  }
+}
+
+}  // namespace detail
+
+const std::vector<std::string_view>& catalog() {
+  static const std::vector<std::string_view> kCatalog = {
+      "campaign.journal.open",     "campaign.journal.write",
+      "campaign.journal.truncate", "trace.write",
+      "trace.read",                "obs.trace.write",
+      "serve.accept",              "serve.read",
+      "serve.write",               "serve.metrics.write",
+      "pool.spawn",                "eval.alloc",
+      "io.write_file",
+  };
+  return kCatalog;
+}
+
+Result<void> configure(std::string_view spec) {
+  std::size_t pos = 0;
+  bool any_live = false;
+  while (pos <= spec.size()) {
+    std::size_t end = spec.find(';', pos);
+    if (end == std::string_view::npos) {
+      end = spec.size();
+    }
+    std::string_view entry = spec.substr(pos, end - pos);
+    pos = end + 1;
+    // Trim surrounding spaces so env vars written by shells stay friendly.
+    while (!entry.empty() && entry.front() == ' ') entry.remove_prefix(1);
+    while (!entry.empty() && entry.back() == ' ') entry.remove_suffix(1);
+    if (entry.empty()) {
+      if (pos > spec.size()) break;
+      continue;
+    }
+
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      return spec_error(entry, "expected name=action");
+    }
+    const std::string_view name = entry.substr(0, eq);
+    std::string_view rest = entry.substr(eq + 1);
+
+    const auto& known = catalog();
+    if (name.substr(0, 5) != "test." &&
+        std::find(known.begin(), known.end(), name) == known.end()) {
+      return spec_error(entry, "unknown failpoint '" + std::string(name) +
+                                   "' (not in the catalog; use a 'test.' "
+                                   "prefix for ad-hoc points)");
+    }
+
+    // Split off the trigger suffix, if any.
+    TriggerKind trigger = TriggerKind::kAlways;
+    std::uint64_t trigger_arg = 0;
+    double prob = 0.0;
+    std::uint64_t prob_seed = 1;
+    const std::size_t trig = rest.find_first_of("@/%");
+    std::string_view action_text = rest;
+    if (trig != std::string_view::npos) {
+      action_text = rest.substr(0, trig);
+      const char kind = rest[trig];
+      std::string arg_text(rest.substr(trig + 1));
+      try {
+        if (kind == '@' || kind == '/') {
+          std::size_t used = 0;
+          const unsigned long long v = std::stoull(arg_text, &used);
+          if (used != arg_text.size() || v == 0) {
+            throw std::invalid_argument("trailing");
+          }
+          trigger = (kind == '@') ? TriggerKind::kOnNth : TriggerKind::kEveryK;
+          trigger_arg = v;
+        } else {  // '%': probability, optional ':seed'
+          std::string prob_text = arg_text;
+          const std::size_t colon = arg_text.find(':');
+          if (colon != std::string::npos) {
+            prob_text = arg_text.substr(0, colon);
+            std::string seed_text = arg_text.substr(colon + 1);
+            std::size_t used = 0;
+            prob_seed = std::stoull(seed_text, &used);
+            if (used != seed_text.size()) {
+              throw std::invalid_argument("trailing");
+            }
+          }
+          std::size_t used = 0;
+          prob = std::stod(prob_text, &used);
+          if (used != prob_text.size() || !(prob >= 0.0) || prob > 1.0) {
+            throw std::invalid_argument("range");
+          }
+          trigger = TriggerKind::kProb;
+        }
+      } catch (const std::exception&) {
+        return spec_error(entry, "bad trigger argument");
+      }
+    }
+
+    ActionKind action = ActionKind::kNone;
+    int error_code = 0;
+    if (action_text == "off") {
+      action = ActionKind::kNone;
+    } else if (action_text == "throw") {
+      action = ActionKind::kThrow;
+    } else if (action_text == "badalloc") {
+      action = ActionKind::kBadAlloc;
+    } else if (action_text == "eintr") {
+      action = ActionKind::kEintr;
+    } else if (action_text == "short") {
+      action = ActionKind::kShortWrite;
+    } else if (action_text.substr(0, 5) == "error") {
+      action = ActionKind::kError;
+      error_code = EIO;
+      std::string_view arg = action_text.substr(5);
+      if (!arg.empty()) {
+        if (arg.front() != '(' || arg.back() != ')') {
+          return spec_error(entry, "expected error(errno)");
+        }
+        std::string code_text(arg.substr(1, arg.size() - 2));
+        try {
+          std::size_t used = 0;
+          error_code = std::stoi(code_text, &used);
+          if (used != code_text.size() || error_code <= 0) {
+            throw std::invalid_argument("range");
+          }
+        } catch (const std::exception&) {
+          return spec_error(entry, "bad errno in error(...)");
+        }
+      }
+    } else {
+      return spec_error(entry, "unknown action '" + std::string(action_text) +
+                                   "' (off|throw|badalloc|eintr|short|"
+                                   "error(errno))");
+    }
+
+    PointState& p = registry().points[intern(name)];
+    p.error_code.store(error_code, std::memory_order_relaxed);
+    p.trigger.store(static_cast<std::uint8_t>(trigger),
+                    std::memory_order_relaxed);
+    p.trigger_arg.store(trigger_arg, std::memory_order_relaxed);
+    p.prob_bits.store(std::bit_cast<std::uint64_t>(prob),
+                      std::memory_order_relaxed);
+    p.prob_seed.store(prob_seed, std::memory_order_relaxed);
+    p.action.store(static_cast<std::uint8_t>(action),
+                   std::memory_order_relaxed);
+    if (action != ActionKind::kNone) {
+      any_live = true;
+    }
+    if (end == spec.size()) break;
+  }
+  if (any_live) {
+    detail::g_armed.store(true, std::memory_order_release);
+  }
+  return {};
+}
+
+void clear() {
+  detail::g_armed.store(false, std::memory_order_release);
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  const std::uint32_t n = r.count.load(std::memory_order_relaxed);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    PointState& p = r.points[i];
+    p.action.store(0, std::memory_order_relaxed);
+    p.trigger.store(0, std::memory_order_relaxed);
+    p.trigger_arg.store(0, std::memory_order_relaxed);
+    p.prob_bits.store(0, std::memory_order_relaxed);
+    p.prob_seed.store(0, std::memory_order_relaxed);
+    p.error_code.store(0, std::memory_order_relaxed);
+    p.hits.store(0, std::memory_order_relaxed);
+    p.fired.store(0, std::memory_order_relaxed);
+  }
+}
+
+void reset_counters() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  const std::uint32_t n = r.count.load(std::memory_order_relaxed);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    r.points[i].hits.store(0, std::memory_order_relaxed);
+    r.points[i].fired.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::vector<HitCount> hit_counts() {
+  std::vector<HitCount> out;
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  const std::uint32_t n = r.count.load(std::memory_order_relaxed);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint64_t hits =
+        r.points[i].hits.load(std::memory_order_relaxed);
+    if (hits == 0) {
+      continue;
+    }
+    out.push_back(HitCount{r.points[i].name, hits,
+                           r.points[i].fired.load(std::memory_order_relaxed)});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const HitCount& a, const HitCount& b) { return a.name < b.name; });
+  return out;
+}
+
+}  // namespace dvf::failpoint

@@ -13,6 +13,8 @@
 //   non_finite         NaN/Inf appeared where a finite value is required
 //   resource_limit     an expansion/reference cap was exceeded (EvalBudget)
 //   deadline_exceeded  the cooperative wall-clock deadline passed
+//   io_error           a durability/transport syscall failed (write, flush,
+//                      rename, socket) — surfaced instead of silently dropped
 //
 // Every model boundary re-checks finiteness, so a non-finite value can never
 // escape one layer and poison the next silently.
@@ -34,6 +36,7 @@ enum class ErrorKind {
   kNonFinite,
   kResourceLimit,
   kDeadlineExceeded,
+  kIoError,
 };
 
 /// Stable snake_case label ("domain_error", ...), used in messages, obs
@@ -45,6 +48,7 @@ enum class ErrorKind {
     case ErrorKind::kNonFinite: return "non_finite";
     case ErrorKind::kResourceLimit: return "resource_limit";
     case ErrorKind::kDeadlineExceeded: return "deadline_exceeded";
+    case ErrorKind::kIoError: return "io_error";
   }
   return "unknown";
 }

@@ -1,0 +1,59 @@
+// Hardened file/stream I/O for durability paths (docs/resilience.md
+// "Environment-fault injection").
+//
+// Everything that persists a final artifact — trace files, Chrome traces,
+// metrics JSON, serve metrics dumps — goes through these helpers instead of
+// a bare std::ofstream, so that:
+//
+//   * stream failure is *checked* and surfaced as a classified
+//     `io_error` in the dvf::Result taxonomy (with errno text when the
+//     OS provides one), never silently swallowed;
+//   * whole-file writes are atomic: contents land in `<path>.tmp`, are
+//     flushed, and only then renamed over the destination, so a crash or
+//     ENOSPC mid-write can never leave a torn artifact under the final
+//     name;
+//   * fd writes retry EINTR a *bounded* number of times and loop until the
+//     full buffer is written (partial writes are legal for sockets/pipes),
+//     instead of either giving up on the first EINTR or spinning forever.
+//
+// The `io.write_file` failpoint fires inside write_file_atomic, so chaos
+// schedules can prove every caller handles a failed artifact write.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "dvf/common/result.hpp"
+
+namespace dvf::io {
+
+/// Upper bound on consecutive EINTR retries before the write is surfaced as
+/// an io_error: bounded so an interrupt storm degrades into a classified
+/// failure rather than an unbounded spin.
+inline constexpr int kMaxEintrRetries = 64;
+
+/// Flushes `out` and classifies its state: an io_error naming `what` if the
+/// stream failed at any point, success otherwise.
+[[nodiscard]] Result<void> checked_flush(std::ostream& out, const char* what);
+
+/// Writes the whole buffer to `fd`, looping over partial writes and
+/// retrying EINTR up to kMaxEintrRetries times. Returns io_error (with
+/// errno text) on any other failure or on retry exhaustion.
+[[nodiscard]] Result<void> write_all_fd(int fd, const char* data,
+                                        std::size_t size);
+
+/// Writes `contents` to `<path>.tmp`, flushes, checks the stream, then
+/// renames over `path`. On any failure the temp file is removed and an
+/// io_error is returned; the destination is either the complete old file or
+/// the complete new one, never a prefix. Evaluates the `io.write_file`
+/// failpoint.
+[[nodiscard]] Result<void> write_file_atomic(const std::string& path,
+                                             std::string_view contents);
+
+/// Formats the current errno (or `err`) as "what failed: <strerror>" for
+/// io_error messages.
+[[nodiscard]] std::string errno_message(const std::string& what, int err);
+
+}  // namespace dvf::io

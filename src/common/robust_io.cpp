@@ -1,0 +1,84 @@
+#include "dvf/common/robust_io.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <ostream>
+
+#include "dvf/common/failpoint.hpp"
+
+namespace dvf::io {
+
+std::string errno_message(const std::string& what, int err) {
+  std::string msg = what;
+  if (err != 0) {
+    msg += ": ";
+    msg += std::strerror(err);
+    msg += " (errno " + std::to_string(err) + ")";
+  }
+  return msg;
+}
+
+Result<void> checked_flush(std::ostream& out, const char* what) {
+  out.flush();
+  if (!out) {
+    return EvalError{ErrorKind::kIoError,
+                     std::string(what) + ": stream write failed"};
+  }
+  return {};
+}
+
+Result<void> write_all_fd(int fd, const char* data, std::size_t size) {
+  std::size_t written = 0;
+  int eintr_budget = kMaxEintrRetries;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR && eintr_budget-- > 0) {
+        continue;
+      }
+      return EvalError{ErrorKind::kIoError,
+                       errno_message("write failed", errno)};
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return {};
+}
+
+Result<void> write_file_atomic(const std::string& path,
+                               std::string_view contents) {
+  const std::string tmp = path + ".tmp";
+  if (auto fp = DVF_FAILPOINT("io.write_file")) {
+    return EvalError{ErrorKind::kIoError,
+                     errno_message("write " + path + " failed (injected)",
+                                   fp.error_code)};
+  }
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return EvalError{ErrorKind::kIoError,
+                       errno_message("cannot open " + tmp + " for writing",
+                                     errno)};
+    }
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size()));
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return EvalError{ErrorKind::kIoError, "write to " + tmp + " failed"};
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    std::remove(tmp.c_str());
+    return EvalError{ErrorKind::kIoError,
+                     errno_message("rename " + tmp + " -> " + path + " failed",
+                                   err)};
+  }
+  return {};
+}
+
+}  // namespace dvf::io

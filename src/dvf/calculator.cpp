@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cmath>
 #include <iterator>
+#include <new>
 #include <optional>
 #include <utility>
 
@@ -30,6 +31,7 @@ void count_eval_error(ErrorKind kind) {
       obs::counter("dvf.eval_errors.non_finite"),
       obs::counter("dvf.eval_errors.resource_limit"),
       obs::counter("dvf.eval_errors.deadline_exceeded"),
+      obs::counter("dvf.eval_errors.io_error"),
   };
   const auto index = static_cast<std::size_t>(kind);
   if (index < std::size(counters)) {
@@ -129,6 +131,7 @@ ApplicationDvf DvfCalculator::for_model(const ModelSpec& model) const {
 
 Result<ApplicationDvf> DvfCalculator::try_for_model(
     const ModelSpec& model, double exec_time_seconds) const {
+  try {
   const obs::ScopedSpan span("dvf.for_model");
   if (obs::enabled()) {
     static const obs::Counter models = obs::counter("dvf.models_evaluated");
@@ -202,6 +205,16 @@ Result<ApplicationDvf> DvfCalculator::try_for_model(
                                          "application DVF (Eq. 2)")));
   app.total = total_value;
   return app;
+  } catch (const std::bad_alloc&) {
+    // Allocation failure degrades into the classified taxonomy like every
+    // other resource exhaustion: callers (serve, campaigns) shed one
+    // evaluation instead of dying on an uncaught bad_alloc.
+    EvalError err{ErrorKind::kResourceLimit,
+                  "model '" + model.name +
+                      "': evaluation allocation failed (out of memory)"};
+    count_eval_error(err.kind);
+    return err;
+  }
 }
 
 ApplicationDvf DvfCalculator::for_model(const ModelSpec& model,

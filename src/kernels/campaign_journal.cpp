@@ -5,6 +5,8 @@
 #include <system_error>
 
 #include "dvf/common/error.hpp"
+#include "dvf/common/failpoint.hpp"
+#include "dvf/common/robust_io.hpp"
 
 namespace dvf::kernels {
 
@@ -139,6 +141,11 @@ CampaignJournalContents read_campaign_journal(const std::string& path) {
 
 CampaignJournalWriter::CampaignJournalWriter(
     const std::string& path, const CampaignJournalHeader& header) {
+  if (auto fp = DVF_FAILPOINT("campaign.journal.open")) {
+    throw Error(io::errno_message(
+        "campaign journal: cannot create '" + path + "' (injected)",
+        fp.error_code));
+  }
   out_.open(path, std::ios::trunc);
   if (!out_) {
     throw Error("campaign journal: cannot create '" + path + "'");
@@ -162,11 +169,22 @@ CampaignJournalWriter::CampaignJournalWriter(
 
 CampaignJournalWriter::CampaignJournalWriter(const std::string& path,
                                              std::uint64_t valid_bytes) {
+  if (auto fp = DVF_FAILPOINT("campaign.journal.truncate")) {
+    throw Error(io::errno_message(
+        "campaign journal: cannot truncate torn tail of '" + path +
+            "' (injected)",
+        fp.error_code));
+  }
   std::error_code ec;
   std::filesystem::resize_file(path, valid_bytes, ec);
   if (ec) {
     throw Error("campaign journal: cannot truncate torn tail of '" + path +
                 "': " + ec.message());
+  }
+  if (auto fp = DVF_FAILPOINT("campaign.journal.open")) {
+    throw Error(io::errno_message(
+        "campaign journal: cannot append to '" + path + "' (injected)",
+        fp.error_code));
   }
   out_.open(path, std::ios::app);
   if (!out_) {
@@ -174,14 +192,45 @@ CampaignJournalWriter::CampaignJournalWriter(const std::string& path,
   }
 }
 
-void CampaignJournalWriter::record(const CampaignJournalEntry& entry) {
+Result<void> CampaignJournalWriter::record(const CampaignJournalEntry& entry) {
   const std::lock_guard<std::mutex> lock(mutex_);
-  out_ << "trial " << entry.target << " " << entry.trial << " "
+  if (dead_.load(std::memory_order_relaxed)) {
+    return EvalError{ErrorKind::kIoError,
+                     "campaign journal: writer disabled after earlier write "
+                     "failure"};
+  }
+  std::ostringstream line;
+  line << "trial " << entry.target << " " << entry.trial << " "
        << to_string(entry.outcome) << " " << (entry.injected ? 1 : 0) << "\n";
+  const std::string text = line.str();
+  if (auto fp = DVF_FAILPOINT("campaign.journal.write")) {
+    if (fp.kind == failpoint::ActionKind::kShortWrite) {
+      // A torn write: half the line reaches the disk before the failure —
+      // exactly the tail a mid-write kill leaves, which the reader must
+      // drop on resume.
+      out_.write(text.data(), static_cast<std::streamsize>(text.size() / 2));
+      out_.flush();
+    }
+    dead_.store(true, std::memory_order_relaxed);
+    return EvalError{ErrorKind::kIoError,
+                     io::errno_message("campaign journal: write failed "
+                                       "(injected)",
+                                       fp.error_code)};
+  }
+  out_.write(text.data(), static_cast<std::streamsize>(text.size()));
   // Flush per trial: a trial is a full kernel re-run (milliseconds), so the
   // flush is noise (quantified in bench/campaign_injection), and it bounds
-  // journal loss on a kill to the line being written.
+  // journal loss on a kill to the line being written. The post-flush state
+  // check is what turns a full disk into a classified io_error instead of a
+  // silently dropped trial.
   out_.flush();
+  if (!out_) {
+    dead_.store(true, std::memory_order_relaxed);
+    return EvalError{ErrorKind::kIoError,
+                     "campaign journal: write failed (stream error after "
+                     "flush)"};
+  }
+  return {};
 }
 
 }  // namespace dvf::kernels

@@ -15,12 +15,14 @@
 // point, for the same effect.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <fstream>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "dvf/common/result.hpp"
 #include "dvf/kernels/suite.hpp"
 
 namespace dvf::kernels {
@@ -90,11 +92,22 @@ class CampaignJournalWriter {
   /// for header validation before appending.
   CampaignJournalWriter(const std::string& path, std::uint64_t valid_bytes);
 
-  void record(const CampaignJournalEntry& entry);
+  /// Appends and flushes one trial line. Stream failure (disk full, torn
+  /// write, an injected `campaign.journal.write` failpoint) is surfaced as
+  /// an `io_error` instead of silently dropping the trial; the writer then
+  /// latches dead — every later record() returns the same io_error without
+  /// touching the stream, so one campaign emits one warning, not thousands.
+  [[nodiscard]] Result<void> record(const CampaignJournalEntry& entry);
+
+  /// True once a write has failed and the writer latched dead.
+  [[nodiscard]] bool failed() const noexcept {
+    return dead_.load(std::memory_order_relaxed);
+  }
 
  private:
   std::mutex mutex_;
   std::ofstream out_;
+  std::atomic<bool> dead_{false};
 };
 
 }  // namespace dvf::kernels

@@ -1,7 +1,9 @@
 #include "dvf/kernels/injection_campaign.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdio>
 #include <numeric>
 #include <optional>
 #include <unordered_map>
@@ -89,6 +91,7 @@ struct CampaignCounters {
   obs::Counter due_hang = obs::counter("campaign.due_hang");
   obs::Counter due_invalid = obs::counter("campaign.due_invalid");
   obs::Counter replayed = obs::counter("campaign.journal_replayed");
+  obs::Counter journal_errors = obs::counter("campaign.journal_errors");
   obs::Histogram flush_ns = obs::histogram("campaign.journal_flush_ns");
 
   void count(TrialOutcome outcome, bool was_injected) const noexcept {
@@ -185,6 +188,22 @@ std::vector<StructureInjectionStats> run_injection_campaign(
   // are spent tally-only; missing trials run and are appended.
   std::unordered_map<std::uint64_t, CampaignJournalEntry> replay;
   std::optional<CampaignJournalWriter> journal;
+  // Campaign results are a pure function of (seed, structure, trial), so a
+  // lost journal never changes a statistic — only crash-resumability. An
+  // environment fault opening/truncating/writing the journal therefore
+  // degrades the run to journal-less operation with one warning instead of
+  // aborting a fleet of trials mid-flight. A resume header mismatch still
+  // throws: that is a configuration error, not an environment fault.
+  std::atomic<bool> journal_warned{false};
+  const auto warn_journal = [&journal_warned,
+                             &config](const std::string& why) {
+    if (!journal_warned.exchange(true, std::memory_order_relaxed)) {
+      std::fprintf(stderr,
+                   "dvf: warning: campaign journal '%s' disabled: %s; "
+                   "continuing without checkpointing\n",
+                   config.journal_path.c_str(), why.c_str());
+    }
+  };
   const CampaignJournalHeader header =
       make_header(kernel.name(), config, targets);
   if (!config.journal_path.empty()) {
@@ -202,9 +221,17 @@ std::vector<StructureInjectionStats> run_injection_campaign(
       for (const CampaignJournalEntry& entry : contents.entries) {
         replay[entry.target * trials + entry.trial] = entry;
       }
-      journal.emplace(config.journal_path, contents.valid_bytes);
+      try {
+        journal.emplace(config.journal_path, contents.valid_bytes);
+      } catch (const Error& error) {
+        warn_journal(error.what());
+      }
     } else {
-      journal.emplace(config.journal_path, header);
+      try {
+        journal.emplace(config.journal_path, header);
+      } catch (const Error& error) {
+        warn_journal(error.what());
+      }
     }
   }
 
@@ -293,16 +320,27 @@ std::vector<StructureInjectionStats> run_injection_campaign(
                 offset, bit, budget);
             classification = outcome.classification;
             injected = outcome.injected;
-            if (journal.has_value()) {
-              if (observed) {
-                const std::uint64_t flush_start = obs::now_ns();
-                journal->record(
+            if (journal.has_value() && !journal->failed()) {
+              Result<void> written = [&] {
+                if (observed) {
+                  const std::uint64_t flush_start = obs::now_ns();
+                  Result<void> io = journal->record(
+                      {item.target, item.trial, classification, injected});
+                  static const CampaignCounters counters;
+                  counters.flush_ns.record(obs::now_ns() - flush_start);
+                  return io;
+                }
+                return journal->record(
                     {item.target, item.trial, classification, injected});
-                static const CampaignCounters counters;
-                counters.flush_ns.record(obs::now_ns() - flush_start);
-              } else {
-                journal->record(
-                    {item.target, item.trial, classification, injected});
+              }();
+              if (!written.ok()) {
+                // The writer has latched dead; the campaign carries on
+                // journal-less (results are unaffected, see above).
+                if (observed) {
+                  static const CampaignCounters counters;
+                  counters.journal_errors.add();
+                }
+                warn_journal(written.error().describe());
               }
             }
           }

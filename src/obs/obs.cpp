@@ -12,6 +12,7 @@
 #include <unordered_map>
 
 #include "dvf/common/error.hpp"
+#include "dvf/common/failpoint.hpp"
 #include "dvf/report/table.hpp"
 
 namespace dvf::obs {
@@ -320,6 +321,15 @@ MetricsSnapshot snapshot_metrics() {
       }
     }
     snapshot.histograms.push_back(std::move(hist));
+  }
+
+  // Failpoint hit counters ride along under a reserved prefix, so an active
+  // injection schedule is visible wherever metrics are: the serve metrics
+  // op, --metrics[=json], and the Chrome trace's counter samples.
+  for (const failpoint::HitCount& fp : failpoint::hit_counts()) {
+    snapshot.counters.emplace_back("failpoint." + fp.name + ".hits", fp.hits);
+    snapshot.counters.emplace_back("failpoint." + fp.name + ".fired",
+                                   fp.fired);
   }
 
   const auto by_name = [](const auto& a, const auto& b) {

@@ -1,9 +1,10 @@
 #include "dvf/obs/trace_export.hpp"
 
 #include <cstdio>
-#include <fstream>
 
 #include "dvf/common/error.hpp"
+#include "dvf/common/failpoint.hpp"
+#include "dvf/common/robust_io.hpp"
 
 namespace dvf::obs {
 
@@ -108,13 +109,17 @@ void write_chrome_trace(const std::string& path,
                         const std::string& process_name) {
   const std::string rendered = render_chrome_trace(
       snapshot_spans(), snapshot_metrics(), thread_names(), process_name);
-  std::ofstream out(path);
-  if (!out) {
-    throw Error("obs: cannot write trace file: " + path);
+  if (auto fp = DVF_FAILPOINT("obs.trace.write")) {
+    throw Error(io::errno_message(
+        "obs: error writing trace file " + path + " (injected)",
+        fp.error_code));
   }
-  out << rendered;
-  if (!out.good()) {
-    throw Error("obs: error writing trace file: " + path);
+  // Atomic write-temp-then-rename: an export interrupted by a crash or a
+  // full disk leaves either the old artifact or the complete new one.
+  auto written = io::write_file_atomic(path, rendered);
+  if (!written.ok()) {
+    throw Error("obs: error writing trace file: " +
+                written.error().describe());
   }
 }
 

@@ -1,9 +1,12 @@
 #include "dvf/parallel/thread_pool.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <system_error>
 
+#include "dvf/common/failpoint.hpp"
 #include "dvf/obs/obs.hpp"
 
 namespace dvf::parallel {
@@ -23,7 +26,24 @@ ThreadPool::ThreadPool(unsigned threads) {
   const unsigned slots = resolve_thread_count(threads);
   workers_.reserve(slots - 1);
   for (unsigned slot = 1; slot < slots; ++slot) {
-    workers_.emplace_back([this, slot] { worker_loop(slot); });
+    // Spawn failure (EAGAIN under thread-limit pressure, or the pool.spawn
+    // failpoint) degrades the pool to the workers that did start — slot 0 is
+    // always the caller, so the pool still makes progress — instead of
+    // propagating std::system_error out of a constructor mid-fleet.
+    try {
+      if (DVF_FAILPOINT("pool.spawn")) {
+        throw std::system_error(
+            std::make_error_code(std::errc::resource_unavailable_try_again),
+            "injected thread-spawn failure");
+      }
+      workers_.emplace_back([this, slot] { worker_loop(slot); });
+    } catch (const std::system_error& error) {
+      std::fprintf(stderr,
+                   "dvf: warning: thread pool degraded to %u of %u slots "
+                   "(%s)\n",
+                   slot, slots, error.what());
+      break;
+    }
   }
 }
 

@@ -8,6 +8,7 @@
 
 #include "dvf/analysis/ir.hpp"
 #include "dvf/common/error.hpp"
+#include "dvf/common/failpoint.hpp"
 #include "dvf/common/result.hpp"
 #include "dvf/dsl/analyzer.hpp"
 #include "dvf/dsl/diagnostics.hpp"
@@ -336,29 +337,44 @@ std::string Engine::handle_eval(const EvalRequest& request) {
   const std::uint64_t eval_start = steady_ns();
   std::string results = "[";
   bool first = true;
-  for (const Machine* machine : machines) {
-    DvfCalculator calculator(*machine);
-    calculator.set_budget(&budget);
-    for (const ModelSpec* model : models) {
-      Result<ApplicationDvf> result =
-          request.exec_time_s.has_value()
-              ? calculator.try_for_model(*model, *request.exec_time_s)
-              : calculator.try_for_model(*model);
-      if (!result.ok()) {
-        const EvalError& error = result.error();
-        errors_.fetch_add(1, std::memory_order_relaxed);
-        obs::counter(std::string("serve.error.") + to_string(error.kind))
-            .add();
-        return error_response(request.id_json, to_string(error.kind),
-                              "model '" + model->name + "' on machine '" +
-                                  machine->name + "': " + error.message);
-      }
-      if (!first) {
-        results += ",";
-      }
-      first = false;
-      append_result(results, result.value());
+  try {
+    // The `eval.alloc` failpoint (action badalloc) lands here, where a real
+    // allocation failure during evaluation would surface.
+    if (DVF_FAILPOINT("eval.alloc")) {
+      throw std::bad_alloc();
     }
+    for (const Machine* machine : machines) {
+      DvfCalculator calculator(*machine);
+      calculator.set_budget(&budget);
+      for (const ModelSpec* model : models) {
+        Result<ApplicationDvf> result =
+            request.exec_time_s.has_value()
+                ? calculator.try_for_model(*model, *request.exec_time_s)
+                : calculator.try_for_model(*model);
+        if (!result.ok()) {
+          const EvalError& error = result.error();
+          errors_.fetch_add(1, std::memory_order_relaxed);
+          obs::counter(std::string("serve.error.") + to_string(error.kind))
+              .add();
+          return error_response(request.id_json, to_string(error.kind),
+                                "model '" + model->name + "' on machine '" +
+                                    machine->name + "': " + error.message);
+        }
+        if (!first) {
+          results += ",";
+        }
+        first = false;
+        append_result(results, result.value());
+      }
+    }
+  } catch (const std::bad_alloc&) {
+    // Allocation pressure sheds this one request with a classified error;
+    // it must never take the daemon (or its peer requests) down.
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    obs::counter("serve.error.resource_limit").add();
+    return error_response(
+        request.id_json, to_string(ErrorKind::kResourceLimit),
+        "evaluation ran out of memory; the request was shed");
   }
   results += "]";
   const std::uint64_t eval_us = (steady_ns() - eval_start) / 1000;

@@ -19,6 +19,8 @@
 #include <utility>
 #include <vector>
 
+#include "dvf/common/failpoint.hpp"
+#include "dvf/common/robust_io.hpp"
 #include "dvf/obs/obs.hpp"
 #include "dvf/serve/protocol.hpp"
 
@@ -54,13 +56,39 @@ class Sink {
     std::string frame(line);
     frame += '\n';
     std::size_t sent = 0;
+    // EINTR retries are bounded (io::kMaxEintrRetries): an interrupt storm
+    // degrades to a dead sink — this client's problem only — instead of a
+    // worker spinning forever while holding the sink mutex.
+    int eintr_budget = io::kMaxEintrRetries;
     while (sent < frame.size()) {
+      if (auto fp = DVF_FAILPOINT("serve.write")) {
+        if (fp.kind == failpoint::ActionKind::kEintr) {
+          if (eintr_budget-- > 0) {
+            continue;  // injected EINTR: exercises the bounded retry path
+          }
+          dead_ = true;
+          return;
+        }
+        if (fp.kind == failpoint::ActionKind::kShortWrite) {
+          // Injected partial write: push one byte through and loop, which
+          // exercises the full-write continuation under real syscalls.
+          const ssize_t one = write(fd_, frame.data() + sent, 1);
+          if (one > 0) {
+            sent += static_cast<std::size_t>(one);
+            continue;
+          }
+          dead_ = true;
+          return;
+        }
+        dead_ = true;  // injected EPIPE/ECONNRESET: connection sheds
+        return;
+      }
       const ssize_t n = write(fd_, frame.data() + sent, frame.size() - sent);
       if (n > 0) {
         sent += static_cast<std::size_t>(n);
         continue;
       }
-      if (n < 0 && errno == EINTR) {
+      if (n < 0 && errno == EINTR && eintr_budget-- > 0) {
         continue;
       }
       dead_ = true;  // EPIPE, ECONNRESET, ... — the client's problem only
@@ -144,6 +172,12 @@ void read_frames(int fd, std::size_t max_bytes,
     }
     if (ready <= 0) {
       continue;
+    }
+    if (auto fp = DVF_FAILPOINT("serve.read")) {
+      if (fp.kind == failpoint::ActionKind::kEintr) {
+        continue;  // injected EINTR: retry via the poll loop
+      }
+      return;  // injected ECONNRESET/EIO: the connection ends, daemon lives
     }
     const ssize_t n = read(fd, chunk, sizeof chunk);
     if (n == 0) {
@@ -390,6 +424,9 @@ int Server::run() {
         if (ready <= 0 || (pfds[0].revents & POLLIN) == 0) {
           continue;
         }
+        if (DVF_FAILPOINT("serve.accept")) {
+          continue;  // injected EINTR/ECONNABORTED/EMFILE: accept loop lives
+        }
         const int conn_fd = accept(listen_fd, nullptr, nullptr);
         if (conn_fd < 0) {
           continue;
@@ -448,8 +485,20 @@ void Server::dump_metrics_line() {
   std::string line = "{\"serve\":" + engine_.stats_json() + ",\"shed\":" +
                      std::to_string(shed_count()) + ",\"metrics\":" +
                      obs::render_metrics_json(obs::snapshot_metrics()) + "}";
-  std::fprintf(stderr, "%s\n", line.c_str());
+  line += '\n';
+  if (auto fp = DVF_FAILPOINT("serve.metrics.write")) {
+    std::fprintf(stderr,
+                 "dvfc serve: warning: metrics dump failed (injected, "
+                 "errno %d); continuing\n",
+                 fp.error_code);
+    return;
+  }
+  // The dump is diagnostics, not the wire protocol: a full stderr pipe must
+  // degrade to a dropped line, never block or kill the daemon — so the write
+  // goes through the bounded-retry fd path instead of unchecked stdio.
   std::fflush(stderr);
+  auto written = io::write_all_fd(STDERR_FILENO, line.data(), line.size());
+  (void)written;  // best-effort: a dead stderr only loses diagnostics
 }
 
 }  // namespace dvf::serve

@@ -6,7 +6,11 @@
 #include <istream>
 #include <ostream>
 
+#include <sstream>
+
 #include "dvf/common/error.hpp"
+#include "dvf/common/failpoint.hpp"
+#include "dvf/common/robust_io.hpp"
 #include "dvf/trace/trace_reader.hpp"
 #include "wire_format.hpp"
 
@@ -151,6 +155,16 @@ void write_trace_v2(std::ostream& out,
 void write_trace(std::ostream& out,
                  std::span<const DataStructureInfo> structures,
                  std::span<const MemoryRecord> records, TraceFormat format) {
+  if (auto fp = DVF_FAILPOINT("trace.write")) {
+    if (fp.kind == failpoint::ActionKind::kShortWrite) {
+      // A torn write: the magic lands, the rest does not — the reader must
+      // classify the result as truncation, never crash on it.
+      out.write(wire::kMagic, sizeof(wire::kMagic));
+    }
+    out.setstate(std::ios::failbit);
+    throw Error(io::errno_message("trace write failed (injected)",
+                                  fp.error_code));
+  }
   switch (format) {
     case TraceFormat::kV1:
       write_trace_v1(out, structures, records);
@@ -176,14 +190,21 @@ void write_trace_file(const std::string& path,
                       const DataStructureRegistry& registry,
                       const std::vector<MemoryRecord>& records,
                       TraceFormat format) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) {
-    throw Error("cannot open trace file for writing: " + path);
-  }
+  // Render in memory, then land atomically (write-temp-then-rename), so a
+  // crash or full disk mid-write can never leave a torn trace under `path`.
+  std::ostringstream out(std::ios::binary);
   write_trace(out, registry, records, format);
+  auto written = io::write_file_atomic(path, out.str());
+  if (!written.ok()) {
+    throw Error("cannot write trace file: " + written.error().describe());
+  }
 }
 
 TraceFile read_trace(std::istream& in) {
+  if (auto fp = DVF_FAILPOINT("trace.read")) {
+    throw Error(io::errno_message("trace read failed (injected)",
+                                  fp.error_code));
+  }
   TraceReader reader(in);
   TraceFile trace;
   trace.structures = reader.structures();

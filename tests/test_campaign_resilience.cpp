@@ -290,9 +290,9 @@ TEST(CampaignJournal, HeaderAndEntriesRoundTrip) {
   const auto header = sample_header();
   {
     kernels::CampaignJournalWriter writer(path, header);
-    writer.record({0, 0, TrialOutcome::kMasked, true});
-    writer.record({1, 3, TrialOutcome::kSdc, true});
-    writer.record({2, 9, TrialOutcome::kDueHang, false});
+    EXPECT_TRUE(writer.record({0, 0, TrialOutcome::kMasked, true}).ok());
+    EXPECT_TRUE(writer.record({1, 3, TrialOutcome::kSdc, true}).ok());
+    EXPECT_TRUE(writer.record({2, 9, TrialOutcome::kDueHang, false}).ok());
   }
   const auto contents = kernels::read_campaign_journal(path);
   EXPECT_EQ(contents.header, header);
@@ -311,8 +311,8 @@ TEST(CampaignJournal, TornTailIsDroppedAndTruncatable) {
   const std::string path = temp_path("torn");
   {
     kernels::CampaignJournalWriter writer(path, sample_header());
-    writer.record({0, 0, TrialOutcome::kMasked, true});
-    writer.record({0, 1, TrialOutcome::kSdc, true});
+    EXPECT_TRUE(writer.record({0, 0, TrialOutcome::kMasked, true}).ok());
+    EXPECT_TRUE(writer.record({0, 1, TrialOutcome::kSdc, true}).ok());
   }
   // Simulate a kill mid-write: a partial line without its newline.
   std::uint64_t valid = 0;
@@ -330,7 +330,7 @@ TEST(CampaignJournal, TornTailIsDroppedAndTruncatable) {
   // A resume writer truncates the tail; the file parses clean again.
   {
     kernels::CampaignJournalWriter writer(path, contents.valid_bytes);
-    writer.record({0, 2, TrialOutcome::kSdc, true});
+    EXPECT_TRUE(writer.record({0, 2, TrialOutcome::kSdc, true}).ok());
   }
   const auto repaired = kernels::read_campaign_journal(path);
   EXPECT_FALSE(repaired.torn_tail);

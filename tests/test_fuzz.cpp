@@ -53,6 +53,12 @@ TEST(FuzzSmoke, TraceRunsClean) {
   EXPECT_TRUE(report.ok()) << joined_findings(report);
 }
 
+TEST(FuzzSmoke, ChaosRunsClean) {
+  const FuzzReport report = fuzz_chaos(smoke_options(30));
+  EXPECT_EQ(report.cases_run, 30u);
+  EXPECT_TRUE(report.ok()) << joined_findings(report);
+}
+
 TEST(FuzzSmoke, AnalyzeRunsClean) {
   const FuzzReport report = fuzz_analyze(smoke_options(150));
   EXPECT_EQ(report.cases_run, 150u);

@@ -37,7 +37,9 @@
 
 #include "dvf/common/budget.hpp"
 #include "dvf/common/error.hpp"
+#include "dvf/common/failpoint.hpp"
 #include "dvf/common/math.hpp"
+#include "dvf/common/robust_io.hpp"
 #include "dvf/dsl/analysis.hpp"
 #include "dvf/dsl/analyzer.hpp"
 #include "dvf/dsl/diagnostics.hpp"
@@ -201,8 +203,46 @@ DeadlineRequest extract_deadline_option(Args& args) {
   return request;
 }
 
+/// The global fault-injection option (--failpoints SPEC, additive with the
+/// DVF_FAILPOINTS env var; docs/resilience.md "Environment-fault
+/// injection"), accepted by every subcommand and removed from the option
+/// map before the per-command flag audit. A bad spec is bad usage (exit 2).
+struct FailpointsRequest {
+  bool valid = true;
+};
+
+FailpointsRequest extract_failpoints_option(Args& args) {
+  FailpointsRequest request;
+  std::string spec;
+  if (const char* env = std::getenv("DVF_FAILPOINTS")) {
+    spec = env;
+  }
+  if (const auto it = args.options.find("failpoints");
+      it != args.options.end()) {
+    if (it->second.empty()) {
+      std::cerr << "dvfc: --failpoints needs a spec "
+                   "(--failpoints 'point=action[@N|/K|%P]')\n";
+      request.valid = false;
+    } else {
+      if (!spec.empty()) {
+        spec += ';';
+      }
+      spec += it->second;
+    }
+    args.options.erase(it);
+  }
+  if (request.valid && !spec.empty()) {
+    const auto configured = dvf::failpoint::configure(spec);
+    if (!configured.ok()) {
+      std::cerr << "dvfc: " << configured.error().message << "\n";
+      request.valid = false;
+    }
+  }
+  return request;
+}
+
 /// Flushes the requested observability outputs after the command ran.
-/// Returns false when the trace file cannot be written.
+/// Returns false when the trace file or metrics sink cannot be written.
 bool emit_obs(const ObsRequest& request, const std::string& command) {
   bool ok = true;
   if (!request.trace_path.empty()) {
@@ -215,11 +255,21 @@ bool emit_obs(const ObsRequest& request, const std::string& command) {
   }
   if (request.metrics) {
     const dvf::obs::MetricsSnapshot snapshot = dvf::obs::snapshot_metrics();
+    std::string rendered;
     if (request.metrics_json) {
-      std::cerr << dvf::obs::render_metrics_json(snapshot) << "\n";
+      rendered = dvf::obs::render_metrics_json(snapshot) + "\n";
     } else {
-      std::cerr << dvf::obs::render_summary(snapshot,
-                                            dvf::obs::snapshot_spans());
+      rendered = dvf::obs::render_summary(snapshot,
+                                          dvf::obs::snapshot_spans());
+    }
+    // Checked fd write (bounded EINTR retry) instead of unchecked iostream:
+    // a broken stderr pipe surfaces as a failure, not silently lost metrics.
+    std::cerr.flush();
+    std::fflush(stderr);
+    if (!dvf::io::write_all_fd(STDERR_FILENO, rendered.data(),
+                               rendered.size())
+             .ok()) {
+      ok = false;
     }
   }
   return ok;
@@ -403,6 +453,14 @@ int usage() {
       "                                        classified deadline_exceeded\n"
       "                                        error once S wall-clock\n"
       "                                        seconds have passed\n"
+      "  --failpoints SPEC                     arm deterministic fault\n"
+      "                                        injection on the tool's own\n"
+      "                                        I/O and transport paths;\n"
+      "                                        SPEC is 'point=action' entries\n"
+      "                                        joined with ';' and optional\n"
+      "                                        '@N' '/K' '%P[:SEED]' triggers\n"
+      "                                        (also: DVF_FAILPOINTS env var;\n"
+      "                                        docs/resilience.md)\n"
       "exit codes: 0 success; 1 model/campaign errors (for lint --werror:\n"
       "errors or warnings); 2 bad usage, unknown flags or unreadable input;\n"
       "3 internal error\n";
@@ -1090,7 +1148,8 @@ int main(int argc, char** argv) {
   Args args = parse_args(argc, argv);
   const ObsRequest obs_request = extract_obs_options(args);
   const DeadlineRequest deadline = extract_deadline_option(args);
-  if (!obs_request.valid || !deadline.valid) {
+  const FailpointsRequest failpoints = extract_failpoints_option(args);
+  if (!obs_request.valid || !deadline.valid || !failpoints.valid) {
     return 2;
   }
   if (obs_request.active()) {
